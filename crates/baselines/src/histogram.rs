@@ -1,0 +1,117 @@
+//! A query-oblivious histogram baseline.
+//!
+//! Classic pre-learned-estimation systems keep one global distance
+//! distribution: sample pairs offline, build a CDF over distances, and
+//! answer `card̂(q, τ) = n · CDF(τ)` for *every* query. It is the
+//! strawman the query-aware methods implicitly improve on — §1's point
+//! that "cardinalities of similarity queries are related to both query
+//! vector and distance threshold" is exactly what this estimator ignores.
+//! Kept as a library baseline (and exercised by the integration tests to
+//! show the query-aware estimators beat it on clustered data).
+
+use crate::traits::CardinalityEstimator;
+use cardest_data::metric::Metric;
+use cardest_data::vector::{VectorData, VectorView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Global distance-distribution estimator: one CDF for all queries.
+pub struct HistogramEstimator {
+    /// Sorted sample of pairwise distances.
+    distances: Vec<f32>,
+    n_data: usize,
+}
+
+impl HistogramEstimator {
+    /// Samples `pairs` random point pairs and keeps their sorted distances.
+    pub fn build(data: &VectorData, metric: Metric, pairs: usize, seed: u64) -> Self {
+        assert!(data.len() >= 2, "need at least two points");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x415);
+        let mut distances = Vec::with_capacity(pairs);
+        for _ in 0..pairs.max(1) {
+            let a = rng.gen_range(0..data.len());
+            let mut b = rng.gen_range(0..data.len());
+            if a == b {
+                b = (b + 1) % data.len();
+            }
+            distances.push(metric.distance(data.view(a), data.view(b)));
+        }
+        distances.sort_by(|x, y| x.total_cmp(y));
+        HistogramEstimator { distances, n_data: data.len() }
+    }
+
+    /// Empirical CDF of the sampled distance distribution at `tau`.
+    pub fn cdf(&self, tau: f32) -> f32 {
+        let below = self.distances.partition_point(|&d| d <= tau);
+        below as f32 / self.distances.len() as f32
+    }
+}
+
+impl CardinalityEstimator for HistogramEstimator {
+    fn name(&self) -> &'static str {
+        "Histogram (query-oblivious)"
+    }
+
+    fn estimate(&mut self, _q: VectorView<'_>, tau: f32) -> f32 {
+        self.n_data as f32 * self.cdf(tau)
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.distances.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::paper::{DatasetSpec, PaperDataset};
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let spec = DatasetSpec { n_data: 400, ..PaperDataset::ImageNet.spec() };
+        let data = spec.generate(71);
+        let h = HistogramEstimator::build(&data, spec.metric, 2000, 71);
+        let mut prev = -1.0f32;
+        for i in 0..=20 {
+            let tau = i as f32 / 20.0;
+            let c = h.cdf(tau);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(h.cdf(1.0), 1.0, "all Hamming distances are ≤ 1");
+    }
+
+    #[test]
+    fn estimate_ignores_the_query() {
+        let spec = DatasetSpec { n_data: 300, ..PaperDataset::ImageNet.spec() };
+        let data = spec.generate(72);
+        let mut h = HistogramEstimator::build(&data, spec.metric, 1000, 72);
+        let a = h.estimate(data.view(0), 0.3);
+        let b = h.estimate(data.view(123), 0.3);
+        assert_eq!(a, b, "the histogram baseline is query-oblivious by design");
+    }
+
+    #[test]
+    fn estimates_are_calibrated_on_average() {
+        // Averaged over queries, the global CDF matches the mean
+        // cardinality (it errs per-query, not in aggregate).
+        let spec = DatasetSpec { n_data: 500, ..PaperDataset::ImageNet.spec() };
+        let data = spec.generate(73);
+        let mut h = HistogramEstimator::build(&data, spec.metric, 4000, 73);
+        let tau = 0.4;
+        let mean_true: f32 = (0..50)
+            .map(|q| {
+                (0..data.len())
+                    .filter(|&p| spec.metric.distance(data.view(q), data.view(p)) <= tau)
+                    .count() as f32
+            })
+            .sum::<f32>()
+            / 50.0;
+        let est = h.estimate(data.view(0), tau);
+        assert!(
+            (est - mean_true).abs() / mean_true.max(1.0) < 0.35,
+            "histogram estimate {est} should be near the mean cardinality {mean_true}"
+        );
+    }
+}

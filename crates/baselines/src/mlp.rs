@@ -1,0 +1,286 @@
+//! The basic DL model of §3.1 with MLP embeddings (Table 2 row 9).
+//!
+//! Three MLP branches learn the embeddings `z_q = E1(x_q)`,
+//! `z_τ = E2(x_τ)` and `z_D = E3(x_D)` (Fig. 2); a dense + linear output
+//! module `F` regresses `ln card` on their concatenation, trained with the
+//! hybrid loss of Algorithm 1. `x_D` holds the distances from the query to
+//! `k` retained data samples (§3.1 "we use k data samples instead of the
+//! entire dataset").
+//!
+//! The threshold branch uses positivity-constrained weights so the τ-path
+//! is monotone (§5.1); `strict_monotonic` additionally constrains the
+//! output module's τ-columns and downstream weights, which makes the whole
+//! estimator provably monotone in τ (checked by property tests).
+
+use crate::traits::{CardinalityEstimator, TrainingSet};
+use cardest_data::metric::Metric;
+use cardest_data::vector::{VectorData, VectorView};
+use cardest_nn::layers::{Dense, Layer};
+use cardest_nn::net::{BranchNet, Sequential};
+use cardest_nn::trainer::{train_branch_regression, TrainConfig, TrainReport};
+use cardest_nn::{Activation, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyperparameters of the basic MLP model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Number of retained data samples backing `x_D`.
+    pub k_samples: usize,
+    /// Query embedding width (output of `E1`).
+    pub embed_q: usize,
+    /// Threshold embedding width (output of `E2`).
+    pub embed_t: usize,
+    /// Distance embedding width (output of `E3`).
+    pub embed_d: usize,
+    /// Hidden width of the output module `F`.
+    pub hidden: usize,
+    /// Constrain the full τ-path (not just `E2`) to positive weights.
+    pub strict_monotonic: bool,
+    pub train: TrainConfig,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            k_samples: 64,
+            embed_q: 32,
+            embed_t: 8,
+            embed_d: 16,
+            hidden: 32,
+            strict_monotonic: false,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// The trained basic-MLP estimator.
+pub struct MlpEstimator {
+    net: BranchNet,
+    samples: VectorData,
+    metric: Metric,
+    /// Dataset size at training time; estimates are capped here.
+    n_data: usize,
+    /// Scratch buffer for dense query expansion.
+    buf: Vec<f32>,
+}
+
+impl MlpEstimator {
+    /// Builds and trains the model on a labelled training set.
+    pub fn train(
+        data: &VectorData,
+        metric: Metric,
+        training: &TrainingSet<'_>,
+        cfg: &MlpConfig,
+        seed: u64,
+    ) -> (Self, TrainReport) {
+        assert!(!training.is_empty(), "training set is empty");
+        let dim = data.dim();
+        // Retain k random data samples for the distance feature.
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x317);
+        ids.shuffle(&mut rng);
+        ids.truncate(cfg.k_samples.clamp(1, data.len()));
+        let samples = data.gather(&ids);
+
+        let net = build_net(dim, samples.len(), cfg, &mut rng);
+        let mut est = MlpEstimator {
+            net,
+            samples,
+            metric,
+            n_data: data.len(),
+            buf: Vec::with_capacity(dim),
+        };
+
+        // Precompute each training query's distance vector once.
+        let n_queries = training.queries.len();
+        let mut xd_cache: Vec<Vec<f32>> = Vec::with_capacity(n_queries);
+        for q in 0..n_queries {
+            xd_cache.push(est.distance_vector(training.queries.view(q)));
+        }
+        let queries = training.queries;
+        let samples_list = training.samples;
+        let mut qbuf: Vec<f32> = Vec::with_capacity(dim);
+        let samples_ref = &est.samples;
+        let _ = samples_ref; // est.samples borrowed only via xd_cache below
+        let mut build = |idx: &[usize]| {
+            let b = idx.len();
+            let mut xq = Matrix::zeros(b, dim);
+            let mut xt = Matrix::zeros(b, 1);
+            let mut xd = Matrix::zeros(b, xd_cache[0].len());
+            let mut cards = Vec::with_capacity(b);
+            for (r, &i) in idx.iter().enumerate() {
+                let s = &samples_list[i];
+                queries.view(s.query).write_dense(&mut qbuf);
+                xq.row_mut(r).copy_from_slice(&qbuf);
+                xt.set(r, 0, s.tau);
+                xd.row_mut(r).copy_from_slice(&xd_cache[s.query]);
+                cards.push(s.card);
+            }
+            (vec![xq, xt, xd], cards)
+        };
+        let report =
+            train_branch_regression(&mut est.net, samples_list.len(), &mut build, &cfg.train);
+        (est, report)
+    }
+
+    /// Distances from `q` to the retained samples — the feature `x_D`.
+    fn distance_vector(&self, q: VectorView<'_>) -> Vec<f32> {
+        (0..self.samples.len())
+            .map(|i| self.metric.distance(q, self.samples.view(i)))
+            .collect()
+    }
+
+    /// Access to the underlying network (tests, size accounting).
+    pub fn net(&self) -> &BranchNet {
+        &self.net
+    }
+}
+
+/// Assembles the Fig. 2 architecture.
+fn build_net(dim: usize, k: usize, cfg: &MlpConfig, rng: &mut StdRng) -> BranchNet {
+    let e1 = Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, dim, cfg.embed_q * 2, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, cfg.embed_q * 2, cfg.embed_q, Activation::Relu)),
+    ]);
+    // One hidden layer, positive weights (§5.1).
+    let e2 = Sequential::new(vec![
+        Layer::Dense(Dense::new_nonneg(rng, 1, cfg.embed_t, Activation::Relu)),
+        Layer::Dense(Dense::new_nonneg(rng, cfg.embed_t, cfg.embed_t, Activation::Relu)),
+    ]);
+    // Two hidden layers (§5.1).
+    let e3 = Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, k, cfg.embed_d * 2, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, cfg.embed_d * 2, cfg.embed_d, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, cfg.embed_d, cfg.embed_d, Activation::Relu)),
+    ]);
+    let concat = cfg.embed_q + cfg.embed_t + cfg.embed_d;
+    let head = if cfg.strict_monotonic {
+        // τ-block columns of the first head layer non-negative, and every
+        // later weight non-negative: the τ → output path stays monotone.
+        let mut mask = vec![false; concat];
+        for flag in mask.iter_mut().skip(cfg.embed_q).take(cfg.embed_t) {
+            *flag = true;
+        }
+        Sequential::new(vec![
+            Layer::Dense(
+                Dense::new(rng, concat, cfg.hidden, Activation::Relu).with_nonneg_cols(mask),
+            ),
+            Layer::Dense(Dense::new_nonneg(rng, cfg.hidden, 1, Activation::Identity)),
+        ])
+    } else {
+        Sequential::new(vec![
+            Layer::Dense(Dense::new(rng, concat, cfg.hidden, Activation::Relu)),
+            Layer::Dense(Dense::new(rng, cfg.hidden, 1, Activation::Identity)),
+        ])
+    };
+    BranchNet::new(vec![e1, e2, e3], vec![dim, 1, k], head)
+}
+
+impl CardinalityEstimator for MlpEstimator {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
+        q.write_dense(&mut self.buf);
+        let xq = Matrix::from_row(&self.buf);
+        let xt = Matrix::from_row(&[tau]);
+        let xd = Matrix::from_row(&self.distance_vector(q));
+        let pred = self.net.forward(&[&xq, &xt, &xd]);
+        pred.get(0, 0).clamp(-20.0, 20.0).exp().min(self.n_data as f32)
+    }
+
+    fn model_bytes(&self) -> usize {
+        // Deployed model = parameters + the retained samples x_D needs.
+        self.net.param_bytes() + self.samples.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::paper::{DatasetSpec, PaperDataset};
+    use cardest_data::workload::SearchWorkload;
+    use cardest_nn::metrics::ErrorSummary;
+
+    fn tiny_workload() -> (VectorData, SearchWorkload, DatasetSpec) {
+        let spec = DatasetSpec {
+            n_data: 800,
+            n_train_queries: 60,
+            n_test_queries: 20,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let data = spec.generate(51);
+        let w = SearchWorkload::build(&data, &spec, 51);
+        (data, w, spec)
+    }
+
+    #[test]
+    fn trains_and_beats_the_zero_estimator() {
+        let (data, w, spec) = tiny_workload();
+        let cfg = MlpConfig {
+            k_samples: 32,
+            train: TrainConfig { epochs: 30, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (mut est, report) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 51);
+        assert!(report.final_loss.is_finite());
+
+        let pairs: Vec<(f32, f32)> = w
+            .test
+            .iter()
+            .map(|s| (est.estimate(w.queries.view(s.query), s.tau), s.card))
+            .collect();
+        let model = ErrorSummary::from_q_errors(&pairs);
+        let zero: Vec<(f32, f32)> = w.test.iter().map(|s| (0.0, s.card)).collect();
+        let zero_err = ErrorSummary::from_q_errors(&zero);
+        assert!(
+            model.mean < zero_err.mean,
+            "MLP mean Q-error {} should beat always-zero {}",
+            model.mean,
+            zero_err.mean
+        );
+    }
+
+    #[test]
+    fn model_bytes_include_samples() {
+        let (data, w, spec) = tiny_workload();
+        let cfg = MlpConfig {
+            k_samples: 16,
+            train: TrainConfig { epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (est, _) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 52);
+        assert!(est.model_bytes() > est.net().param_bytes());
+    }
+
+    #[test]
+    fn strict_monotonic_mode_is_monotone_in_tau() {
+        let (data, w, spec) = tiny_workload();
+        let cfg = MlpConfig {
+            k_samples: 16,
+            strict_monotonic: true,
+            train: TrainConfig { epochs: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (mut est, _) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 53);
+        for q in 0..5 {
+            let mut prev = f32::NEG_INFINITY;
+            for i in 0..=10 {
+                let tau = spec.tau_max * i as f32 / 10.0;
+                let e = est.estimate(w.queries.view(q), tau);
+                assert!(
+                    e >= prev - prev.abs() * 1e-5 - 1e-5,
+                    "estimate not monotone at q={q} τ={tau}: {e} < {prev}"
+                );
+                prev = e;
+            }
+        }
+    }
+}

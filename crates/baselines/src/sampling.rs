@@ -1,0 +1,163 @@
+//! The sampling baseline of §6 (Table 2 row 7): keep a random sample of
+//! the dataset, count exact matches on the sample, and scale by the
+//! sampling ratio.
+//!
+//! Three variants appear in the evaluation:
+//! * `Sampling (1%)` and `Sampling (10%)` — fixed sampling ratios,
+//! * `Sampling (equal)` — a sample sized to occupy the same memory as the
+//!   GL+ model (Exp-2's apples-to-apples comparison).
+//!
+//! The known weakness the paper exercises is the 0-tuple problem: a
+//! low-selectivity query often matches nothing in a small sample, making
+//! the estimate 0 regardless of the true cardinality.
+
+use crate::traits::CardinalityEstimator;
+use cardest_data::metric::Metric;
+use cardest_data::vector::{VectorData, VectorView};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Random-sample cardinality estimator.
+pub struct SamplingEstimator {
+    name: &'static str,
+    sample: VectorData,
+    metric: Metric,
+    /// `n_data / n_sample` — multiplied into the sample count.
+    scale: f32,
+}
+
+impl SamplingEstimator {
+    /// Samples `ratio · n` points (at least one).
+    pub fn with_ratio(
+        data: &VectorData,
+        metric: Metric,
+        ratio: f32,
+        seed: u64,
+        name: &'static str,
+    ) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "sampling ratio must be in (0, 1]");
+        let m = ((data.len() as f32 * ratio).round() as usize).clamp(1, data.len());
+        Self::with_count(data, metric, m, seed, name)
+    }
+
+    /// Samples exactly `m` points.
+    pub fn with_count(
+        data: &VectorData,
+        metric: Metric,
+        m: usize,
+        seed: u64,
+        name: &'static str,
+    ) -> Self {
+        let m = m.clamp(1, data.len());
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x005A_3B1E);
+        ids.shuffle(&mut rng);
+        ids.truncate(m);
+        SamplingEstimator {
+            name,
+            sample: data.gather(&ids),
+            metric,
+            scale: data.len() as f32 / m as f32,
+        }
+    }
+
+    /// The `Sampling (equal)` variant: a sample sized to occupy
+    /// `target_bytes` of memory — the GL+ model's footprint in Exp-2.
+    pub fn with_equal_bytes(
+        data: &VectorData,
+        metric: Metric,
+        target_bytes: usize,
+        seed: u64,
+    ) -> Self {
+        let per_point = (data.heap_bytes() / data.len().max(1)).max(1);
+        let m = (target_bytes / per_point).max(1);
+        Self::with_count(data, metric, m, seed, "Sampling (equal)")
+    }
+
+    /// Number of retained sample points.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+}
+
+impl CardinalityEstimator for SamplingEstimator {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
+        let hits = (0..self.sample.len())
+            .filter(|&i| self.metric.distance(q, self.sample.view(i)) <= tau)
+            .count();
+        hits as f32 * self.scale
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.sample.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::paper::{DatasetSpec, PaperDataset};
+
+    #[test]
+    fn full_sample_is_exact() {
+        let spec = DatasetSpec { n_data: 300, ..PaperDataset::ImageNet.spec() };
+        let data = spec.generate(31);
+        let mut s = SamplingEstimator::with_ratio(&data, spec.metric, 1.0, 31, "Sampling (100%)");
+        let q = data.view(0);
+        let tau = 0.2;
+        let brute = (0..data.len())
+            .filter(|&p| spec.metric.distance(q, data.view(p)) <= tau)
+            .count() as f32;
+        assert_eq!(s.estimate(q, tau), brute);
+    }
+
+    #[test]
+    fn scaling_is_unbiased_in_expectation() {
+        let spec = DatasetSpec { n_data: 1000, ..PaperDataset::ImageNet.spec() };
+        let data = spec.generate(32);
+        let q = data.view(0);
+        let tau = 0.25;
+        let truth = (0..data.len())
+            .filter(|&p| spec.metric.distance(q, data.view(p)) <= tau)
+            .count() as f32;
+        // Average over many sample draws.
+        let mut acc = 0.0;
+        let trials = 30;
+        for t in 0..trials {
+            let mut s = SamplingEstimator::with_ratio(&data, spec.metric, 0.1, t, "Sampling");
+            acc += s.estimate(q, tau);
+        }
+        let mean = acc / trials as f32;
+        assert!(
+            (mean - truth).abs() <= 0.35 * truth.max(10.0),
+            "mean estimate {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn zero_tuple_problem_manifests_on_tiny_samples() {
+        // A very selective query on a very small sample should usually
+        // return exactly 0 — the failure mode the paper discusses.
+        let spec = DatasetSpec { n_data: 2000, ..PaperDataset::GloVe300.spec() };
+        let data = spec.generate(33);
+        let mut s = SamplingEstimator::with_count(&data, spec.metric, 10, 33, "Sampling (tiny)");
+        // τ = 0 matches only the query itself (selectivity 1/2000).
+        let est = s.estimate(data.view(7), 1e-6);
+        assert_eq!(est, 0.0, "expected the 0-tuple problem");
+    }
+
+    #[test]
+    fn equal_bytes_variant_respects_budget() {
+        let spec = DatasetSpec { n_data: 500, ..PaperDataset::YouTube.spec() };
+        let data = spec.generate(34);
+        let target = 64 * 1024;
+        let s = SamplingEstimator::with_equal_bytes(&data, spec.metric, target, 34);
+        assert!(s.model_bytes() <= target + data.heap_bytes() / data.len());
+        assert!(s.sample_size() >= 1);
+    }
+}

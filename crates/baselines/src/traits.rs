@@ -1,0 +1,90 @@
+//! The common estimator interface.
+
+use cardest_data::vector::{VectorData, VectorView};
+use cardest_data::workload::SearchSample;
+
+/// Everything an estimator needs for supervised training: the materialized
+/// query vectors and the labelled `(query, τ, card)` samples referring to
+/// them.
+pub struct TrainingSet<'a> {
+    pub queries: &'a VectorData,
+    pub samples: &'a [SearchSample],
+}
+
+impl<'a> TrainingSet<'a> {
+    pub fn new(queries: &'a VectorData, samples: &'a [SearchSample]) -> Self {
+        TrainingSet { queries, samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A similarity-query cardinality estimator.
+///
+/// `estimate` takes `&mut self` because the NN-backed estimators run a
+/// forward pass that caches layer activations in place; the trait
+/// deliberately matches that cheapest implementation rather than forcing
+/// interior mutability on every model.
+pub trait CardinalityEstimator {
+    /// Short display name as used in the paper's tables ("GL+", "QES", …).
+    fn name(&self) -> &'static str;
+
+    /// Estimated `card(q, τ, D)`.
+    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32;
+
+    /// Estimated `card(Q, τ, D)` for a join query set.
+    ///
+    /// The default evaluates every member query individually — the
+    /// "estimation methods of similarity search as baselines for join
+    /// estimates" of §6. The global-local join models override this with
+    /// batch (sum-pooled) evaluation.
+    fn estimate_join(&mut self, queries: &VectorData, member_ids: &[usize], tau: f32) -> f32 {
+        member_ids.iter().map(|&i| self.estimate(queries.view(i), tau)).sum()
+    }
+
+    /// Bytes the deployed model occupies (Table 5). For sampling-style
+    /// methods this is the retained sample; for learned methods the
+    /// parameter tensors.
+    fn model_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::vector::DenseData;
+
+    /// A stub estimator returning τ·100, to pin down the default join
+    /// behaviour.
+    struct Stub;
+
+    impl CardinalityEstimator for Stub {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn estimate(&mut self, _q: VectorView<'_>, tau: f32) -> f32 {
+            tau * 100.0
+        }
+        fn model_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_join_estimate_sums_member_estimates() {
+        let queries =
+            VectorData::Dense(DenseData::from_flat(2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]));
+        let mut s = Stub;
+        let est = s.estimate_join(&queries, &[0, 1, 2], 0.5);
+        assert_eq!(est, 150.0);
+        // Duplicated members count twice (join sets sample with
+        // replacement on the scaled pools).
+        let est2 = s.estimate_join(&queries, &[0, 0], 0.5);
+        assert_eq!(est2, 100.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 11's underlying operation: fitting the
+//! PCA + batch-k-means segmentation at growing segment counts (the cost
+//! that scales with the swept parameter; the accuracy trend itself comes
+//! from `exp fig11`).
+
+use cardest_bench::context::{DatasetContext, Scale};
+use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
+use cardest_data::paper::PaperDataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 42);
+    let mut group = c.benchmark_group("fig11_segmentation_fit");
+    group.sample_size(10);
+    for n in [1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SegmentationConfig {
+                n_segments: n,
+                method: SegmentationMethod::PcaKMeans,
+                seed: 42,
+                ..Default::default()
+            };
+            b.iter(|| black_box(Segmentation::fit(&ctx.data, ctx.spec.metric, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 14: offline training time of the learned
+//! estimators (smoke scale), plus the query/label construction phase.
+
+use cardest_bench::context::{DatasetContext, Scale};
+use cardest_bench::methods::{train_method, Method};
+use cardest_data::paper::PaperDataset;
+use cardest_data::workload::SearchWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 42);
+
+    let mut group = c.benchmark_group("fig14_training_time");
+    group.sample_size(10);
+
+    // Label/workload construction (the "query construction" bar).
+    group.bench_function("label (workload construction)", |b| {
+        b.iter(|| black_box(SearchWorkload::build(&ctx.data, &ctx.spec, 42)))
+    });
+
+    for method in [Method::Qes, Method::Mlp, Method::GlMlp] {
+        group.bench_function(format!("train {}", method.name()), |b| {
+            b.iter(|| black_box(train_method(&ctx, method, Scale::Smoke)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

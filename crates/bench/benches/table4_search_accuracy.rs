@@ -1,0 +1,38 @@
+//! Criterion bench for Table 4: measures full test-set evaluation of the
+//! learned estimators (the operation whose outputs populate Table 4) at
+//! smoke scale, and prints the resulting Q-error rows once so the bench
+//! doubles as a miniature accuracy regeneration.
+
+use cardest_bench::context::{DatasetContext, Scale};
+use cardest_bench::methods::{evaluate_search, train_method, Method};
+use cardest_data::paper::PaperDataset;
+use cardest_nn::metrics::ErrorSummary;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 42);
+    let mut group = c.benchmark_group("table4_search_accuracy");
+    group.sample_size(10);
+
+    for method in [Method::GlCnn, Method::Qes, Method::Mlp, Method::Sampling10] {
+        let mut trained = train_method(&ctx, method, Scale::Smoke);
+        // Print the accuracy row once (the table this bench regenerates).
+        let pairs = evaluate_search(trained.estimator.as_mut(), &ctx);
+        let q = ErrorSummary::from_q_errors(&pairs);
+        eprintln!(
+            "[table4/smoke/ImageNET] {:<16} mean={:.2} median={:.2} max={:.1}",
+            method.name(),
+            q.mean,
+            q.median,
+            q.max
+        );
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(evaluate_search(trained.estimator.as_mut(), &ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

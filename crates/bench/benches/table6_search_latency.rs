@@ -1,0 +1,37 @@
+//! Criterion bench for Table 6: per-query estimation latency of the
+//! learned estimators vs sampling vs the exact index (SimSelect stand-in).
+//!
+//! Uses the smoke scale so `cargo bench` stays quick; the full-scale
+//! numbers come from `exp table6`.
+
+use cardest_bench::context::{DatasetContext, Scale};
+use cardest_bench::methods::{train_method, Method};
+use cardest_data::paper::PaperDataset;
+use cardest_index::PivotIndex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 42);
+    let tau = ctx.spec.tau_max * 0.3;
+    let q = ctx.search.queries.view(0);
+
+    let mut group = c.benchmark_group("table6_search_latency");
+    group.sample_size(20);
+
+    for method in [Method::GlCnn, Method::Qes, Method::Mlp, Method::Sampling1] {
+        let mut trained = train_method(&ctx, method, Scale::Smoke);
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(trained.estimator.estimate(black_box(q), black_box(tau))))
+        });
+    }
+
+    let index = PivotIndex::build(&ctx.data, ctx.spec.metric, 8, 42);
+    group.bench_function("SimSelect", |b| {
+        b.iter(|| black_box(index.range_count(&ctx.data, black_box(q), black_box(tau))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

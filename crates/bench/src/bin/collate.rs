@@ -1,0 +1,68 @@
+//! Collates the markdown tables written by `exp ... --out <dir>` into a
+//! single report fragment, ordered like the paper's evaluation section —
+//! the tool that refreshes the measured half of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run -p cardest-bench --bin collate -- results >> EXPERIMENTS.md
+//! ```
+
+use std::path::Path;
+
+/// Filename prefixes in presentation order (a prefix matches every
+/// per-dataset table of that artifact).
+const ORDER: &[&str] = &[
+    "table_3",
+    "table_4",
+    "figure_8",
+    "table_5",
+    "table_6",
+    "figure_14",
+    "figure_9",
+    "figure_10",
+    "figure_11",
+    "figure_15",
+    "table_7",
+    "figure_12",
+    "figure_13",
+    "ablation",
+];
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let dir = Path::new(&dir);
+    let mut entries: Vec<String> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".md"))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    entries.sort();
+    let mut printed = 0usize;
+    for prefix in ORDER {
+        for name in entries.iter().filter(|n| n.starts_with(prefix)) {
+            let path = dir.join(name);
+            match std::fs::read_to_string(&path) {
+                Ok(contents) => {
+                    println!("{contents}");
+                    printed += 1;
+                }
+                Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
+            }
+        }
+    }
+    // Anything not matched by the known prefixes goes last.
+    for name in &entries {
+        if !ORDER.iter().any(|p| name.starts_with(p)) {
+            if let Ok(contents) = std::fs::read_to_string(dir.join(name)) {
+                println!("{contents}");
+                printed += 1;
+            }
+        }
+    }
+    eprintln!("[collate] emitted {printed} tables from {}", dir.display());
+}

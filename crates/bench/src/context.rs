@@ -1,0 +1,116 @@
+//! Shared experiment context: one generated dataset plus its labelled
+//! search and join workloads, built once per dataset and reused by every
+//! method under test.
+
+use cardest_data::paper::{DatasetSpec, PaperDataset};
+use cardest_data::vector::VectorData;
+use cardest_data::workload::{JoinWorkload, SearchWorkload};
+
+/// Experiment scale: `Full` runs the scaled paper specification (used for
+/// the numbers in EXPERIMENTS.md), `Smoke` shrinks everything so the whole
+/// suite runs in seconds (used by the Criterion benches and CI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Full,
+    Smoke,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Some(Scale::Full),
+            "smoke" | "small" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+
+    /// Applies the scale to a dataset specification.
+    pub fn apply(self, spec: DatasetSpec) -> DatasetSpec {
+        match self {
+            Scale::Full => spec,
+            Scale::Smoke => DatasetSpec {
+                n_data: (spec.n_data / 10).max(600),
+                n_train_queries: (spec.n_train_queries / 8).max(40),
+                n_test_queries: (spec.n_test_queries / 8).max(15),
+                ..spec
+            },
+        }
+    }
+}
+
+/// One dataset with its workloads, generated deterministically.
+pub struct DatasetContext {
+    pub dataset: PaperDataset,
+    pub spec: DatasetSpec,
+    pub data: VectorData,
+    pub search: SearchWorkload,
+    /// Time spent constructing + labelling the training queries — the
+    /// "query construction time" Fig. 14 reports.
+    pub workload_time: std::time::Duration,
+    pub seed: u64,
+}
+
+impl DatasetContext {
+    /// Generates the dataset and its labelled search workload.
+    pub fn build(dataset: PaperDataset, scale: Scale, seed: u64) -> Self {
+        let spec = scale.apply(dataset.spec());
+        let data = spec.generate(seed);
+        let start = std::time::Instant::now();
+        let search = SearchWorkload::build(&data, &spec, seed);
+        let workload_time = start.elapsed();
+        DatasetContext { dataset, spec, data, search, workload_time, seed }
+    }
+
+    /// Builds the join workload on top of the search workload.
+    pub fn join_workload(&self, scale: Scale) -> JoinWorkload {
+        let (n_train, n_test) = match scale {
+            Scale::Full => (200, 20),
+            Scale::Smoke => (30, 5),
+        };
+        JoinWorkload::build(&self.search, n_train, n_test, self.seed)
+    }
+
+    /// All six datasets at the given scale.
+    pub fn all(scale: Scale, seed: u64) -> impl Iterator<Item = DatasetContext> {
+        PaperDataset::ALL.into_iter().map(move |d| DatasetContext::build(d, scale, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse_accepts_known_values() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("SMOKE"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("small"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("tiny"), None);
+    }
+
+    #[test]
+    fn smoke_scale_shrinks_but_keeps_metric_and_dim() {
+        let full = PaperDataset::ImageNet.spec();
+        let smoke = Scale::Smoke.apply(full);
+        assert!(smoke.n_data < full.n_data);
+        assert!(smoke.n_train_queries < full.n_train_queries);
+        assert_eq!(smoke.dim, full.dim);
+        assert_eq!(smoke.metric, full.metric);
+        assert_eq!(smoke.tau_max, full.tau_max);
+    }
+
+    #[test]
+    fn context_builds_consistent_workload() {
+        let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 7);
+        assert_eq!(ctx.data.len(), ctx.spec.n_data);
+        assert_eq!(
+            ctx.search.queries.len(),
+            ctx.spec.n_train_queries + ctx.spec.n_test_queries
+        );
+        assert!(ctx.workload_time.as_nanos() > 0);
+        // Join workload respects the smoke sizing.
+        let jw = ctx.join_workload(Scale::Smoke);
+        assert_eq!(jw.train.len(), 30);
+        assert_eq!(jw.test_buckets[0].len(), 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation benches beyond the paper's experiments, probing the design
+//! choices DESIGN.md calls out:
+//!
+//! 1. λ sweep in the hybrid loss (§3.1 leaves λ "a tunable weight"),
+//! 2. segmentation method: PCA+k-means vs PCA+DBSCAN vs PCA+LSH (§3.3
+//!    asserts k-means wins on both accuracy and efficiency),
+//! 3. strict vs paper-default monotonicity in the MLP estimator.
+
+use crate::context::{DatasetContext, Scale};
+use crate::report::{fmt3, fmt_duration, Table};
+use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
+use cardest_baselines::{MlpConfig, MlpEstimator};
+use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
+use cardest_core::qes::{QesConfig, QesEstimator};
+use cardest_data::paper::PaperDataset;
+use cardest_nn::metrics::ErrorSummary;
+use cardest_nn::trainer::TrainConfig;
+use std::time::Instant;
+
+fn epochs(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 30,
+        Scale::Smoke => 8,
+    }
+}
+
+/// λ sweep: QES on ImageNET with λ ∈ {0, 0.25, 0.5, 1, 2}.
+pub fn lambda_sweep(scale: Scale, seed: u64) -> Table {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, scale, seed);
+    let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
+    let mut t = Table::new(
+        "Ablation: hybrid-loss lambda sweep (QES, ImageNET)",
+        &["lambda", "Mean Q-error", "Median", "Max"],
+    );
+    for lambda in [0.0f32, 0.25, 0.5, 1.0, 2.0] {
+        let cfg = QesConfig {
+            train: TrainConfig { epochs: epochs(scale), lambda, seed, ..Default::default() },
+            ..Default::default()
+        };
+        let (mut est, _) = QesEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfg, seed);
+        let pairs: Vec<(f32, f32)> = ctx
+            .search
+            .test
+            .iter()
+            .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+            .collect();
+        let q = ErrorSummary::from_q_errors(&pairs);
+        t.push_row(vec![format!("{lambda}"), fmt3(q.mean), fmt3(q.median), fmt3(q.max)]);
+    }
+    t
+}
+
+/// Segmentation-method comparison (the §3.3 claim): fit time and cohesion
+/// of PCA+k-means vs PCA+DBSCAN vs PCA+LSH.
+pub fn segmentation_methods(scale: Scale, seed: u64) -> Table {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, scale, seed);
+    let mut t = Table::new(
+        "Ablation: segmentation method (ImageNET)",
+        &["Method", "#Segments", "Fit time", "Cohesion (mean intra dist)"],
+    );
+    for (name, method) in [
+        ("PCA+KMeans", SegmentationMethod::PcaKMeans),
+        ("PCA+DBSCAN", SegmentationMethod::PcaDbscan),
+        ("PCA+LSH", SegmentationMethod::PcaLsh),
+    ] {
+        let cfg = SegmentationConfig { n_segments: 16, method, seed, ..Default::default() };
+        let start = Instant::now();
+        let seg = Segmentation::fit(&ctx.data, ctx.spec.metric, &cfg);
+        let fit = start.elapsed();
+        let cohesion = seg.cohesion(&ctx.data, 100, seed);
+        t.push_row(vec![
+            name.to_string(),
+            seg.n_segments().to_string(),
+            fmt_duration(fit),
+            fmt3(cohesion),
+        ]);
+    }
+    t
+}
+
+/// Strict-monotonic vs paper-default threshold handling in the basic MLP.
+pub fn monotonicity_modes(scale: Scale, seed: u64) -> Table {
+    let ctx = DatasetContext::build(PaperDataset::ImageNet, scale, seed);
+    let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
+    let mut t = Table::new(
+        "Ablation: monotonicity mode (MLP, ImageNET)",
+        &["Mode", "Mean Q-error", "Monotonicity violations (of 200 cases)"],
+    );
+    for (name, strict) in [("paper (E2 only)", false), ("strict (full tau-path)", true)] {
+        let cfg = MlpConfig {
+            strict_monotonic: strict,
+            train: TrainConfig { epochs: epochs(scale), seed, ..Default::default() },
+            ..Default::default()
+        };
+        let (mut est, _) = MlpEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfg, seed);
+        let pairs: Vec<(f32, f32)> = ctx
+            .search
+            .test
+            .iter()
+            .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+            .collect();
+        let q = ErrorSummary::from_q_errors(&pairs);
+        // Count τ-monotonicity violations on a grid of (query, τ) pairs.
+        let mut violations = 0usize;
+        let mut cases = 0usize;
+        for qid in 0..20.min(ctx.search.queries.len()) {
+            let mut prev = f32::NEG_INFINITY;
+            for i in 0..=10 {
+                let tau = ctx.spec.tau_max * i as f32 / 10.0;
+                let e = est.estimate(ctx.search.queries.view(qid), tau);
+                if i > 0 {
+                    cases += 1;
+                    if e < prev - prev.abs() * 1e-5 - 1e-5 {
+                        violations += 1;
+                    }
+                }
+                prev = e;
+            }
+        }
+        t.push_row(vec![
+            name.to_string(),
+            fmt3(q.mean),
+            format!("{violations} / {cases}"),
+        ]);
+    }
+    t
+}
+
+pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
+    vec![
+        lambda_sweep(scale, seed),
+        segmentation_methods(scale, seed),
+        monotonicity_modes(scale, seed),
+    ]
+}

@@ -1,0 +1,104 @@
+//! Fig. 10 / Exp-7: mean Q-error vs training-set size, for GL+, GL-MLP
+//! and QES on BMS and ImageNET (the paper shows these two datasets; the
+//! other four behave similarly).
+
+use crate::context::{DatasetContext, Scale};
+use crate::methods::MethodConfigs;
+use crate::report::{fmt3, Table};
+use cardest_baselines::traits::TrainingSet;
+use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
+use cardest_core::qes::QesEstimator;
+use cardest_data::paper::PaperDataset;
+use cardest_nn::metrics::ErrorSummary;
+
+/// The training-sample sizes swept (the paper sweeps 500–4000 queries; a
+/// "size" here is a (q, τ) sample, 10 per query).
+pub fn sweep_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![500, 2000, 8000],
+        Scale::Smoke => vec![100, 200, 400],
+    }
+}
+
+fn mean_qerr_for(
+    ctx: &DatasetContext,
+    variant: Option<GlVariant>,
+    n_train: usize,
+    scale: Scale,
+) -> f32 {
+    let cfgs = MethodConfigs::for_scale(scale, ctx.seed);
+    let train = ctx.search.with_train_size(n_train);
+    let training = TrainingSet::new(&ctx.search.queries, &train);
+    let pairs: Vec<(f32, f32)> = match variant {
+        Some(v) => {
+            let cfg = GlConfig { variant: v, ..cfgs.gl };
+            let mut est =
+                GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+            ctx.search
+                .test
+                .iter()
+                .map(|s| {
+                    (
+                        cardest_baselines::traits::CardinalityEstimator::estimate(
+                            &mut est,
+                            ctx.search.queries.view(s.query),
+                            s.tau,
+                        ),
+                        s.card,
+                    )
+                })
+                .collect()
+        }
+        None => {
+            let (mut est, _) =
+                QesEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfgs.qes, ctx.seed);
+            ctx.search
+                .test
+                .iter()
+                .map(|s| {
+                    (
+                        cardest_baselines::traits::CardinalityEstimator::estimate(
+                            &mut est,
+                            ctx.search.queries.view(s.query),
+                            s.tau,
+                        ),
+                        s.card,
+                    )
+                })
+                .collect()
+        }
+    };
+    ErrorSummary::from_q_errors(&pairs).mean
+}
+
+pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+    let datasets = [PaperDataset::Bms, PaperDataset::ImageNet];
+    datasets
+        .iter()
+        .map(|&d| {
+            let ctx = DatasetContext::build(d, scale, seed);
+            let sizes = sweep_sizes(scale);
+            let mut header: Vec<String> = vec!["Method".into()];
+            header.extend(sizes.iter().map(|s| s.to_string()));
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+            let mut t = Table::new(
+                format!("Figure 10 ({}): Mean Q-error vs Training Size", d.name()),
+                &header_refs,
+            );
+            for (name, variant) in [
+                ("GL+", Some(GlVariant::GlPlus)),
+                ("GL-MLP", Some(GlVariant::GlMlp)),
+                ("QES", None),
+            ] {
+                eprintln!("[fig10] {} {} ...", d.name(), name);
+                let mut row = vec![name.to_string()];
+                for &n in &sizes {
+                    let n = n.min(ctx.search.train.len());
+                    row.push(fmt3(mean_qerr_for(&ctx, variant, n, scale)));
+                }
+                t.push_row(row);
+            }
+            t
+        })
+        .collect()
+}

@@ -1,0 +1,54 @@
+//! Fig. 11 / Exp-8: GL+'s mean Q-error as the number of data segments
+//! grows. The paper sweeps 1 → 100 at full scale; with datasets scaled
+//! ~40–100×, the proportional sweep is 1 → 32.
+
+use crate::context::{DatasetContext, Scale};
+use crate::methods::MethodConfigs;
+use crate::report::{fmt3, Table};
+use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
+use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
+use cardest_data::paper::PaperDataset;
+use cardest_nn::metrics::ErrorSummary;
+
+pub fn sweep_segments(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![1, 4, 16, 32],
+        Scale::Smoke => vec![1, 4, 8],
+    }
+}
+
+pub fn run(datasets: &[PaperDataset], scale: Scale, seed: u64) -> Table {
+    let segments = sweep_segments(scale);
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(segments.iter().map(|s| format!("n={s}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 11: GL+ Mean Q-error vs #-Data Segments",
+        &header_refs,
+    );
+    for &d in datasets {
+        let ctx = DatasetContext::build(d, scale, seed);
+        let cfgs = MethodConfigs::for_scale(scale, seed);
+        let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
+        let mut row = vec![d.name().to_string()];
+        for &n in &segments {
+            eprintln!("[fig11] {} n_segments={} ...", d.name(), n);
+            let cfg = GlConfig {
+                variant: GlVariant::GlPlus,
+                n_segments: n,
+                ..cfgs.gl.clone()
+            };
+            let mut est =
+                GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+            let pairs: Vec<(f32, f32)> = ctx
+                .search
+                .test
+                .iter()
+                .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+                .collect();
+            row.push(fmt3(ErrorSummary::from_q_errors(&pairs).mean));
+        }
+        t.push_row(row);
+    }
+    t
+}

@@ -1,0 +1,15 @@
+//! One module per paper table/figure. Every experiment returns
+//! [`crate::report::Table`]s so the `exp` binary can print them and write
+//! markdown for EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod fig10_training_size;
+pub mod fig11_segments;
+pub mod fig15_updates;
+pub mod fig9_penalty;
+pub mod join_suite;
+pub mod search_suite;
+pub mod table3_datasets;
+
+pub use join_suite::run_join_suite;
+pub use search_suite::run_search_suite;

@@ -1,0 +1,264 @@
+//! The similarity-search evaluation suite: one training pass per method
+//! per dataset yields Table 4 (Q-errors), Fig. 8 (MAPE), Table 5 (model
+//! sizes), Table 6 (estimation latency) and Fig. 14 (training + labelling
+//! time) — Exp-1 through Exp-5, Exp-9 and Exp-10.
+
+use crate::context::{DatasetContext, Scale};
+use crate::methods::{evaluate_search, train_method, Method};
+use crate::report::{fmt3, fmt_duration, Table};
+use cardest_data::paper::PaperDataset;
+use cardest_index::PivotIndex;
+use cardest_nn::metrics::{mape, q_error, ErrorSummary};
+use std::time::{Duration, Instant};
+
+/// Everything measured for one method on one dataset.
+pub struct MethodResult {
+    pub method: Method,
+    pub q_errors: ErrorSummary,
+    pub mape_mean: f32,
+    pub model_bytes: usize,
+    pub train_time: Duration,
+    pub avg_latency: Duration,
+}
+
+/// All results for one dataset.
+pub struct DatasetResults {
+    pub dataset: PaperDataset,
+    pub workload_time: Duration,
+    pub results: Vec<MethodResult>,
+    /// SimSelect's (exact pivot index) average per-query latency.
+    pub simselect_latency: Duration,
+}
+
+/// The Table 4 method order (per dataset block).
+pub fn table4_methods(gl_plus_bytes: usize) -> Vec<Method> {
+    vec![
+        Method::GlPlus,
+        Method::LocalPlus,
+        Method::Sampling10,
+        Method::GlCnn,
+        Method::GlMlp,
+        Method::Qes,
+        Method::CardNet,
+        Method::Mlp,
+        Method::KernelBased,
+        Method::SamplingEqual(gl_plus_bytes),
+        Method::Sampling1,
+    ]
+}
+
+/// Runs the full search suite on one dataset.
+pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> DatasetResults {
+    // GL+ first: Sampling (equal) is sized to its model bytes (Exp-2).
+    let mut results: Vec<MethodResult> = Vec::new();
+    let mut gl_plus_bytes = 64 * 1024;
+    for method in table4_methods(gl_plus_bytes) {
+        let method = if let Method::SamplingEqual(_) = method {
+            Method::SamplingEqual(gl_plus_bytes)
+        } else {
+            method
+        };
+        let mut trained = train_method(ctx, method, scale);
+        if method == Method::GlPlus {
+            gl_plus_bytes = trained.estimator.model_bytes();
+        }
+        let start = Instant::now();
+        let pairs = evaluate_search(trained.estimator.as_mut(), ctx);
+        let elapsed = start.elapsed();
+        let q: Vec<f32> = pairs.iter().map(|&(e, t)| q_error(e, t)).collect();
+        let m: Vec<f32> = pairs.iter().map(|&(e, t)| mape(e, t)).collect();
+        results.push(MethodResult {
+            method,
+            q_errors: ErrorSummary::from_errors(&q),
+            mape_mean: m.iter().sum::<f32>() / m.len().max(1) as f32,
+            model_bytes: trained.estimator.model_bytes(),
+            train_time: trained.train_time,
+            avg_latency: elapsed / pairs.len().max(1) as u32,
+        });
+    }
+
+    // SimSelect (exact index) latency for Table 6.
+    let index = PivotIndex::build(&ctx.data, ctx.spec.metric, 16, ctx.seed);
+    let start = Instant::now();
+    for s in &ctx.search.test {
+        let _ = index.range_count(&ctx.data, ctx.search.queries.view(s.query), s.tau);
+    }
+    let simselect_latency = start.elapsed() / ctx.search.test.len().max(1) as u32;
+
+    DatasetResults {
+        dataset: ctx.dataset,
+        workload_time: ctx.workload_time,
+        results,
+        simselect_latency,
+    }
+}
+
+/// Runs the suite over the requested datasets.
+pub fn run_search_suite(datasets: &[PaperDataset], scale: Scale, seed: u64) -> Vec<DatasetResults> {
+    datasets
+        .iter()
+        .map(|&d| {
+            eprintln!("[search-suite] {} ...", d.name());
+            let ctx = DatasetContext::build(d, scale, seed);
+            run_dataset(&ctx, scale)
+        })
+        .collect()
+}
+
+/// Table 4: Q-error summaries per dataset and method.
+pub fn table4(all: &[DatasetResults]) -> Vec<Table> {
+    all.iter()
+        .map(|d| {
+            let mut t = Table::new(
+                format!("Table 4 ({}): Test Q-errors for Similarity Search", d.dataset.name()),
+                &["Method", "Mean", "Median", "90th", "95th", "99th", "Max"],
+            );
+            for r in &d.results {
+                let q = r.q_errors;
+                t.push_row(vec![
+                    r.method.name().to_string(),
+                    fmt3(q.mean),
+                    fmt3(q.median),
+                    fmt3(q.p90),
+                    fmt3(q.p95),
+                    fmt3(q.p99),
+                    fmt3(q.max),
+                ]);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Fig. 8: MAPE of the learned methods.
+pub fn fig8(all: &[DatasetResults]) -> Table {
+    let learned = [
+        Method::Mlp,
+        Method::Qes,
+        Method::CardNet,
+        Method::GlMlp,
+        Method::GlCnn,
+        Method::GlPlus,
+    ];
+    let mut header = vec!["Method"];
+    let names: Vec<String> = all.iter().map(|d| d.dataset.name().to_string()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = Table::new("Figure 8: MAPE of Different Methods", &header);
+    for m in learned {
+        let mut row = vec![m.name().to_string()];
+        for d in all {
+            let v = d
+                .results
+                .iter()
+                .find(|r| r.method.name() == m.name())
+                .map_or(f32::NAN, |r| r.mape_mean);
+            row.push(fmt3(v));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Table 5: model sizes.
+pub fn table5(all: &[DatasetResults]) -> Table {
+    let order = [
+        Method::Sampling1,
+        Method::Mlp,
+        Method::Qes,
+        Method::CardNet,
+        Method::GlMlp,
+        Method::GlCnn,
+        Method::GlPlus,
+    ];
+    let mut header = vec!["Model"];
+    let names: Vec<String> = all.iter().map(|d| d.dataset.name().to_string()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = Table::new("Table 5: Model Size Comparison (KB)", &header);
+    for m in order {
+        let mut row = vec![m.name().to_string()];
+        for d in all {
+            let v = d
+                .results
+                .iter()
+                .find(|r| r.method.name() == m.name())
+                .map_or(0, |r| r.model_bytes);
+            row.push(format!("{:.1}", v as f64 / 1024.0));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Table 6: average estimation latency per query.
+pub fn table6(all: &[DatasetResults]) -> Table {
+    let order = [
+        Method::KernelBased,
+        Method::Sampling10,
+        Method::Sampling1,
+        Method::CardNet,
+        Method::LocalPlus,
+        Method::GlMlp,
+        Method::GlCnn,
+        Method::GlPlus,
+        Method::Mlp,
+        Method::Qes,
+    ];
+    let mut header = vec!["Model"];
+    let names: Vec<String> = all.iter().map(|d| d.dataset.name().to_string()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t =
+        Table::new("Table 6: Avg. Latency for Similarity Search (microseconds)", &header);
+    // SimSelect row first, as in the paper.
+    let mut row = vec!["SimSelect".to_string()];
+    for d in all {
+        row.push(format!("{:.1}", d.simselect_latency.as_secs_f64() * 1e6));
+    }
+    t.push_row(row);
+    for m in order {
+        let mut row = vec![m.name().to_string()];
+        for d in all {
+            let v = d
+                .results
+                .iter()
+                .find(|r| r.method.name() == m.name())
+                .map_or(f64::NAN, |r| r.avg_latency.as_secs_f64() * 1e6);
+            row.push(format!("{v:.1}"));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig. 14: training time and query (label) construction time.
+pub fn fig14(all: &[DatasetResults]) -> Table {
+    let order = [
+        Method::Mlp,
+        Method::Qes,
+        Method::CardNet,
+        Method::GlMlp,
+        Method::GlCnn,
+        Method::GlPlus,
+    ];
+    let mut header = vec!["Phase"];
+    let names: Vec<String> = all.iter().map(|d| d.dataset.name().to_string()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = Table::new("Figure 14: Training and Label Time", &header);
+    let mut label_row = vec!["Label (query construction)".to_string()];
+    for d in all {
+        label_row.push(fmt_duration(d.workload_time));
+    }
+    t.push_row(label_row);
+    for m in order {
+        let mut row = vec![format!("Train {}", m.name())];
+        for d in all {
+            let v = d
+                .results
+                .iter()
+                .find(|r| r.method.name() == m.name())
+                .map_or(Duration::ZERO, |r| r.train_time);
+            row.push(fmt_duration(v));
+        }
+        t.push_row(row);
+    }
+    t
+}

@@ -1,0 +1,27 @@
+//! Table 3: dataset statistics (the scaled synthetic stand-ins).
+
+use crate::context::Scale;
+use crate::report::Table;
+use cardest_data::paper::paper_datasets;
+
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 3: Datasets (scaled synthetic stand-ins)",
+        &["Dataset", "Dimension", "#Data", "#Training", "#Testing", "Metric", "tau_max"],
+    );
+    for spec in paper_datasets() {
+        let spec = scale.apply(spec);
+        t.push_row(vec![
+            spec.dataset.name().to_string(),
+            spec.dim.to_string(),
+            spec.n_data.to_string(),
+            // Table 3 counts training/testing *samples* (queries × 10
+            // thresholds), matching the paper's #Training column scale.
+            (spec.n_train_queries * cardest_data::workload::THRESHOLDS_PER_QUERY).to_string(),
+            (spec.n_test_queries * cardest_data::workload::THRESHOLDS_PER_QUERY).to_string(),
+            format!("{:?}", spec.metric),
+            format!("{:.2}", spec.tau_max),
+        ]);
+    }
+    t
+}

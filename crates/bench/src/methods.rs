@@ -1,0 +1,224 @@
+//! Uniform construction of every tested method (Table 2) over a
+//! [`DatasetContext`], with per-method training-time accounting for
+//! Fig. 14.
+
+use crate::context::{DatasetContext, Scale};
+use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
+use cardest_baselines::{
+    CardNet, CardNetConfig, KernelEstimator, MlpConfig, MlpEstimator, SamplingEstimator,
+};
+use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
+use cardest_core::qes::{QesConfig, QesEstimator};
+use cardest_core::tuning::TuningConfig;
+use cardest_nn::trainer::TrainConfig;
+use std::time::{Duration, Instant};
+
+/// A trained method plus its offline training time.
+pub struct TrainedMethod {
+    pub estimator: Box<dyn CardinalityEstimator>,
+    pub train_time: Duration,
+}
+
+/// Identifier of a search method under test (rows of Table 2 plus the
+/// sampling variants of §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    GlPlus,
+    LocalPlus,
+    GlCnn,
+    GlMlp,
+    Qes,
+    Mlp,
+    CardNet,
+    KernelBased,
+    Sampling1,
+    Sampling10,
+    /// Sized to the GL+ model's bytes (Exp-2); the byte budget is passed
+    /// in at construction.
+    SamplingEqual(usize),
+}
+
+impl Method {
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::GlPlus => "GL+",
+            Method::LocalPlus => "Local+",
+            Method::GlCnn => "GL-CNN",
+            Method::GlMlp => "GL-MLP",
+            Method::Qes => "QES",
+            Method::Mlp => "MLP",
+            Method::CardNet => "CardNet",
+            Method::KernelBased => "Kernel-based",
+            Method::Sampling1 => "Sampling (1%)",
+            Method::Sampling10 => "Sampling (10%)",
+            Method::SamplingEqual(_) => "Sampling (equal)",
+        }
+    }
+}
+
+/// Training configurations tuned so a full harness run fits a single-core
+/// budget; `Smoke` shrinks epochs further for benches.
+pub struct MethodConfigs {
+    pub gl: GlConfig,
+    pub qes: QesConfig,
+    pub mlp: MlpConfig,
+    pub cardnet: CardNetConfig,
+}
+
+impl MethodConfigs {
+    pub fn for_scale(scale: Scale, seed: u64) -> Self {
+        let (local_epochs, global_epochs, single_epochs) = match scale {
+            Scale::Full => (45, 30, 30),
+            Scale::Smoke => (6, 8, 10),
+        };
+        let tuning = match scale {
+            Scale::Full => TuningConfig {
+                train_samples: 600,
+                val_samples: 150,
+                init_configs: 3,
+                max_layers: 2,
+                max_evals: 18,
+                trial_train: TrainConfig { epochs: 5, batch_size: 128, ..Default::default() },
+                ..Default::default()
+            },
+            Scale::Smoke => TuningConfig::fast(),
+        };
+        let gl = GlConfig {
+            n_segments: 16,
+            local_train: TrainConfig {
+                epochs: local_epochs,
+                batch_size: 128,
+                learning_rate: 2e-3,
+                seed,
+                ..Default::default()
+            },
+            global_train: TrainConfig {
+                epochs: global_epochs,
+                batch_size: 128,
+                learning_rate: 2e-3,
+                seed,
+                ..Default::default()
+            },
+            max_local_samples: 2400,
+            tuning,
+            tuning_segments: 1,
+            seed,
+            ..Default::default()
+        };
+        let qes = QesConfig {
+            train: TrainConfig { epochs: single_epochs, batch_size: 128, seed, ..Default::default() },
+            ..Default::default()
+        };
+        let mlp = MlpConfig {
+            train: TrainConfig { epochs: single_epochs, batch_size: 128, seed, ..Default::default() },
+            ..Default::default()
+        };
+        let cardnet = CardNetConfig {
+            train: TrainConfig { epochs: single_epochs, batch_size: 128, seed, ..Default::default() },
+            ..Default::default()
+        };
+        MethodConfigs { gl, qes, mlp, cardnet }
+    }
+}
+
+/// Trains one method on a dataset context.
+pub fn train_method(ctx: &DatasetContext, method: Method, scale: Scale) -> TrainedMethod {
+    let cfgs = MethodConfigs::for_scale(scale, ctx.seed);
+    let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
+    let start = Instant::now();
+    let estimator: Box<dyn CardinalityEstimator> = match method {
+        Method::GlPlus | Method::LocalPlus | Method::GlCnn | Method::GlMlp => {
+            let variant = match method {
+                Method::GlPlus => GlVariant::GlPlus,
+                Method::LocalPlus => GlVariant::LocalPlus,
+                Method::GlCnn => GlVariant::GlCnn,
+                _ => GlVariant::GlMlp,
+            };
+            let cfg = GlConfig { variant, ..cfgs.gl };
+            Box::new(GlEstimator::train(
+                &ctx.data,
+                ctx.spec.metric,
+                &training,
+                &ctx.search.table,
+                &cfg,
+            ))
+        }
+        Method::Qes => Box::new(
+            QesEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfgs.qes, ctx.seed).0,
+        ),
+        Method::Mlp => Box::new(
+            MlpEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfgs.mlp, ctx.seed).0,
+        ),
+        Method::CardNet => {
+            Box::new(CardNet::train(&training, ctx.spec.tau_max, &cfgs.cardnet, ctx.seed).0)
+        }
+        Method::KernelBased => {
+            Box::new(KernelEstimator::new(&ctx.data, ctx.spec.metric, 0.01, ctx.seed))
+        }
+        Method::Sampling1 => Box::new(SamplingEstimator::with_ratio(
+            &ctx.data,
+            ctx.spec.metric,
+            0.01,
+            ctx.seed,
+            "Sampling (1%)",
+        )),
+        Method::Sampling10 => Box::new(SamplingEstimator::with_ratio(
+            &ctx.data,
+            ctx.spec.metric,
+            0.10,
+            ctx.seed,
+            "Sampling (10%)",
+        )),
+        Method::SamplingEqual(bytes) => Box::new(SamplingEstimator::with_equal_bytes(
+            &ctx.data,
+            ctx.spec.metric,
+            bytes,
+            ctx.seed,
+        )),
+    };
+    TrainedMethod { estimator, train_time: start.elapsed() }
+}
+
+/// Evaluates a trained method on the test samples, returning
+/// `(estimate, truth)` pairs.
+pub fn evaluate_search(
+    est: &mut dyn CardinalityEstimator,
+    ctx: &DatasetContext,
+) -> Vec<(f32, f32)> {
+    ctx.search
+        .test
+        .iter()
+        .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::paper::PaperDataset;
+
+    #[test]
+    fn method_names_match_table_2() {
+        assert_eq!(Method::GlPlus.name(), "GL+");
+        assert_eq!(Method::SamplingEqual(123).name(), "Sampling (equal)");
+        assert_eq!(Method::KernelBased.name(), "Kernel-based");
+    }
+
+    #[test]
+    fn sampling_method_trains_and_evaluates() {
+        let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 11);
+        let mut trained = train_method(&ctx, Method::Sampling10, Scale::Smoke);
+        assert_eq!(trained.estimator.name(), "Sampling (10%)");
+        let pairs = evaluate_search(trained.estimator.as_mut(), &ctx);
+        assert_eq!(pairs.len(), ctx.search.test.len());
+        assert!(pairs.iter().all(|(e, t)| e.is_finite() && *t >= 0.0));
+    }
+
+    #[test]
+    fn equal_bytes_method_respects_budget() {
+        let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 12);
+        let trained = train_method(&ctx, Method::SamplingEqual(4096), Scale::Smoke);
+        // A bit of slack: the sample is quantized to whole points.
+        assert!(trained.estimator.model_bytes() <= 4096 + 64);
+    }
+}

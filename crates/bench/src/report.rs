@@ -1,0 +1,139 @@
+//! Table formatting for the experiment harness: plain-text tables in the
+//! same row/column layout the paper uses, plus markdown output for
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Plain-text rendering with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Markdown rendering for EXPERIMENTS.md.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(out, "|{}|", vec!["---"; self.header.len()].join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float the way the paper's tables do: 3 significant digits.
+pub fn fmt3(x: f32) -> String {
+    if !x.is_finite() {
+        return "inf".into();
+    }
+    let ax = x.abs();
+    if ax >= 100.0 {
+        format!("{x:.0}")
+    } else if ax >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{:.0} s", s)
+    } else if s >= 1.0 {
+        format!("{s:.1} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["Method", "Mean"]);
+        t.push_row(vec!["GL+".into(), "2.34".into()]);
+        t.push_row(vec!["Sampling (10%)".into(), "5.18".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("GL+"));
+        // Columns aligned: both rows have "Mean" data starting at the same
+        // byte offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let pos1 = lines[3].find("2.34").expect("row 1");
+        let pos2 = lines[4].find("5.18").expect("row 2");
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new("demo", &["A", "B"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn fmt3_adapts_precision() {
+        assert_eq!(fmt3(2.345), "2.35");
+        assert_eq!(fmt3(23.45), "23.5");
+        assert_eq!(fmt3(234.5), "234");
+        assert_eq!(fmt3(f32::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,148 @@
+//! DBSCAN over PCA-reduced points — one of the segmentation alternatives
+//! the paper evaluated before settling on PCA + k-means (§3.3). Kept for
+//! the segmentation-choice ablation bench.
+//!
+//! Classic density-based clustering: a *core* point has at least
+//! `min_pts` neighbours within `eps`; clusters are the connected
+//! components of core points plus their border neighbours. Noise points
+//! are reported with the label [`NOISE`] and folded into the nearest
+//! cluster by the segmentation adapter (every data point must belong to
+//! exactly one segment for the global-local framework).
+
+/// Cluster label assigned to noise points.
+pub const NOISE: usize = usize::MAX;
+
+/// Runs DBSCAN on a flat `n × dim` buffer, returning per-point labels
+/// (`0..n_clusters`, or [`NOISE`]) and the number of clusters found.
+///
+/// Neighbour search is a straightforward O(n²) scan — the inputs here are
+/// PCA-reduced to a handful of dimensions and at most tens of thousands of
+/// points, where the scan is fast and index-free.
+pub fn dbscan(points: &[f32], dim: usize, eps: f32, min_pts: usize) -> (Vec<usize>, usize) {
+    assert!(dim > 0, "dimension must be positive");
+    let n = points.len() / dim;
+    let eps2 = eps * eps;
+    let point = |i: usize| &points[i * dim..(i + 1) * dim];
+
+    // Precompute neighbour lists (O(n²) distance evaluations).
+    let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if sq_dist(point(i), point(j)) <= eps2 {
+                neighbours[i].push(j);
+                neighbours[j].push(i);
+            }
+        }
+    }
+    let is_core: Vec<bool> = neighbours.iter().map(|nb| nb.len() + 1 >= min_pts).collect();
+
+    let mut label = vec![NOISE; n];
+    let mut next_cluster = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if label[i] != NOISE || !is_core[i] {
+            continue;
+        }
+        // Grow a new cluster from this unvisited core point.
+        let c = next_cluster;
+        next_cluster += 1;
+        label[i] = c;
+        stack.push(i);
+        while let Some(p) = stack.pop() {
+            for &q in &neighbours[p] {
+                if label[q] == NOISE {
+                    label[q] = c;
+                    if is_core[q] {
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+    }
+    (label, next_cluster)
+}
+
+/// Replaces noise labels by the label of the nearest non-noise point so
+/// that the result forms a total partition (required by the global-local
+/// framework). If everything is noise, all points collapse into cluster 0.
+pub fn absorb_noise(points: &[f32], dim: usize, labels: &mut [usize]) -> usize {
+    let n = labels.len();
+    let point = |i: usize| &points[i * dim..(i + 1) * dim];
+    let clustered: Vec<usize> = (0..n).filter(|&i| labels[i] != NOISE).collect();
+    if clustered.is_empty() {
+        for l in labels.iter_mut() {
+            *l = 0;
+        }
+        return 1;
+    }
+    for i in 0..n {
+        if labels[i] == NOISE {
+            let nearest = clustered
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    sq_dist(point(i), point(a)).total_cmp(&sq_dist(point(i), point(b)))
+                })
+                .expect("non-empty clustered set");
+            labels[i] = labels[nearest];
+        }
+    }
+    labels.iter().copied().max().map_or(1, |m| m + 1)
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_dense_blobs_and_flags_noise() {
+        // Blob A around 0, blob B around 10, one outlier at 100.
+        let mut pts: Vec<f32> = Vec::new();
+        for i in 0..10 {
+            pts.push(i as f32 * 0.1);
+        }
+        for i in 0..10 {
+            pts.push(10.0 + i as f32 * 0.1);
+        }
+        pts.push(100.0);
+        let (labels, k) = dbscan(&pts, 1, 0.3, 3);
+        assert_eq!(k, 2);
+        assert!(labels[..10].iter().all(|&l| l == labels[0]));
+        assert!(labels[10..20].iter().all(|&l| l == labels[10]));
+        assert_ne!(labels[0], labels[10]);
+        assert_eq!(labels[20], NOISE);
+    }
+
+    #[test]
+    fn absorb_noise_yields_total_partition() {
+        let mut pts: Vec<f32> = (0..10).map(|i| i as f32 * 0.1).collect();
+        pts.push(100.0);
+        let (mut labels, _) = dbscan(&pts, 1, 0.3, 3);
+        let k = absorb_noise(&pts, 1, &mut labels);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn all_noise_collapses_to_single_cluster() {
+        // Far-apart points, none core.
+        let pts = vec![0.0f32, 100.0, 200.0, 300.0];
+        let (mut labels, k) = dbscan(&pts, 1, 0.5, 3);
+        assert_eq!(k, 0);
+        let k2 = absorb_noise(&pts, 1, &mut labels);
+        assert_eq!(k2, 1);
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_core() {
+        let pts = vec![0.0f32, 10.0];
+        let (labels, k) = dbscan(&pts, 1, 0.5, 1);
+        assert_eq!(k, 2);
+        assert_ne!(labels[0], labels[1]);
+    }
+}

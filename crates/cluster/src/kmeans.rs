@@ -1,0 +1,244 @@
+//! K-means over PCA-reduced points: k-means++ seeding plus either full
+//! Lloyd iterations or the mini-batch variant (Sculley) — the "batch
+//! K-means" of §3.3, which the paper chose for efficiency on large data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model over `r`-dimensional points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    k: usize,
+    dim: usize,
+    /// `k × dim` centroid coordinates, flat.
+    centroids: Vec<f32>,
+}
+
+impl KMeans {
+    /// Fits with full Lloyd iterations.
+    pub fn fit_lloyd(points: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Self {
+        let mut model = Self::seed_plus_plus(points, dim, k, seed);
+        let n = points.len() / dim;
+        let mut assign = vec![0usize; n];
+        for _ in 0..iters {
+            let mut changed = false;
+            for (i, a) in assign.iter_mut().enumerate() {
+                let best = model.nearest(&points[i * dim..(i + 1) * dim]).0;
+                if best != *a {
+                    *a = best;
+                    changed = true;
+                }
+            }
+            model.recompute_centroids(points, &assign, seed);
+            if !changed {
+                break;
+            }
+        }
+        model
+    }
+
+    /// Fits with mini-batch updates: each step samples `batch` points and
+    /// moves their nearest centroids with per-centroid decaying rates.
+    pub fn fit_minibatch(
+        points: &[f32],
+        dim: usize,
+        k: usize,
+        batch: usize,
+        steps: usize,
+        seed: u64,
+    ) -> Self {
+        let n = points.len() / dim;
+        let mut model = Self::seed_plus_plus(points, dim, k, seed);
+        let mut counts = vec![1usize; k];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x000B_A7C4);
+        for _ in 0..steps {
+            for _ in 0..batch.min(n) {
+                let i = rng.gen_range(0..n);
+                let p = &points[i * dim..(i + 1) * dim];
+                let (c, _) = model.nearest(p);
+                counts[c] += 1;
+                let lr = 1.0 / counts[c] as f32;
+                let cent = &mut model.centroids[c * dim..(c + 1) * dim];
+                for (cj, &pj) in cent.iter_mut().zip(p) {
+                    *cj += lr * (pj - *cj);
+                }
+            }
+        }
+        model
+    }
+
+    /// k-means++ seeding: first centroid uniform, the rest sampled
+    /// proportionally to the squared distance to the nearest chosen one.
+    fn seed_plus_plus(points: &[f32], dim: usize, k: usize, seed: u64) -> Self {
+        assert!(dim > 0 && !points.is_empty(), "k-means needs non-empty input");
+        let n = points.len() / dim;
+        let k = k.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut centroids = Vec::with_capacity(k * dim);
+        let first = rng.gen_range(0..n);
+        centroids.extend_from_slice(&points[first * dim..(first + 1) * dim]);
+        let mut d2: Vec<f32> = (0..n)
+            .map(|i| sq_dist(&points[i * dim..(i + 1) * dim], &centroids[0..dim]))
+            .collect();
+        while centroids.len() < k * dim {
+            let total: f32 = d2.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut u = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if u < w {
+                        chosen = i;
+                        break;
+                    }
+                    u -= w;
+                }
+                chosen
+            };
+            let new = &points[pick * dim..(pick + 1) * dim];
+            centroids.extend_from_slice(new);
+            for (i, d) in d2.iter_mut().enumerate() {
+                *d = d.min(sq_dist(&points[i * dim..(i + 1) * dim], new));
+            }
+        }
+        KMeans { k, dim, centroids }
+    }
+
+    fn recompute_centroids(&mut self, points: &[f32], assign: &[usize], seed: u64) {
+        let n = assign.len();
+        let mut sums = vec![0.0f64; self.k * self.dim];
+        let mut counts = vec![0usize; self.k];
+        for (i, &a) in assign.iter().enumerate() {
+            counts[a] += 1;
+            for j in 0..self.dim {
+                sums[a * self.dim + j] += points[i * self.dim + j] as f64;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE3B0);
+        for c in 0..self.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let i = rng.gen_range(0..n);
+                self.centroids[c * self.dim..(c + 1) * self.dim]
+                    .copy_from_slice(&points[i * self.dim..(i + 1) * self.dim]);
+            } else {
+                for j in 0..self.dim {
+                    self.centroids[c * self.dim + j] =
+                        (sums[c * self.dim + j] / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index and squared distance of the nearest centroid.
+    pub fn nearest(&self, p: &[f32]) -> (usize, f32) {
+        debug_assert_eq!(p.len(), self.dim);
+        let mut best = (0usize, f32::INFINITY);
+        for c in 0..self.k {
+            let d = sq_dist(p, self.centroid(c));
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best
+    }
+
+    /// Assigns every point in a flat buffer.
+    pub fn assign_all(&self, points: &[f32]) -> Vec<usize> {
+        points.chunks(self.dim).map(|p| self.nearest(p).0).collect()
+    }
+
+    /// Mean squared distance of points to their assigned centroid (inertia
+    /// per point) — used to compare clustering quality across methods.
+    pub fn inertia(&self, points: &[f32]) -> f32 {
+        let n = points.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        points.chunks(self.dim).map(|p| self.nearest(p).1).sum::<f32>() / n as f32
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-d blobs.
+    fn blobs(seed: u64, per: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut pts = Vec::with_capacity(per * 3 * 2);
+        for &(cx, cy) in &centers {
+            for _ in 0..per {
+                pts.push(cx + rng.gen_range(-0.5..0.5));
+                pts.push(cy + rng.gen_range(-0.5..0.5));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn lloyd_separates_blobs() {
+        let pts = blobs(1, 50);
+        let km = KMeans::fit_lloyd(&pts, 2, 3, 30, 1);
+        let assign = km.assign_all(&pts);
+        // All points of one blob share a label, labels differ across blobs.
+        for blob in 0..3 {
+            let first = assign[blob * 50];
+            assert!(assign[blob * 50..(blob + 1) * 50].iter().all(|&a| a == first));
+        }
+        assert_ne!(assign[0], assign[50]);
+        assert_ne!(assign[50], assign[100]);
+        assert!(km.inertia(&pts) < 1.0);
+    }
+
+    #[test]
+    fn minibatch_reaches_similar_inertia_to_lloyd() {
+        let pts = blobs(2, 80);
+        let lloyd = KMeans::fit_lloyd(&pts, 2, 3, 30, 2);
+        let mb = KMeans::fit_minibatch(&pts, 2, 3, 32, 60, 2);
+        assert!(
+            mb.inertia(&pts) < lloyd.inertia(&pts) * 4.0 + 0.5,
+            "mini-batch inertia {} vs lloyd {}",
+            mb.inertia(&pts),
+            lloyd.inertia(&pts)
+        );
+    }
+
+    #[test]
+    fn k_is_clamped_to_point_count() {
+        let pts = vec![0.0f32, 0.0, 1.0, 1.0];
+        let km = KMeans::fit_lloyd(&pts, 2, 10, 5, 3);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![0.0f32, 2.0, 4.0, 6.0]; // 1-d points 0,2,4,6
+        let km = KMeans::fit_lloyd(&pts, 1, 1, 10, 4);
+        assert!((km.centroid(0)[0] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = blobs(5, 30);
+        let a = KMeans::fit_minibatch(&pts, 2, 3, 16, 30, 9);
+        let b = KMeans::fit_minibatch(&pts, 2, 3, 16, 30, 9);
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

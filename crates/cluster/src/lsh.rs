@@ -1,0 +1,171 @@
+//! Locality-sensitive hashing — the other segmentation alternative the
+//! paper compared against PCA + k-means (§3.3), kept for the
+//! segmentation-choice ablation bench.
+//!
+//! Signed-random-projection LSH: `b` random hyperplanes hash each point to
+//! a `b`-bit signature; points sharing a signature land in one bucket.
+//! Small buckets are merged into the nearest populous bucket (by centroid)
+//! so the result is a usable segmentation with roughly the requested
+//! number of segments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Random-hyperplane LSH over flat `n × dim` points.
+#[derive(Debug, Clone)]
+pub struct LshSegmenter {
+    dim: usize,
+    /// `b × dim` hyperplane normals.
+    planes: Vec<Vec<f32>>,
+}
+
+impl LshSegmenter {
+    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x15A8);
+        let planes = (0..bits)
+            .map(|_| (0..dim).map(|_| cardest_data::synth::gauss(&mut rng)).collect())
+            .collect();
+        LshSegmenter { dim, planes }
+    }
+
+    /// The `b`-bit signature of one point.
+    pub fn signature(&self, p: &[f32]) -> u64 {
+        debug_assert!(self.planes.len() <= 64, "at most 64 hash bits supported");
+        let mut sig = 0u64;
+        for (b, plane) in self.planes.iter().enumerate() {
+            let dot: f32 = p.iter().zip(plane).map(|(x, y)| x * y).sum();
+            if dot >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    /// Buckets all points by signature, merges buckets smaller than
+    /// `min_bucket` into the nearest large bucket, and returns compact
+    /// labels `0..n_segments`.
+    pub fn segment(&self, points: &[f32], min_bucket: usize) -> (Vec<usize>, usize) {
+        let n = points.len() / self.dim;
+        let sigs: Vec<u64> =
+            (0..n).map(|i| self.signature(&points[i * self.dim..(i + 1) * self.dim])).collect();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, &s) in sigs.iter().enumerate() {
+            buckets.entry(s).or_default().push(i);
+        }
+        // Partition into large (kept) and small (merged) buckets, with a
+        // deterministic ordering of the kept ones.
+        let mut kept: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut small: Vec<Vec<usize>> = Vec::new();
+        let mut keys: Vec<u64> = buckets.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let members = buckets.remove(&key).expect("key from iteration");
+            if members.len() >= min_bucket {
+                kept.push((key, members));
+            } else {
+                small.push(members);
+            }
+        }
+        if kept.is_empty() {
+            // Degenerate hash: everything in one segment.
+            return (vec![0; n], 1);
+        }
+        // Centroids of kept buckets.
+        let centroids: Vec<Vec<f32>> = kept
+            .iter()
+            .map(|(_, members)| {
+                let mut c = vec![0.0f32; self.dim];
+                for &i in members {
+                    for (cj, &pj) in c.iter_mut().zip(&points[i * self.dim..(i + 1) * self.dim])
+                    {
+                        *cj += pj;
+                    }
+                }
+                for cj in &mut c {
+                    *cj /= members.len() as f32;
+                }
+                c
+            })
+            .collect();
+        let mut labels = vec![0usize; n];
+        for (l, (_, members)) in kept.iter().enumerate() {
+            for &i in members {
+                labels[i] = l;
+            }
+        }
+        for members in small {
+            for i in members {
+                let p = &points[i * self.dim..(i + 1) * self.dim];
+                let nearest = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| sq_dist(p, a).total_cmp(&sq_dist(p, b)))
+                    .map(|(l, _)| l)
+                    .expect("kept is non-empty");
+                labels[i] = nearest;
+            }
+        }
+        (labels, kept.len())
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn identical_points_share_a_signature() {
+        let l = LshSegmenter::new(4, 8, 1);
+        let p = [0.3f32, -0.5, 0.2, 0.9];
+        assert_eq!(l.signature(&p), l.signature(&p));
+    }
+
+    #[test]
+    fn opposite_points_differ_in_every_bit() {
+        let l = LshSegmenter::new(3, 16, 2);
+        let p = [1.0f32, 2.0, -0.5];
+        let q = [-1.0f32, -2.0, 0.5];
+        let (sp, sq) = (l.signature(&p), l.signature(&q));
+        // A strict sign flip flips every plane decision (up to dot == 0).
+        assert_eq!(sp ^ sq, (1u64 << 16) - 1);
+    }
+
+    #[test]
+    fn segmentation_is_total_and_compact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 300;
+        let pts: Vec<f32> = (0..n * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let l = LshSegmenter::new(4, 5, 3);
+        let (labels, k) = l.segment(&pts, 5);
+        assert_eq!(labels.len(), n);
+        assert!(k >= 1);
+        assert!(labels.iter().all(|&x| x < k));
+        // Compactness: every label in 0..k appears.
+        for seg in 0..k {
+            assert!(labels.contains(&seg), "segment {seg} empty");
+        }
+    }
+
+    #[test]
+    fn nearby_points_usually_collide() {
+        let l = LshSegmenter::new(8, 6, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut collisions = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let p: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let q: Vec<f32> = p.iter().map(|x| x + rng.gen_range(-0.01f32..0.01)).collect();
+            if l.signature(&p) == l.signature(&q) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions > trials / 2, "only {collisions}/{trials} near-pairs collided");
+    }
+}

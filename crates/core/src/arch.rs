@@ -1,0 +1,283 @@
+//! Shared model architecture: the embedding branches and output heads from
+//! Figs. 2, 3, 5 and 7 of the paper, assembled into
+//! [`cardest_nn::net::BranchNet`]s.
+//!
+//! Every estimator in this crate is the same three-branch shape —
+//! `F(E_q(x_q) ⊕ E_τ(x_τ) ⊕ E_aux(x_aux))` — differing only in
+//! * the query branch: MLP (GL-MLP, the §3.1 basic model) vs the
+//!   shared-weight segmentation CNN (QES, GL-CNN, GL+; §3.2/Fig. 7),
+//! * the auxiliary feature: `x_D` (distances to `k` data samples, §3.1)
+//!   vs `x_C` (distances to the segment centroids, Fig. 5),
+//! * the head: regression (`dense + linear`, §5.1) vs the global model's
+//!   classifier (`dense + linear + shift-sigmoid`).
+
+use cardest_nn::layers::{Conv1d, ConvSpec, Dense, Layer, PoolOp, ShiftSigmoid};
+use cardest_nn::net::{BranchNet, Sequential};
+use cardest_nn::Activation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Query-embedding branch choice (`E1`/`E4`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryEmbed {
+    /// Fully-connected embedding — the basic model of §3.1 and the
+    /// "GL-MLP" variant.
+    Mlp { hidden: usize },
+    /// The query-segmentation CNN of §3.2/Fig. 7: the first conv layer
+    /// (kernel = stride = segment length) learns the per-segment
+    /// distribution `f()`, deeper layers learn the merge `g()`.
+    Cnn { layers: Vec<ConvSpec> },
+}
+
+impl QueryEmbed {
+    /// The default segmentation CNN for a query dimension: `n_segments`
+    /// equal segments handled by a shared filter bank, followed by one
+    /// merging conv layer. `dim` need not divide evenly — the trailing
+    /// partial segment is padded (matching `⌈d/n⌉`-sized segments, §3.2).
+    pub fn default_cnn(dim: usize, n_segments: usize) -> Self {
+        let n_segments = n_segments.clamp(1, dim);
+        let seg_len = dim.div_ceil(n_segments);
+        let pad = (seg_len * n_segments).saturating_sub(dim).div_ceil(2);
+        let layer1 = ConvSpec {
+            out_channels: 4,
+            kernel: seg_len,
+            stride: seg_len,
+            padding: pad,
+            pool_size: 1,
+            pool: PoolOp::Avg,
+        };
+        let layer2 = ConvSpec {
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            pool_size: 2,
+            pool: PoolOp::Max,
+        };
+        QueryEmbed::Cnn { layers: vec![layer1, layer2] }
+    }
+}
+
+/// Embedding widths shared by the estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelDims {
+    /// Query embedding width (`z_q`).
+    pub embed_q: usize,
+    /// Threshold embedding width (`z_τ`).
+    pub embed_t: usize,
+    /// Distance-feature embedding width (`z_D` / `z_C`).
+    pub embed_aux: usize,
+    /// Hidden width of the output module.
+    pub hidden: usize,
+}
+
+impl Default for ModelDims {
+    fn default() -> Self {
+        ModelDims { embed_q: 16, embed_t: 6, embed_aux: 12, hidden: 24 }
+    }
+}
+
+/// Builds the query branch (`E1`/`E4`) for input width `dim`.
+pub fn build_query_branch<R: Rng>(
+    rng: &mut R,
+    dim: usize,
+    embed: &QueryEmbed,
+    out: usize,
+) -> Sequential {
+    match embed {
+        QueryEmbed::Mlp { hidden } => Sequential::new(vec![
+            Layer::Dense(Dense::new(rng, dim, *hidden, Activation::Relu)),
+            Layer::Dense(Dense::new(rng, *hidden, out, Activation::Relu)),
+        ]),
+        QueryEmbed::Cnn { layers: specs } => {
+            let mut layers: Vec<Layer> = Vec::with_capacity(specs.len() + 1);
+            let mut in_channels = 1usize;
+            let mut in_len = dim;
+            for spec in specs {
+                assert!(
+                    Conv1d::spec_fits(in_len, spec),
+                    "conv spec {spec:?} does not fit input length {in_len}"
+                );
+                let conv = Conv1d::new(rng, in_channels, in_len, *spec, Activation::Relu);
+                in_channels = spec.out_channels;
+                in_len = conv.pool_len();
+                layers.push(Layer::Conv1d(conv));
+            }
+            let flat = in_channels * in_len;
+            layers.push(Layer::Dense(Dense::new(rng, flat, out, Activation::Relu)));
+            Sequential::new(layers)
+        }
+    }
+}
+
+/// Width of the expanded threshold feature used by the global-local
+/// models: `[t, t², √t]` with `t = τ/τ_scale`. A single raw scalar gives
+/// the positivity-constrained ReLU embedding too little to work with at
+/// this training scale; the three monotone basis functions keep the
+/// τ-path monotone while making the distribution over τ learnable.
+pub const TAU_DIM: usize = 3;
+
+/// Expands a threshold into the monotone feature basis.
+pub fn tau_features(tau: f32, tau_scale: f32) -> [f32; TAU_DIM] {
+    let t = (tau / tau_scale.max(1e-6)).clamp(0.0, 4.0);
+    [t, t * t, t.sqrt()]
+}
+
+/// Builds the monotone threshold branch (`E2`/`E5`): an MLP with one
+/// hidden layer and positivity-constrained weights (§5.1). `in_dim` is 1
+/// for the raw scalar (QES / the basic model) or [`TAU_DIM`] for the
+/// expanded basis used by the global-local family.
+pub fn build_threshold_branch<R: Rng>(rng: &mut R, in_dim: usize, out: usize) -> Sequential {
+    Sequential::new(vec![
+        Layer::Dense(Dense::new_nonneg(rng, in_dim, out, Activation::Relu)),
+        Layer::Dense(Dense::new_nonneg(rng, out, out, Activation::Relu)),
+    ])
+}
+
+/// Builds the distance-feature branch (`E3`/`E6`): an MLP with two hidden
+/// layers (§5.1), for either `x_D` (k sample distances) or `x_C`
+/// (n-segment centroid distances).
+pub fn build_aux_branch<R: Rng>(rng: &mut R, in_dim: usize, out: usize) -> Sequential {
+    let h = (in_dim * 2).clamp(out, 64);
+    Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, in_dim, h, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, h, out, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, out, out, Activation::Relu)),
+    ])
+}
+
+/// Builds the regression head `F`: one dense layer and one linear layer
+/// (§5.1); the single output is `ln card`.
+pub fn build_regression_head<R: Rng>(rng: &mut R, concat: usize, hidden: usize) -> Sequential {
+    Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, concat, hidden, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, hidden, 1, Activation::Identity)),
+    ])
+}
+
+/// Builds a regression head whose τ-path is provably monotone: the
+/// columns reading the `z_τ` block (`tau_cols` = (offset, width) within
+/// the concatenated embedding) are positivity-constrained in the first
+/// layer, and the final linear layer is fully positivity-constrained, so
+/// every path from τ to the output composes non-decreasing functions.
+pub fn build_monotonic_head<R: Rng>(
+    rng: &mut R,
+    concat: usize,
+    hidden: usize,
+    tau_cols: (usize, usize),
+) -> Sequential {
+    let (off, width) = tau_cols;
+    assert!(off + width <= concat, "tau column range out of bounds");
+    let mut mask = vec![false; concat];
+    for flag in mask.iter_mut().skip(off).take(width) {
+        *flag = true;
+    }
+    Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, concat, hidden, Activation::Relu).with_nonneg_cols(mask)),
+        Layer::Dense(Dense::new_nonneg(rng, hidden, 1, Activation::Identity)),
+    ])
+}
+
+/// Builds the global model head `G`: dense features, one logit per data
+/// segment, and the learnable threshold before the sigmoid (§5.1).
+pub fn build_global_head<R: Rng>(
+    rng: &mut R,
+    concat: usize,
+    hidden: usize,
+    n_segments: usize,
+) -> Sequential {
+    Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, concat, hidden, Activation::Relu)),
+        Layer::Dense(Dense::new(rng, hidden, n_segments, Activation::Identity)),
+        Layer::ShiftSigmoid(ShiftSigmoid::new(n_segments)),
+    ])
+}
+
+/// Assembles a full three-branch regressor (a local model or QES).
+/// `tau_dim` selects the threshold-feature width (1 or [`TAU_DIM`]).
+pub fn build_regressor<R: Rng>(
+    rng: &mut R,
+    dim: usize,
+    tau_dim: usize,
+    aux_dim: usize,
+    embed: &QueryEmbed,
+    dims: &ModelDims,
+) -> BranchNet {
+    let bq = build_query_branch(rng, dim, embed, dims.embed_q);
+    let bt = build_threshold_branch(rng, tau_dim, dims.embed_t);
+    let ba = build_aux_branch(rng, aux_dim, dims.embed_aux);
+    let concat = dims.embed_q + dims.embed_t + dims.embed_aux;
+    let head = build_regression_head(rng, concat, dims.hidden);
+    BranchNet::new(vec![bq, bt, ba], vec![dim, tau_dim, aux_dim], head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_nn::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_cnn_handles_non_divisible_dims() {
+        for dim in [64usize, 100, 300, 768, 7] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let embed = QueryEmbed::default_cnn(dim, 8);
+            let branch = build_query_branch(&mut rng, dim, &embed, 16);
+            assert_eq!(branch.out_dim_for(dim), 16, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn regressor_has_single_log_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = build_regressor(
+            &mut rng,
+            64,
+            1,
+            10,
+            &QueryEmbed::Mlp { hidden: 16 },
+            &ModelDims::default(),
+        );
+        let xq = Matrix::zeros(3, 64);
+        let xt = Matrix::zeros(3, 1);
+        let xa = Matrix::zeros(3, 10);
+        let y = net.forward(&[&xq, &xt, &xa]);
+        assert_eq!((y.rows(), y.cols()), (3, 1));
+    }
+
+    #[test]
+    fn global_head_outputs_probabilities_per_segment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bq = build_query_branch(&mut rng, 32, &QueryEmbed::Mlp { hidden: 16 }, 12);
+        let bt = build_threshold_branch(&mut rng, 1, 4);
+        let ba = build_aux_branch(&mut rng, 8, 8);
+        let head = build_global_head(&mut rng, 24, 16, 8);
+        let mut net = BranchNet::new(vec![bq, bt, ba], vec![32, 1, 8], head);
+        let y = net.forward(&[&Matrix::zeros(2, 32), &Matrix::zeros(2, 1), &Matrix::zeros(2, 8)]);
+        assert_eq!((y.rows(), y.cols()), (2, 8));
+        assert!(y.as_slice().iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn threshold_branch_weights_are_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = build_threshold_branch(&mut rng, TAU_DIM, 6);
+        for layer in b.layers() {
+            if let Layer::Dense(d) = layer {
+                assert!(d.weights().as_slice().iter().all(|w| *w >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn first_cnn_layer_has_segment_kernel() {
+        let embed = QueryEmbed::default_cnn(128, 8);
+        if let QueryEmbed::Cnn { layers } = &embed {
+            assert_eq!(layers[0].kernel, 16);
+            assert_eq!(layers[0].stride, 16);
+        } else {
+            unreachable!();
+        }
+    }
+}

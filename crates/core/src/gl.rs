@@ -1,0 +1,717 @@
+//! The global-local framework of §3.3 — the paper's headline estimators.
+//!
+//! The dataset is segmented (PCA + batch k-means); **phase 1** trains one
+//! small local regressor per segment on the per-segment cardinalities
+//! `card^{j}[i]`, and **phase 2** trains the global model `G` to select
+//! which local models a query needs (Algorithm 2). The final estimate is
+//! the sum of the selected local estimates:
+//! `card̂(q, τ) = Σ_{i : G selects i} exp(F[i](z_q ⊕ z_τ ⊕ z_C))`.
+//!
+//! Local models take the centroid-distance feature `x_C` instead of sample
+//! distances `x_D` — the simplification Fig. 5 introduces ("the distance
+//! distribution in each data segment can be easily learned by the other
+//! layers faster, under the global-local framework").
+//!
+//! Four variants share this code (Table 2):
+//! * **Local+** — per-segment local models with tuned CNN embeddings, *no*
+//!   global model: every local model is evaluated (slower, Exp-9),
+//! * **GL-MLP** — global + locals with MLP query embeddings,
+//! * **GL-CNN** — global + locals with the default segmentation CNN,
+//! * **GL+** — GL-CNN plus the greedy hyperparameter tuning of §5.2.
+
+use crate::arch::{build_regressor, tau_features, ModelDims, QueryEmbed, TAU_DIM};
+use crate::global::{GlobalConfig, GlobalModel};
+use crate::labels::SegmentLabels;
+use crate::tuning::{tune_query_embedding, TuningConfig};
+use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
+use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
+use cardest_data::metric::Metric;
+use cardest_data::vector::{VectorData, VectorView};
+use cardest_nn::net::BranchNet;
+use cardest_nn::trainer::{train_branch_regression, TrainConfig};
+use cardest_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which member of the global-local family to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlVariant {
+    /// Data segmentation + tuned CNN locals, no global model.
+    LocalPlus,
+    /// Global-local with MLP query embeddings.
+    GlMlp,
+    /// Global-local with the default segmentation CNN.
+    GlCnn,
+    /// GL-CNN + automatic hyperparameter tuning (Algorithm 3).
+    GlPlus,
+}
+
+impl GlVariant {
+    pub fn name(self) -> &'static str {
+        match self {
+            GlVariant::LocalPlus => "Local+",
+            GlVariant::GlMlp => "GL-MLP",
+            GlVariant::GlCnn => "GL-CNN",
+            GlVariant::GlPlus => "GL+",
+        }
+    }
+
+    fn uses_global(self) -> bool {
+        !matches!(self, GlVariant::LocalPlus)
+    }
+}
+
+/// Configuration for the global-local estimators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlConfig {
+    pub variant: GlVariant,
+    /// Number of data segments (the paper's default is 100 at full scale;
+    /// 16 matches our scaled datasets — Fig. 11 sweeps this).
+    pub n_segments: usize,
+    /// Number of query segments for CNN embeddings.
+    pub n_query_segments: usize,
+    pub dims: ModelDims,
+    /// Selection cut-off σ of the global model.
+    pub sigma: f32,
+    /// Cardinality penalty in the global loss (Exp-6 ablation).
+    pub penalty: bool,
+    pub local_train: TrainConfig,
+    pub global_train: TrainConfig,
+    /// Cap on per-local-model training samples (positives are always kept;
+    /// zero-cardinality samples are subsampled to at most twice the
+    /// positives within this budget).
+    pub max_local_samples: usize,
+    /// Algorithm 3 settings (used by GL+ / Local+). Tuning runs on
+    /// `tuning_segments` representative (largest) segments and the best
+    /// configuration is shared by all local models — a scaled-down stand-in
+    /// for the paper's per-segment tuning, documented in DESIGN.md.
+    pub tuning: TuningConfig,
+    pub tuning_segments: usize,
+    pub seed: u64,
+}
+
+impl Default for GlConfig {
+    fn default() -> Self {
+        GlConfig {
+            variant: GlVariant::GlPlus,
+            n_segments: 16,
+            n_query_segments: 8,
+            dims: ModelDims::default(),
+            sigma: 0.5,
+            penalty: true,
+            local_train: TrainConfig { epochs: 25, batch_size: 128, ..Default::default() },
+            global_train: TrainConfig { epochs: 30, batch_size: 128, ..Default::default() },
+            max_local_samples: 4000,
+            tuning: TuningConfig::default(),
+            tuning_segments: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl GlConfig {
+    pub fn for_variant(variant: GlVariant) -> Self {
+        GlConfig { variant, ..Default::default() }
+    }
+}
+
+/// A trained global-local estimator.
+///
+/// Serializable: a trained model can be exported with serde (the paper
+/// trains in PyTorch and copies parameters into a C++ engine for serving;
+/// here save/load round-trips the whole estimator).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct GlEstimator {
+    variant: GlVariant,
+    segmentation: Segmentation,
+    locals: Vec<BranchNet>,
+    global: Option<GlobalModel>,
+    /// Threshold normalizer for the expanded τ features (the largest τ
+    /// seen in training).
+    tau_scale: f32,
+    /// Per-segment radii, cached for the overlap features.
+    radii: Vec<f32>,
+    #[serde(skip)]
+    buf: Vec<f32>,
+}
+
+impl GlEstimator {
+    /// Trains the selected variant: segmentation, per-segment labels,
+    /// phase-1 local models, phase-2 global model.
+    pub fn train(
+        data: &VectorData,
+        metric: Metric,
+        training: &TrainingSet<'_>,
+        table: &cardest_data::ground_truth::DistanceTable,
+        cfg: &GlConfig,
+    ) -> Self {
+        assert!(!training.is_empty(), "training set is empty");
+        let seg_cfg = SegmentationConfig {
+            n_segments: cfg.n_segments,
+            pca_rank: 8,
+            pca_iters: 10,
+            method: SegmentationMethod::PcaKMeans,
+            seed: cfg.seed,
+        };
+        let segmentation = Segmentation::fit(data, metric, &seg_cfg);
+        let labels = SegmentLabels::compute(table, training.samples, &segmentation);
+        Self::train_with_segmentation(data, metric, training, segmentation, &labels, cfg)
+    }
+
+    /// Trains on a pre-fitted segmentation and labels (used by Fig. 11's
+    /// segment-count sweep and by the update machinery, which re-train
+    /// with modified labels).
+    pub fn train_with_segmentation(
+        data: &VectorData,
+        _metric: Metric,
+        training: &TrainingSet<'_>,
+        segmentation: Segmentation,
+        labels: &SegmentLabels,
+        cfg: &GlConfig,
+    ) -> Self {
+        let dim = data.dim();
+        let n_segments = segmentation.n_segments();
+        let tau_scale = training
+            .samples
+            .iter()
+            .map(|s| s.tau)
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+
+        // Per-query feature caches shared by every phase.
+        let (xq_cache, xc_cache) = build_feature_caches(training.queries, &segmentation);
+
+        // Query embedding: MLP, default CNN, or tuned CNN (Algorithm 3).
+        let query_embed = match cfg.variant {
+            GlVariant::GlMlp => QueryEmbed::Mlp { hidden: cfg.dims.embed_q * 2 },
+            GlVariant::GlCnn => QueryEmbed::default_cnn(dim, cfg.n_query_segments),
+            GlVariant::GlPlus | GlVariant::LocalPlus => tune_shared_embedding(
+                dim,
+                n_segments,
+                training,
+                labels,
+                &xq_cache,
+                &xc_cache,
+                cfg,
+            ),
+        };
+
+        // Phase 1: one local regressor per segment.
+        let radii_vec: Vec<f32> =
+            (0..n_segments).map(|i| segmentation.radius(i)).collect();
+        let locals = train_locals(
+            dim,
+            n_segments,
+            tau_scale,
+            &radii_vec,
+            training,
+            labels,
+            &xq_cache,
+            &xc_cache,
+            &query_embed,
+            cfg,
+        );
+
+        // Phase 2: the global discriminative model.
+        let global = if cfg.variant.uses_global() {
+            let gcfg = GlobalConfig {
+                query_embed: query_embed.clone(),
+                dims: cfg.dims,
+                sigma: cfg.sigma,
+                penalty: cfg.penalty,
+                tau_scale,
+                radii: radii_vec.clone(),
+                train: cfg.global_train,
+            };
+            let (g, _) =
+                GlobalModel::train(training, labels, &xq_cache, &xc_cache, &gcfg, cfg.seed);
+            Some(g)
+        } else {
+            None
+        };
+
+        let radii = (0..segmentation.n_segments()).map(|i| segmentation.radius(i)).collect();
+        GlEstimator {
+            variant: cfg.variant,
+            segmentation,
+            locals,
+            global,
+            tau_scale,
+            radii,
+            buf: Vec::with_capacity(dim),
+        }
+    }
+
+    pub fn variant(&self) -> GlVariant {
+        self.variant
+    }
+
+    pub fn segmentation(&self) -> &Segmentation {
+        &self.segmentation
+    }
+
+    pub(crate) fn segmentation_mut(&mut self) -> &mut Segmentation {
+        &mut self.segmentation
+    }
+
+    pub fn n_segments(&self) -> usize {
+        self.locals.len()
+    }
+
+    pub fn global_mut(&mut self) -> Option<&mut GlobalModel> {
+        self.global.as_mut()
+    }
+
+    pub(crate) fn locals_mut(&mut self) -> &mut [BranchNet] {
+        &mut self.locals
+    }
+
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (&mut [BranchNet], Option<&mut GlobalModel>, &Segmentation) {
+        (&mut self.locals, self.global.as_mut(), &self.segmentation)
+    }
+
+    /// Threshold normalizer used by the expanded τ features.
+    pub fn tau_scale(&self) -> f32 {
+        self.tau_scale
+    }
+
+    /// Serializes the trained estimator to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores an estimator serialized by [`GlEstimator::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Runs local model `i` on prepared features; returns its `ln card`.
+    fn local_log_estimate(&mut self, i: usize, xq: &Matrix, xt: &Matrix, xc: &Matrix) -> f32 {
+        self.locals[i].forward(&[xq, xt, xc]).get(0, 0)
+    }
+
+    /// Estimate with the number of local models evaluated (Exp-9 explains
+    /// GL+'s speed by this count).
+    ///
+    /// Two pieces of domain knowledge bound each local estimate:
+    /// * a segment cannot contribute more than its member count, so
+    ///   `exp(o_i)` is capped at `|D[i]|` (the model regresses in log
+    ///   space, where a small extrapolation error exponentiates into a
+    ///   huge overestimate),
+    /// * an estimate below one half rounds to an empty segment — the
+    ///   Q-error floor used during training makes zero-cardinality
+    ///   segments regress to ≈0.1, and summing that residue across all
+    ///   segments would otherwise inflate low-cardinality queries.
+    ///
+    /// If the global model selects nothing, the segment with the nearest
+    /// centroid is evaluated as a fallback (a selectivity-0 answer is
+    /// almost always wrong for a query drawn from the data).
+    pub fn estimate_with_stats(&mut self, q: VectorView<'_>, tau: f32) -> (f32, usize) {
+        q.write_dense(&mut self.buf);
+        let xc_vec = self.segmentation.centroid_distances(q);
+        let mut selected: Vec<bool> = match &mut self.global {
+            Some(g) => {
+                let probs = g.probabilities(&self.buf, tau, &xc_vec);
+                let sigma = g.sigma();
+                let mut sel: Vec<bool> = probs.iter().map(|&p| p > sigma).collect();
+                // Recall guards: the router's own argmax and the query's
+                // home segment (nearest centroid) are always evaluated —
+                // a query drawn from the data almost always has matches in
+                // its own cluster, and evaluating two extra locals costs
+                // microseconds while a missed heavy segment costs the
+                // whole answer (the failure mode Fig. 9 measures).
+                if let Some((am, _)) = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.total_cmp(b))
+                {
+                    sel[am] = true;
+                }
+                sel
+            }
+            None => vec![true; self.locals.len()],
+        };
+        let nearest = xc_vec
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map_or(0, |(i, _)| i);
+        selected[nearest] = true;
+        let xq = Matrix::from_row(&self.buf);
+        let xt = Matrix::from_row(&tau_features(tau, self.tau_scale));
+        let xc = Matrix::from_row(&aux_features(&xc_vec, &self.radii, tau));
+        let mut total = 0.0f32;
+        let mut max_single = 0.0f32;
+        let mut evaluated = 0usize;
+        for i in 0..self.locals.len() {
+            if !selected[i] {
+                continue;
+            }
+            evaluated += 1;
+            let o = self.local_log_estimate(i, &xq, &xt, &xc);
+            let est = o.clamp(-20.0, 20.0).exp().min(self.segmentation.members(i).len() as f32);
+            max_single = max_single.max(est);
+            if est >= 0.5 {
+                total += est;
+            }
+        }
+        // If every contribution fell below the rounding cut, fall back to
+        // the largest single one rather than answering a hard zero.
+        if total == 0.0 {
+            total = max_single;
+        }
+        (total, evaluated)
+    }
+
+    /// Bytes of all local models plus the global model (Table 5).
+    fn all_param_bytes(&self) -> usize {
+        let locals: usize = self.locals.iter().map(BranchNet::param_bytes).sum();
+        locals + self.global.as_ref().map_or(0, GlobalModel::param_bytes)
+    }
+}
+
+impl CardinalityEstimator for GlEstimator {
+    fn name(&self) -> &'static str {
+        self.variant.name()
+    }
+
+    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
+        self.estimate_with_stats(q, tau).0
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.all_param_bytes()
+    }
+}
+
+/// Per-segment auxiliary features for one (query, τ) pair: the centroid
+/// distances `x_C` of Fig. 5 plus, per segment, the triangle-inequality
+/// overlap `τ − (d(q, c_i) − r_i)` — how deep the query ball penetrates
+/// the segment ball (§5.1 motivates exactly this bound: "we could compute
+/// the distance upper bound between a query and a data object in a data
+/// segment ... by using triangle inequality on the distance of the query
+/// to the centroid, and this segment's radius"). Feeding the bound as a
+/// feature is what lets a local model generalize to unseen queries
+/// instead of keying on training-query identity.
+pub fn aux_features(xc: &[f32], radii: &[f32], tau: f32) -> Vec<f32> {
+    let n = xc.len();
+    let mut out = Vec::with_capacity(2 * n);
+    out.extend_from_slice(xc);
+    for i in 0..n {
+        out.push(tau - (xc[i] - radii[i]));
+    }
+    out
+}
+
+/// Dense query vectors and centroid-distance features for every query in
+/// the workload (train + test).
+pub fn build_feature_caches(
+    queries: &VectorData,
+    segmentation: &Segmentation,
+) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let mut xq = Vec::with_capacity(queries.len());
+    let mut xc = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() {
+        let view = queries.view(q);
+        let mut buf = Vec::with_capacity(queries.dim());
+        view.write_dense(&mut buf);
+        xq.push(buf);
+        xc.push(segmentation.centroid_distances(view));
+    }
+    (xq, xc)
+}
+
+/// Runs Algorithm 3 on the largest segments and returns the best shared
+/// query-embedding configuration.
+#[allow(clippy::too_many_arguments)]
+fn tune_shared_embedding(
+    dim: usize,
+    n_segments: usize,
+    training: &TrainingSet<'_>,
+    labels: &SegmentLabels,
+    xq_cache: &[Vec<f32>],
+    xc_cache: &[Vec<f32>],
+    cfg: &GlConfig,
+) -> QueryEmbed {
+    // Largest segments are the most informative tuning targets.
+    let mut seg_sizes: Vec<(usize, f32)> = (0..n_segments)
+        .map(|i| {
+            let mass: f32 = (0..labels.n_samples()).map(|j| labels.card(j, i)).sum();
+            (i, mass)
+        })
+        .collect();
+    seg_sizes.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut best: Option<(f32, QueryEmbed)> = None;
+    for &(seg, _) in seg_sizes.iter().take(cfg.tuning_segments.max(1)) {
+        let targets: Vec<f32> =
+            (0..labels.n_samples()).map(|j| labels.card(j, seg)).collect();
+        let (embed, err) = tune_query_embedding(
+            dim,
+            training,
+            &targets,
+            xq_cache,
+            xc_cache,
+            &cfg.tuning,
+            cfg.seed.wrapping_add(seg as u64),
+        );
+        if best.as_ref().is_none_or(|(b, _)| err < *b) {
+            best = Some((err, embed));
+        }
+    }
+    best.map(|(_, e)| e)
+        .unwrap_or_else(|| QueryEmbed::default_cnn(dim, cfg.n_query_segments))
+}
+
+/// Phase 1: trains the per-segment local regressors. Independent models —
+/// trained across the available cores with crossbeam (degenerates to one
+/// thread here).
+#[allow(clippy::too_many_arguments)]
+fn train_locals(
+    dim: usize,
+    n_segments: usize,
+    tau_scale: f32,
+    radii: &[f32],
+    training: &TrainingSet<'_>,
+    labels: &SegmentLabels,
+    xq_cache: &[Vec<f32>],
+    xc_cache: &[Vec<f32>],
+    query_embed: &QueryEmbed,
+    cfg: &GlConfig,
+) -> Vec<BranchNet> {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let chunk = n_segments.div_ceil(threads).max(1);
+    let seg_ids: Vec<usize> = (0..n_segments).collect();
+    let mut out: Vec<Option<BranchNet>> = (0..n_segments).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for ids in seg_ids.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                ids.iter()
+                    .map(|&seg| {
+                        (
+                            seg,
+                            train_one_local(
+                                dim, seg, tau_scale, radii, training, labels, xq_cache,
+                                xc_cache, query_embed, cfg,
+                            ),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (seg, net) in h.join().expect("local-model trainer panicked") {
+                out[seg] = Some(net);
+            }
+        }
+    })
+    .expect("local-model training scope failed");
+    out.into_iter().map(|n| n.expect("every segment trained")).collect()
+}
+
+/// Trains one local regressor on `card^{j}[segment]` targets, balancing
+/// zero-cardinality samples against positives.
+#[allow(clippy::too_many_arguments)]
+fn train_one_local(
+    dim: usize,
+    segment: usize,
+    tau_scale: f32,
+    radii: &[f32],
+    training: &TrainingSet<'_>,
+    labels: &SegmentLabels,
+    xq_cache: &[Vec<f32>],
+    xc_cache: &[Vec<f32>],
+    query_embed: &QueryEmbed,
+    cfg: &GlConfig,
+) -> BranchNet {
+    let seed = cfg.seed ^ (segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_segments = labels.n_segments();
+
+    // Sample selection: all positives, then at most 2× as many zeros,
+    // within the overall budget.
+    let mut positives: Vec<usize> = Vec::new();
+    let mut zeros: Vec<usize> = Vec::new();
+    for j in 0..labels.n_samples() {
+        if labels.card(j, segment) > 0.0 {
+            positives.push(j);
+        } else {
+            zeros.push(j);
+        }
+    }
+    zeros.shuffle(&mut rng);
+    positives.shuffle(&mut rng);
+    positives.truncate(cfg.max_local_samples);
+    // At most twice the positives, at least a handful so empty segments
+    // still see "no match" examples, and never beyond the overall budget.
+    let remaining = cfg.max_local_samples.saturating_sub(positives.len());
+    let zero_budget = (positives.len() * 2).max(8).min(remaining.max(8));
+    zeros.truncate(zero_budget);
+    let mut chosen = positives;
+    chosen.extend(zeros);
+    if chosen.is_empty() {
+        // Segment never matches any training query; keep the untrained
+        // net (it will predict some constant; the global model will not
+        // select this segment).
+        chosen.push(rng.gen_range(0..labels.n_samples()));
+    }
+
+    let samples = training.samples;
+    let train_once = |init_seed: u64| {
+        let mut rng = StdRng::seed_from_u64(init_seed);
+        let mut net =
+            build_regressor(&mut rng, dim, TAU_DIM, 2 * n_segments, query_embed, &cfg.dims);
+        let mut build = |idx: &[usize]| {
+            let b = idx.len();
+            let mut xq = Matrix::zeros(b, dim);
+            let mut xt = Matrix::zeros(b, TAU_DIM);
+            let mut xc = Matrix::zeros(b, 2 * n_segments);
+            let mut cards = Vec::with_capacity(b);
+            for (r, &local_i) in idx.iter().enumerate() {
+                let j = chosen[local_i];
+                let s = &samples[j];
+                xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
+                xt.row_mut(r).copy_from_slice(&tau_features(s.tau, tau_scale));
+                xc.row_mut(r)
+                    .copy_from_slice(&aux_features(&xc_cache[s.query], radii, s.tau));
+                cards.push(labels.card(j, segment));
+            }
+            (vec![xq, xt, xc], cards)
+        };
+        let mut tcfg = cfg.local_train;
+        tcfg.seed = init_seed;
+        train_branch_regression(&mut net, chosen.len(), &mut build, &tcfg);
+        // Fit quality on the positive targets: a local that cannot even
+        // reproduce its own training positives would silently destroy the
+        // summed estimate, so measure it.
+        let mut err = 0.0f64;
+        let mut count = 0usize;
+        for &j in chosen.iter().take(256) {
+            let card = labels.card(j, segment);
+            if card <= 0.0 {
+                continue;
+            }
+            let s = &samples[j];
+            let xq = Matrix::from_row(&xq_cache[s.query]);
+            let xt = Matrix::from_row(&tau_features(s.tau, tau_scale));
+            let xc = Matrix::from_row(&aux_features(&xc_cache[s.query], radii, s.tau));
+            let pred = net.forward(&[&xq, &xt, &xc]).get(0, 0).clamp(-20.0, 20.0).exp();
+            err += cardest_nn::metrics::q_error(pred, card) as f64;
+            count += 1;
+        }
+        let fit = if count == 0 { 1.0 } else { (err / count as f64) as f32 };
+        (net, fit)
+    };
+    // Occasionally a local converges to a degenerate solution (predicting
+    // ~0 everywhere); restart from a fresh initialization and keep the
+    // better fit.
+    let (net, fit) = train_once(seed);
+    if fit > 6.0 {
+        let (net2, fit2) = train_once(seed ^ 0xDEAD_BEEF);
+        if fit2 < fit {
+            return net2;
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::paper::{DatasetSpec, PaperDataset};
+    use cardest_data::workload::SearchWorkload;
+    use cardest_nn::metrics::ErrorSummary;
+
+    fn tiny(seed: u64) -> (VectorData, SearchWorkload, DatasetSpec) {
+        let spec = DatasetSpec {
+            n_data: 1000,
+            n_train_queries: 80,
+            n_test_queries: 20,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let data = spec.generate(seed);
+        let w = SearchWorkload::build(&data, &spec, seed);
+        (data, w, spec)
+    }
+
+    fn fast_cfg(variant: GlVariant) -> GlConfig {
+        GlConfig {
+            variant,
+            n_segments: 6,
+            local_train: TrainConfig { epochs: 12, batch_size: 64, ..Default::default() },
+            global_train: TrainConfig { epochs: 15, batch_size: 64, ..Default::default() },
+            tuning: TuningConfig::fast(),
+            tuning_segments: 1,
+            ..Default::default()
+        }
+    }
+
+    fn mean_qerr(est: &mut GlEstimator, w: &SearchWorkload) -> f32 {
+        let pairs: Vec<(f32, f32)> = w
+            .test
+            .iter()
+            .map(|s| (est.estimate(w.queries.view(s.query), s.tau), s.card))
+            .collect();
+        ErrorSummary::from_q_errors(&pairs).mean
+    }
+
+    #[test]
+    fn gl_cnn_trains_and_produces_finite_estimates() {
+        let (data, w, spec) = tiny(101);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let mut est =
+            GlEstimator::train(&data, spec.metric, &training, &w.table, &fast_cfg(GlVariant::GlCnn));
+        let err = mean_qerr(&mut est, &w);
+        assert!(err.is_finite());
+        // Sanity: beats the trivial always-zero estimator.
+        let zero: Vec<(f32, f32)> = w.test.iter().map(|s| (0.0, s.card)).collect();
+        assert!(err < ErrorSummary::from_q_errors(&zero).mean);
+    }
+
+    #[test]
+    fn global_model_prunes_local_evaluations() {
+        let (data, w, spec) = tiny(102);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let mut est =
+            GlEstimator::train(&data, spec.metric, &training, &w.table, &fast_cfg(GlVariant::GlCnn));
+        let mut evaluated = 0usize;
+        let mut total = 0usize;
+        for s in &w.test {
+            let (_, n) = est.estimate_with_stats(w.queries.view(s.query), s.tau);
+            evaluated += n;
+            total += est.n_segments();
+        }
+        assert!(
+            evaluated < total,
+            "global model never pruned: {evaluated}/{total} local evaluations"
+        );
+    }
+
+    #[test]
+    fn local_plus_evaluates_every_segment() {
+        let (data, w, spec) = tiny(103);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let mut est = GlEstimator::train(
+            &data,
+            spec.metric,
+            &training,
+            &w.table,
+            &fast_cfg(GlVariant::LocalPlus),
+        );
+        let (_, n) = est.estimate_with_stats(w.queries.view(0), 0.1);
+        assert_eq!(n, est.n_segments());
+        assert_eq!(est.name(), "Local+");
+    }
+
+    #[test]
+    fn variants_report_their_paper_names() {
+        assert_eq!(GlVariant::GlPlus.name(), "GL+");
+        assert_eq!(GlVariant::GlMlp.name(), "GL-MLP");
+        assert_eq!(GlVariant::GlCnn.name(), "GL-CNN");
+        assert_eq!(GlVariant::LocalPlus.name(), "Local+");
+    }
+}

@@ -1,0 +1,327 @@
+//! The global discriminative model `G` of §3.3 and Fig. 5.
+//!
+//! Given a query `x_q`, a threshold `x_τ` and the centroid-distance
+//! feature `x_C`, the global model outputs one probability per data
+//! segment: the likelihood the segment contains objects within `τ` of the
+//! query. It is trained with the cardinality-weighted BCE of §3.3
+//! (Algorithm 2): positive labels are up-weighted by `1 + ε^{j}[i]`, where
+//! `ε` is the min-max-normalized per-segment cardinality — the "penalty"
+//! that keeps the model from missing segments holding most of the answer
+//! (ablated in Exp-6/Fig. 9).
+//!
+//! At estimation time a segment is *selected* when its probability
+//! exceeds `sigma` (default 0.5; the discretization lives outside the
+//! differentiable model, §5.1 "Global Discriminative Module").
+
+use crate::arch::{
+    build_aux_branch, build_global_head, build_query_branch, build_threshold_branch,
+    tau_features, ModelDims, QueryEmbed, TAU_DIM,
+};
+use crate::labels::SegmentLabels;
+use cardest_baselines::traits::TrainingSet;
+use cardest_nn::net::BranchNet;
+use cardest_nn::trainer::{train_global_classifier, TrainConfig, TrainReport};
+use cardest_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Global model hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalConfig {
+    pub query_embed: QueryEmbed,
+    pub dims: ModelDims,
+    /// Selection cut-off σ on the output probability.
+    pub sigma: f32,
+    /// Apply the cardinality penalty (`1 + ε`) to positive labels. `false`
+    /// is the "No Penalty" ablation of Exp-6.
+    pub penalty: bool,
+    /// Threshold normalizer for the expanded τ features.
+    pub tau_scale: f32,
+    /// Per-segment radii for the overlap features (see
+    /// [`crate::gl::aux_features`]).
+    pub radii: Vec<f32>,
+    pub train: TrainConfig,
+}
+
+impl GlobalConfig {
+    pub fn new(query_embed: QueryEmbed) -> Self {
+        GlobalConfig {
+            query_embed,
+            dims: ModelDims::default(),
+            sigma: 0.5,
+            penalty: true,
+            tau_scale: 1.0,
+            radii: Vec::new(),
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// The trained global model.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct GlobalModel {
+    net: BranchNet,
+    sigma: f32,
+    n_segments: usize,
+    tau_scale: f32,
+    radii: Vec<f32>,
+}
+
+impl GlobalModel {
+    /// Trains the global model on per-segment selection labels
+    /// (Algorithm 2). `xq_cache`/`xc_cache` hold each training *query*'s
+    /// dense vector and centroid-distance feature.
+    pub fn train(
+        training: &TrainingSet<'_>,
+        labels: &SegmentLabels,
+        xq_cache: &[Vec<f32>],
+        xc_cache: &[Vec<f32>],
+        cfg: &GlobalConfig,
+        seed: u64,
+    ) -> (Self, TrainReport) {
+        let dim = training.queries.dim();
+        let n_segments = labels.n_segments();
+        let radii = if cfg.radii.len() == n_segments {
+            cfg.radii.clone()
+        } else {
+            vec![0.0; n_segments]
+        };
+        let aux_dim = 2 * n_segments;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6_10B);
+        let bq = build_query_branch(&mut rng, dim, &cfg.query_embed, cfg.dims.embed_q);
+        let bt = build_threshold_branch(&mut rng, TAU_DIM, cfg.dims.embed_t);
+        let bc = build_aux_branch(&mut rng, aux_dim, cfg.dims.embed_aux);
+        let concat = cfg.dims.embed_q + cfg.dims.embed_t + cfg.dims.embed_aux;
+        let head = build_global_head(&mut rng, concat, cfg.dims.hidden, n_segments);
+        let mut net = BranchNet::new(vec![bq, bt, bc], vec![dim, TAU_DIM, aux_dim], head);
+
+        let samples = training.samples;
+        let mut build = |idx: &[usize]| {
+            let b = idx.len();
+            let mut xq = Matrix::zeros(b, dim);
+            let mut xt = Matrix::zeros(b, TAU_DIM);
+            let mut xc = Matrix::zeros(b, aux_dim);
+            let mut lab = Matrix::zeros(b, n_segments);
+            let mut wts = Matrix::zeros(b, n_segments);
+            for (r, &j) in idx.iter().enumerate() {
+                let s = &samples[j];
+                xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
+                xt.row_mut(r).copy_from_slice(&tau_features(s.tau, cfg.tau_scale));
+                xc.row_mut(r)
+                    .copy_from_slice(&crate::gl::aux_features(&xc_cache[s.query], &radii, s.tau));
+                let weights = if cfg.penalty {
+                    labels.minmax_weights(j)
+                } else {
+                    vec![0.0; n_segments]
+                };
+                for i in 0..n_segments {
+                    lab.set(r, i, if labels.selected(j, i) { 1.0 } else { 0.0 });
+                    wts.set(r, i, weights[i]);
+                }
+            }
+            (vec![xq, xt, xc], lab, wts)
+        };
+        let report = train_global_classifier(&mut net, samples.len(), &mut build, &cfg.train);
+        (
+            GlobalModel {
+                net,
+                sigma: cfg.sigma,
+                n_segments,
+                tau_scale: cfg.tau_scale,
+                radii,
+            },
+            report,
+        )
+    }
+
+    pub fn n_segments(&self) -> usize {
+        self.n_segments
+    }
+
+    /// The selection cut-off σ.
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// Per-segment selection probabilities for one query.
+    pub fn probabilities(&mut self, xq: &[f32], tau: f32, xc: &[f32]) -> Vec<f32> {
+        let q = Matrix::from_row(xq);
+        let t = Matrix::from_row(&tau_features(tau, self.tau_scale));
+        let c = Matrix::from_row(&crate::gl::aux_features(xc, &self.radii, tau));
+        self.net.forward(&[&q, &t, &c]).as_slice().to_vec()
+    }
+
+    /// The discretized selection (the "Global Discriminative Module"):
+    /// segments whose probability exceeds σ.
+    pub fn select(&mut self, xq: &[f32], tau: f32, xc: &[f32]) -> Vec<bool> {
+        self.probabilities(xq, tau, xc).iter().map(|&p| p > self.sigma).collect()
+    }
+
+    /// Batched selection matrix `M` for a join query set (§4): row `r` is
+    /// the indicator vector of query `r`.
+    pub fn select_batch(&mut self, xq: &Matrix, taus: &[f32], xc: &Matrix) -> Vec<Vec<bool>> {
+        let mut t = Matrix::zeros(taus.len(), TAU_DIM);
+        let mut aux = Matrix::zeros(taus.len(), 2 * self.n_segments);
+        for (r, &tau) in taus.iter().enumerate() {
+            t.row_mut(r).copy_from_slice(&tau_features(tau, self.tau_scale));
+            aux.row_mut(r)
+                .copy_from_slice(&crate::gl::aux_features(xc.row(r), &self.radii, tau));
+        }
+        let probs = self.net.forward(&[xq, &t, &aux]);
+        (0..probs.rows())
+            .map(|r| probs.row(r).iter().map(|&p| p > self.sigma).collect())
+            .collect()
+    }
+
+    pub fn param_bytes(&self) -> usize {
+        self.net.param_bytes()
+    }
+
+    pub fn net_mut(&mut self) -> &mut BranchNet {
+        &mut self.net
+    }
+}
+
+/// The *missing rate* of Fig. 9/Exp-6: the fraction of true cardinality
+/// that falls in segments the global model did **not** select, averaged
+/// over samples with non-zero cardinality.
+pub fn missing_rate(
+    global: &mut GlobalModel,
+    training: &TrainingSet<'_>,
+    labels: &SegmentLabels,
+    xq_cache: &[Vec<f32>],
+    xc_cache: &[Vec<f32>],
+) -> f32 {
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for (j, s) in training.samples.iter().enumerate() {
+        let row = labels.row(j);
+        let card: f32 = row.iter().sum();
+        if card <= 0.0 {
+            continue;
+        }
+        let selected = global.select(&xq_cache[s.query], s.tau, &xc_cache[s.query]);
+        let missed: f32 = row
+            .iter()
+            .zip(&selected)
+            .filter(|(_, &sel)| !sel)
+            .map(|(&c, _)| c)
+            .sum();
+        total += (missed / card) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        (total / counted as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
+    use cardest_data::paper::{DatasetSpec, PaperDataset};
+    use cardest_data::workload::SearchWorkload;
+
+    struct Fixture {
+        w: SearchWorkload,
+        labels: SegmentLabels,
+        xq: Vec<Vec<f32>>,
+        xc: Vec<Vec<f32>>,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let spec = DatasetSpec {
+            n_data: 900,
+            n_train_queries: 80,
+            n_test_queries: 20,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let data = spec.generate(seed);
+        let w = SearchWorkload::build(&data, &spec, seed);
+        let seg = Segmentation::fit(
+            &data,
+            spec.metric,
+            &SegmentationConfig {
+                n_segments: 6,
+                pca_rank: 4,
+                pca_iters: 6,
+                method: SegmentationMethod::PcaKMeans,
+                seed,
+            },
+        );
+        let labels = SegmentLabels::compute(&w.table, &w.train, &seg);
+        let mut xq = Vec::new();
+        let mut xc = Vec::new();
+        for q in 0..w.queries.len() {
+            let mut buf = Vec::new();
+            w.queries.view(q).write_dense(&mut buf);
+            xq.push(buf);
+            xc.push(seg.centroid_distances(w.queries.view(q)));
+        }
+        Fixture { w, labels, xq, xc }
+    }
+
+    fn train_with(f: &Fixture, penalty: bool, seed: u64) -> GlobalModel {
+        let training = TrainingSet::new(&f.w.queries, &f.w.train);
+        let cfg = GlobalConfig {
+            penalty,
+            train: TrainConfig { epochs: 30, ..Default::default() },
+            ..GlobalConfig::new(QueryEmbed::Mlp { hidden: 24 })
+        };
+        GlobalModel::train(&training, &f.labels, &f.xq, &f.xc, &cfg, seed).0
+    }
+
+    #[test]
+    fn trained_global_model_beats_select_all_precision_with_low_missing() {
+        let f = fixture(91);
+        let mut g = train_with(&f, true, 91);
+        let training = TrainingSet::new(&f.w.queries, &f.w.train);
+        let miss = missing_rate(&mut g, &training, &f.labels, &f.xq, &f.xc);
+        assert!(miss < 0.5, "missing rate {miss} too high");
+        // The selection must actually prune something on average.
+        let mut selected = 0usize;
+        let mut total = 0usize;
+        for s in f.w.train.iter().take(100) {
+            let sel = g.select(&f.xq[s.query], s.tau, &f.xc[s.query]);
+            selected += sel.iter().filter(|&&b| b).count();
+            total += sel.len();
+        }
+        assert!(selected < total, "global model selects every segment for every query");
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_batch_matches_single() {
+        let f = fixture(92);
+        let mut g = train_with(&f, true, 92);
+        let s = &f.w.train[3];
+        let probs = g.probabilities(&f.xq[s.query], s.tau, &f.xc[s.query]);
+        assert_eq!(probs.len(), g.n_segments());
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Batch API agrees with the single-query API.
+        let xq = Matrix::from_row(&f.xq[s.query]);
+        let xc = Matrix::from_row(&f.xc[s.query]);
+        let batch = g.select_batch(&xq, &[s.tau], &xc);
+        let single = g.select(&f.xq[s.query], s.tau, &f.xc[s.query]);
+        assert_eq!(batch[0], single);
+    }
+
+    #[test]
+    fn penalty_reduces_missing_rate() {
+        // Exp-6: adding the penalty reduces cardinality missing. Averaged
+        // over the training queries this should hold at our scale too;
+        // allow equality for robustness on a tiny fixture.
+        let f = fixture(93);
+        let mut with = train_with(&f, true, 93);
+        let mut without = train_with(&f, false, 93);
+        let training = TrainingSet::new(&f.w.queries, &f.w.train);
+        let m_with = missing_rate(&mut with, &training, &f.labels, &f.xq, &f.xc);
+        let m_without = missing_rate(&mut without, &training, &f.labels, &f.xq, &f.xc);
+        assert!(
+            m_with <= m_without * 1.2 + 0.02,
+            "penalty should not hurt missing rate: with={m_with} without={m_without}"
+        );
+    }
+}

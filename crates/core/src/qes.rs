@@ -1,0 +1,305 @@
+//! **QES** — the query-segmentation estimator of §3.2 (Table 2 row 1).
+//!
+//! The basic model of Fig. 2 with the query branch replaced by the
+//! shared-weight segmentation CNN of Fig. 3/7: the first conv layer (one
+//! filter bank applied per query segment) learns the per-segment
+//! distance-density function `f()`, deeper layers learn the merge function
+//! `g()`, and a final dense layer emits the query embedding `z_q`. The
+//! auxiliary feature is `x_D`, the distances from the query to `k`
+//! retained data samples, and the head regresses `ln card` under the
+//! hybrid loss of Algorithm 1.
+//!
+//! QES is trained on the whole dataset (no data segmentation); the
+//! global-local variants in [`crate::gl`] reuse the same architecture per
+//! data segment.
+
+use crate::arch::{
+    build_aux_branch, build_monotonic_head, build_query_branch, build_threshold_branch,
+    build_regressor, ModelDims, QueryEmbed,
+};
+use cardest_nn::net::Sequential;
+use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
+use cardest_data::metric::Metric;
+use cardest_data::vector::{VectorData, VectorView};
+use cardest_nn::net::BranchNet;
+use cardest_nn::trainer::{train_branch_regression, TrainConfig, TrainReport};
+use cardest_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// QES hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QesConfig {
+    /// Number of query segments fed to the first CNN layer.
+    pub n_query_segments: usize,
+    /// Explicit CNN layout; `None` uses [`QueryEmbed::default_cnn`].
+    pub cnn: Option<QueryEmbed>,
+    /// Number of retained data samples backing `x_D`.
+    pub k_samples: usize,
+    pub dims: ModelDims,
+    /// Constrain the full τ-path to positive weights, making the
+    /// estimator provably monotone in τ (the paper constrains only `E2`;
+    /// this extends the constraint through `F`, trading a little capacity
+    /// for the guarantee — checked by property tests).
+    pub strict_monotonic: bool,
+    pub train: TrainConfig,
+}
+
+impl Default for QesConfig {
+    fn default() -> Self {
+        QesConfig {
+            n_query_segments: 8,
+            cnn: None,
+            k_samples: 64,
+            dims: ModelDims::default(),
+            strict_monotonic: false,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// The trained QES estimator.
+pub struct QesEstimator {
+    net: BranchNet,
+    samples: VectorData,
+    metric: Metric,
+    /// Dataset size at training time; estimates are capped here (a search
+    /// cardinality cannot exceed the dataset).
+    n_data: usize,
+    buf: Vec<f32>,
+}
+
+impl QesEstimator {
+    /// Builds and trains QES.
+    pub fn train(
+        data: &VectorData,
+        metric: Metric,
+        training: &TrainingSet<'_>,
+        cfg: &QesConfig,
+        seed: u64,
+    ) -> (Self, TrainReport) {
+        assert!(!training.is_empty(), "training set is empty");
+        let dim = data.dim();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E5);
+        let embed = cfg
+            .cnn
+            .clone()
+            .unwrap_or_else(|| QueryEmbed::default_cnn(dim, cfg.n_query_segments));
+        // Retain k data samples for x_D.
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(cfg.k_samples.clamp(1, data.len()));
+        let samples = data.gather(&ids);
+
+        let net = if cfg.strict_monotonic {
+            let bq = build_query_branch(&mut rng, dim, &embed, cfg.dims.embed_q);
+            let bt: Sequential = build_threshold_branch(&mut rng, 1, cfg.dims.embed_t);
+            let ba = build_aux_branch(&mut rng, samples.len(), cfg.dims.embed_aux);
+            let concat = cfg.dims.embed_q + cfg.dims.embed_t + cfg.dims.embed_aux;
+            let head = build_monotonic_head(
+                &mut rng,
+                concat,
+                cfg.dims.hidden,
+                (cfg.dims.embed_q, cfg.dims.embed_t),
+            );
+            cardest_nn::net::BranchNet::new(
+                vec![bq, bt, ba],
+                vec![dim, 1, samples.len()],
+                head,
+            )
+        } else {
+            build_regressor(&mut rng, dim, 1, samples.len(), &embed, &cfg.dims)
+        };
+        let mut est = QesEstimator {
+            net,
+            samples,
+            metric,
+            n_data: data.len(),
+            buf: Vec::with_capacity(dim),
+        };
+
+        // Cache per-query features once.
+        let mut xd_cache: Vec<Vec<f32>> = Vec::with_capacity(training.queries.len());
+        let mut xq_cache: Vec<Vec<f32>> = Vec::with_capacity(training.queries.len());
+        for q in 0..training.queries.len() {
+            let view = training.queries.view(q);
+            xd_cache.push(est.distance_vector(view));
+            let mut buf = Vec::with_capacity(dim);
+            view.write_dense(&mut buf);
+            xq_cache.push(buf);
+        }
+        let samples_list = training.samples;
+        let k = est.samples.len();
+        let mut build = |idx: &[usize]| {
+            let b = idx.len();
+            let mut xq = Matrix::zeros(b, dim);
+            let mut xt = Matrix::zeros(b, 1);
+            let mut xd = Matrix::zeros(b, k);
+            let mut cards = Vec::with_capacity(b);
+            for (r, &i) in idx.iter().enumerate() {
+                let s = &samples_list[i];
+                xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
+                xt.set(r, 0, s.tau);
+                xd.row_mut(r).copy_from_slice(&xd_cache[s.query]);
+                cards.push(s.card);
+            }
+            (vec![xq, xt, xd], cards)
+        };
+        let report =
+            train_branch_regression(&mut est.net, samples_list.len(), &mut build, &cfg.train);
+        (est, report)
+    }
+
+    fn distance_vector(&self, q: VectorView<'_>) -> Vec<f32> {
+        (0..self.samples.len())
+            .map(|i| self.metric.distance(q, self.samples.view(i)))
+            .collect()
+    }
+
+    pub fn net(&self) -> &BranchNet {
+        &self.net
+    }
+
+    /// Mutable network access (the join model drives the branches and head
+    /// separately around its sum-pooling layer).
+    pub fn net_mut(&mut self) -> &mut BranchNet {
+        &mut self.net
+    }
+
+    /// The retained data samples backing `x_D`.
+    pub fn samples(&self) -> &VectorData {
+        &self.samples
+    }
+}
+
+impl CardinalityEstimator for QesEstimator {
+    fn name(&self) -> &'static str {
+        "QES"
+    }
+
+    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
+        q.write_dense(&mut self.buf);
+        let xq = Matrix::from_row(&self.buf);
+        let xt = Matrix::from_row(&[tau]);
+        let xd = Matrix::from_row(&self.distance_vector(q));
+        let pred = self.net.forward(&[&xq, &xt, &xd]);
+        pred.get(0, 0).clamp(-20.0, 20.0).exp().min(self.n_data as f32)
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.net.param_bytes() + self.samples.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::paper::{DatasetSpec, PaperDataset};
+    use cardest_data::workload::SearchWorkload;
+    use cardest_nn::metrics::ErrorSummary;
+
+    fn tiny(dataset: PaperDataset, seed: u64) -> (VectorData, SearchWorkload, DatasetSpec) {
+        let spec = DatasetSpec {
+            n_data: 800,
+            n_train_queries: 60,
+            n_test_queries: 20,
+            ..dataset.spec()
+        };
+        let data = spec.generate(seed);
+        let w = SearchWorkload::build(&data, &spec, seed);
+        (data, w, spec)
+    }
+
+    fn test_error(est: &mut QesEstimator, w: &SearchWorkload) -> f32 {
+        let pairs: Vec<(f32, f32)> = w
+            .test
+            .iter()
+            .map(|s| (est.estimate(w.queries.view(s.query), s.tau), s.card))
+            .collect();
+        ErrorSummary::from_q_errors(&pairs).mean
+    }
+
+    #[test]
+    fn trains_on_binary_hamming_data() {
+        let (data, w, spec) = tiny(PaperDataset::ImageNet, 81);
+        let cfg = QesConfig {
+            k_samples: 32,
+            train: TrainConfig { epochs: 25, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (mut est, report) = QesEstimator::train(&data, spec.metric, &training, &cfg, 81);
+        assert!(report.final_loss.is_finite());
+        let err = test_error(&mut est, &w);
+        assert!(err < 100.0, "QES mean Q-error {err} unreasonably large");
+    }
+
+    #[test]
+    fn qes_model_is_small() {
+        // The paper's Table 5 shows QES is by far the smallest learned
+        // model (well under a megabyte at paper scale); at our scale it
+        // must be a few tens of kilobytes.
+        let (data, w, spec) = tiny(PaperDataset::ImageNet, 82);
+        let cfg = QesConfig {
+            k_samples: 16,
+            train: TrainConfig { epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 82);
+        assert!(est.model_bytes() < 256 * 1024, "model is {} bytes", est.model_bytes());
+    }
+
+    #[test]
+    fn strict_monotonic_qes_is_monotone_in_tau() {
+        let (data, w, spec) = tiny(PaperDataset::ImageNet, 84);
+        let cfg = QesConfig {
+            k_samples: 16,
+            strict_monotonic: true,
+            train: TrainConfig { epochs: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (mut est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 84);
+        for q in 0..5 {
+            let mut prev = f32::NEG_INFINITY;
+            for i in 0..=10 {
+                let tau = spec.tau_max * i as f32 / 10.0;
+                let e = est.estimate(w.queries.view(q), tau);
+                assert!(
+                    e >= prev - prev.abs() * 1e-5 - 1e-5,
+                    "QES strict mode not monotone at q={q} τ={tau}: {e} < {prev}"
+                );
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn custom_cnn_layout_is_honored() {
+        use cardest_nn::layers::{ConvSpec, PoolOp};
+        let (data, w, spec) = tiny(PaperDataset::ImageNet, 83);
+        let cfg = QesConfig {
+            cnn: Some(QueryEmbed::Cnn {
+                layers: vec![ConvSpec {
+                    out_channels: 2,
+                    kernel: 16,
+                    stride: 16,
+                    padding: 0,
+                    pool_size: 1,
+                    pool: PoolOp::Sum,
+                }],
+            }),
+            k_samples: 8,
+            train: TrainConfig { epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let (mut est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 83);
+        // Just exercise the forward path.
+        let e = est.estimate(w.queries.view(0), 0.1);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! On-disk caching of generated datasets.
+//!
+//! Exp-10 shows the workload labelling phase (all query-to-data
+//! distances) dominates the offline cost; the dataset generation itself
+//! also repeats in every harness invocation. This module persists a
+//! generated dataset next to its spec + seed fingerprint so repeated
+//! harness runs can reload instead of regenerate, and reload is rejected
+//! if the fingerprint drifts (a changed generator must not serve stale
+//! bytes).
+
+use crate::paper::DatasetSpec;
+use crate::vector::VectorData;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A cached dataset: fingerprint plus payload.
+#[derive(Debug, Serialize, Deserialize)]
+struct CachedDataset {
+    fingerprint: String,
+    data: VectorData,
+}
+
+/// Fingerprint of (spec, seed): every field that influences generation.
+fn fingerprint(spec: &DatasetSpec, seed: u64) -> String {
+    format!(
+        "{:?}|dim={}|n={}|metric={:?}|tau={}|seed={}|v1",
+        spec.dataset, spec.dim, spec.n_data, spec.metric, spec.tau_max, seed
+    )
+}
+
+/// The cache file path for a spec + seed under `dir`.
+pub fn cache_path(dir: &Path, spec: &DatasetSpec, seed: u64) -> PathBuf {
+    dir.join(format!(
+        "{}_{}d_{}n_{}.json",
+        spec.dataset.name().to_ascii_lowercase(),
+        spec.dim,
+        spec.n_data,
+        seed
+    ))
+}
+
+/// Loads the dataset from cache if present and fingerprint-valid,
+/// otherwise generates and writes it. IO errors fall back to plain
+/// generation (the cache is an optimization, never a correctness
+/// dependency).
+pub fn load_or_generate(dir: &Path, spec: &DatasetSpec, seed: u64) -> VectorData {
+    let path = cache_path(dir, spec, seed);
+    let fp = fingerprint(spec, seed);
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(cached) = serde_json::from_slice::<CachedDataset>(&bytes) {
+            if cached.fingerprint == fp {
+                return cached.data;
+            }
+        }
+    }
+    let data = spec.generate(seed);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let cached = CachedDataset { fingerprint: fp, data: data.clone() };
+        if let Ok(json) = serde_json::to_vec(&cached) {
+            let _ = std::fs::write(&path, json);
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperDataset;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cardest-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cache_roundtrip_returns_identical_data() {
+        let dir = tmpdir("roundtrip");
+        let spec = DatasetSpec { n_data: 120, ..PaperDataset::ImageNet.spec() };
+        let first = load_or_generate(&dir, &spec, 5);
+        assert!(cache_path(&dir, &spec, 5).exists(), "cache file must be written");
+        let second = load_or_generate(&dir, &spec, 5);
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_seeds_use_different_files() {
+        let dir = tmpdir("seeds");
+        let spec = DatasetSpec { n_data: 60, ..PaperDataset::ImageNet.spec() };
+        let a = load_or_generate(&dir, &spec, 1);
+        let b = load_or_generate(&dir, &spec, 2);
+        assert_ne!(a, b);
+        assert_ne!(cache_path(&dir, &spec, 1), cache_path(&dir, &spec, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_is_regenerated() {
+        let dir = tmpdir("stale");
+        let spec = DatasetSpec { n_data: 60, ..PaperDataset::ImageNet.spec() };
+        let fresh = load_or_generate(&dir, &spec, 9);
+        // Corrupt the fingerprint on disk.
+        let path = cache_path(&dir, &spec, 9);
+        let mut cached: CachedDataset =
+            serde_json::from_slice(&std::fs::read(&path).expect("cache exists"))
+                .expect("valid cache");
+        cached.fingerprint = "stale".into();
+        std::fs::write(&path, serde_json::to_vec(&cached).expect("serialize")).expect("write");
+        let reloaded = load_or_generate(&dir, &spec, 9);
+        assert_eq!(fresh, reloaded, "stale cache must be regenerated, not trusted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_dir_falls_back_to_generation() {
+        let spec = DatasetSpec { n_data: 50, ..PaperDataset::ImageNet.spec() };
+        let data = load_or_generate(Path::new("/nonexistent-root/cache"), &spec, 3);
+        assert_eq!(data.len(), 50);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cardest-data
+//!
+//! Data substrate for the `cardest` reproduction of *Learned Cardinality
+//! Estimation for Similarity Queries* (SIGMOD 2021):
+//!
+//! * [`vector`] — dense (`f32`) and bit-packed binary vector storage,
+//! * [`metric`] — the paper's distance functions (L1, L2, cosine, angular,
+//!   Hamming, Jaccard) over dense, binary and mixed operands,
+//! * [`synth`] — synthetic generators standing in for the paper's six real
+//!   datasets (the substitution table lives in `DESIGN.md`),
+//! * [`paper`] — the six dataset specifications of Table 3, scaled for a
+//!   single-core box,
+//! * [`workload`] — query selection and threshold generation by selectivity
+//!   (uniform for training, geometric for testing, §6 "Query Selection"),
+//!   plus join-set construction,
+//! * [`ground_truth`] — exact cardinality labelling, including the
+//!   per-segment labels the global model trains on.
+
+pub mod cache;
+pub mod ground_truth;
+pub mod metric;
+pub mod paper;
+pub mod stats;
+pub mod synth;
+pub mod vector;
+pub mod workload;
+
+pub use ground_truth::{DistanceTable, GroundTruth};
+pub use metric::Metric;
+pub use paper::{paper_datasets, DatasetSpec, PaperDataset};
+pub use stats::{Histogram, SelectivityStats, WorkloadReport};
+pub use synth::Labeled;
+pub use vector::{BinaryData, DenseData, VectorData, VectorView};
+pub use workload::{JoinSet, JoinWorkload, SearchSample, SearchWorkload};

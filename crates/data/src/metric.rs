@@ -1,0 +1,305 @@
+//! Distance functions (§2 and §3.2 of the paper).
+//!
+//! All metrics are *normalized* to land (mostly) in `[0, 1]` so that
+//! thresholds are comparable across datasets, matching the τ_max values of
+//! Table 3:
+//!
+//! * `L1`, `L2` — Minkowski distances; for the dense datasets the vectors
+//!   are unit-normalized at generation time so L2 ∈ [0, 2].
+//! * `Angular` — `arccos(cos_sim) / π ∈ [0, 1]` (the paper prefers angular
+//!   over cosine because "its value is always between 0 and 1").
+//! * `Hamming` — fraction of differing positions.
+//! * `Jaccard` — `1 − |u ∩ v| / |u ∪ v|`; the paper converts Jaccard to an
+//!   equivalent Hamming form on binary sets and we keep the native binary
+//!   formulation.
+//!
+//! Every metric also accepts a *fractional* (dense) operand against a
+//! binary one, which is how distances from binary points to segment
+//! centroids are computed: Hamming generalizes to the mean absolute
+//! difference and Jaccard to the Ruzicka (generalized Jaccard) form.
+
+use crate::vector::VectorView;
+use serde::{Deserialize, Serialize};
+
+/// A similarity-distance function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Manhattan distance, normalized by the dimension.
+    L1,
+    /// Euclidean distance (not normalized; dense datasets are generated
+    /// unit-norm so distances stay small).
+    L2,
+    /// Chebyshev (L∞) distance — the `m → ∞` member of the §3.2 `L_m`
+    /// family; decomposes over query segments via `max` instead of sum.
+    Linf,
+    /// Angular distance `arccos(u·v / |u||v|) / π`.
+    Angular,
+    /// Cosine distance `1 − u·v / |u||v|` (§3.2 shows it equals
+    /// `dis_L2²/2` on unit vectors). Not a true metric (no triangle
+    /// inequality), so the pivot index rejects it.
+    Cosine,
+    /// Fraction of differing coordinates.
+    Hamming,
+    /// `1 − |u∩v| / |u∪v|` on binary vectors; generalized (Ruzicka) form
+    /// against fractional operands.
+    Jaccard,
+}
+
+impl Metric {
+    /// Computes the distance between two vectors of the same dimension.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the dimensions differ.
+    pub fn distance(self, a: VectorView<'_>, b: VectorView<'_>) -> f32 {
+        debug_assert_eq!(a.dim(), b.dim(), "metric operands must share dimensionality");
+        use VectorView::Binary;
+        match (self, a, b) {
+            // Fast binary-binary paths via popcount.
+            (Metric::Hamming, Binary { words: u, dim }, Binary { words: v, .. }) => {
+                let diff: u32 = u.iter().zip(v).map(|(x, y)| (x ^ y).count_ones()).sum();
+                diff as f32 / dim as f32
+            }
+            (Metric::Jaccard, Binary { words: u, .. }, Binary { words: v, .. }) => {
+                let inter: u32 = u.iter().zip(v).map(|(x, y)| (x & y).count_ones()).sum();
+                let union: u32 = u.iter().zip(v).map(|(x, y)| (x | y).count_ones()).sum();
+                if union == 0 {
+                    0.0
+                } else {
+                    1.0 - inter as f32 / union as f32
+                }
+            }
+            // Everything else goes through the generic elementwise path.
+            (m, a, b) => elementwise(m, a, b),
+        }
+    }
+
+    /// Distance between a vector and a dense (possibly fractional) centroid.
+    pub fn distance_to_centroid(self, a: VectorView<'_>, centroid: &[f32]) -> f32 {
+        self.distance(a, VectorView::Dense(centroid))
+    }
+
+    /// Whether this metric's datasets are binary in this reproduction.
+    pub fn is_binary(self) -> bool {
+        matches!(self, Metric::Hamming | Metric::Jaccard)
+    }
+
+    /// Whether the metric satisfies the triangle inequality between data
+    /// points (required by the pivot index and the segment lower bound).
+    pub fn is_true_metric(self) -> bool {
+        !matches!(self, Metric::Cosine)
+    }
+}
+
+/// Iterates both operands as `f32` coordinates without materializing
+/// buffers, computing the requested metric.
+fn elementwise(metric: Metric, a: VectorView<'_>, b: VectorView<'_>) -> f32 {
+    let dim = a.dim();
+    let get = |v: &VectorView<'_>, j: usize| -> f32 {
+        match v {
+            VectorView::Dense(s) => s[j],
+            VectorView::Binary { words, .. } => ((words[j / 64] >> (j % 64)) & 1) as f32,
+        }
+    };
+    match metric {
+        Metric::L1 => {
+            let mut s = 0.0f32;
+            for j in 0..dim {
+                s += (get(&a, j) - get(&b, j)).abs();
+            }
+            s / dim as f32
+        }
+        Metric::L2 => {
+            let mut s = 0.0f32;
+            for j in 0..dim {
+                let d = get(&a, j) - get(&b, j);
+                s += d * d;
+            }
+            s.sqrt()
+        }
+        Metric::Linf => {
+            let mut m = 0.0f32;
+            for j in 0..dim {
+                m = m.max((get(&a, j) - get(&b, j)).abs());
+            }
+            m
+        }
+        Metric::Angular | Metric::Cosine => {
+            let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+            for j in 0..dim {
+                let (x, y) = (get(&a, j), get(&b, j));
+                dot += x * y;
+                na += x * x;
+                nb += y * y;
+            }
+            if na == 0.0 || nb == 0.0 {
+                return 1.0;
+            }
+            let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+            if metric == Metric::Cosine {
+                1.0 - cos
+            } else {
+                cos.acos() / std::f32::consts::PI
+            }
+        }
+        Metric::Hamming => {
+            // Generalized form: mean absolute difference. On 0/1 operands
+            // this equals the classic Hamming fraction.
+            let mut s = 0.0f32;
+            for j in 0..dim {
+                s += (get(&a, j) - get(&b, j)).abs();
+            }
+            s / dim as f32
+        }
+        Metric::Jaccard => {
+            // Ruzicka / generalized Jaccard on non-negative operands.
+            let (mut mins, mut maxs) = (0.0f32, 0.0f32);
+            for j in 0..dim {
+                let (x, y) = (get(&a, j), get(&b, j));
+                mins += x.min(y);
+                maxs += x.max(y);
+            }
+            if maxs == 0.0 {
+                0.0
+            } else {
+                1.0 - mins / maxs
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::BinaryData;
+
+    fn bin(dim: usize, on: &[usize]) -> BinaryData {
+        let mut b = BinaryData::new(dim);
+        b.push_indices(on);
+        b
+    }
+
+    #[test]
+    fn hamming_popcount_matches_elementwise() {
+        let u = bin(70, &[0, 5, 64, 69]);
+        let v = bin(70, &[0, 6, 64]);
+        let uv = VectorView::Binary { words: u.row(0), dim: 70 };
+        let vv = VectorView::Binary { words: v.row(0), dim: 70 };
+        let fast = Metric::Hamming.distance(uv, vv);
+        let slow = super::elementwise(Metric::Hamming, uv, vv);
+        assert!((fast - slow).abs() < 1e-7);
+        // Differing bits: 5, 6, 69 → 3/70.
+        assert!((fast - 3.0 / 70.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_matches_paper_example() {
+        // §3.2: u = {a,b,c}, v = {a,b,d} over universe {a,b,c,d}: distance 0.5.
+        let u = bin(4, &[0, 1, 2]);
+        let v = bin(4, &[0, 1, 3]);
+        let d = Metric::Jaccard.distance(
+            VectorView::Binary { words: u.row(0), dim: 4 },
+            VectorView::Binary { words: v.row(0), dim: 4 },
+        );
+        assert!((d - 0.5).abs() < 1e-6);
+        // And the paper's equivalent Hamming on the one-hot encodings is
+        // also 0.5 (2 differing bits out of 4).
+        let h = Metric::Hamming.distance(
+            VectorView::Binary { words: u.row(0), dim: 4 },
+            VectorView::Binary { words: v.row(0), dim: 4 },
+        );
+        assert!((h - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_distance_basics() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let d = Metric::Angular.distance(VectorView::Dense(&a), VectorView::Dense(&b));
+        assert!((d - 0.5).abs() < 1e-6, "orthogonal vectors are at angular distance 0.5");
+        let d2 = Metric::Angular.distance(VectorView::Dense(&a), VectorView::Dense(&a));
+        assert!(d2.abs() < 1e-3);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let a = [0.0f32, 3.0];
+        let b = [4.0f32, 0.0];
+        let d = Metric::L2.distance(VectorView::Dense(&a), VectorView::Dense(&b));
+        assert!((d - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linf_is_the_max_coordinate_gap_and_a_true_metric() {
+        let a = [0.0f32, 3.0, -1.0];
+        let b = [4.0f32, 1.0, -1.5];
+        let d = Metric::Linf.distance(VectorView::Dense(&a), VectorView::Dense(&b));
+        assert!((d - 4.0).abs() < 1e-6);
+        assert!(Metric::Linf.is_true_metric());
+        // Segment decomposition: L∞ over the whole vector is the max of
+        // the per-segment L∞ distances (§3.2's argument for L_m).
+        let d1 = Metric::Linf.distance(VectorView::Dense(&a[..2]), VectorView::Dense(&b[..2]));
+        let d2 = Metric::Linf.distance(VectorView::Dense(&a[2..]), VectorView::Dense(&b[2..]));
+        assert!((d - d1.max(d2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hamming_to_fractional_centroid_is_mean_abs_diff() {
+        let u = bin(4, &[0, 1]);
+        let c = vec![0.5f32, 1.0, 0.0, 0.25];
+        let d = Metric::Hamming
+            .distance_to_centroid(VectorView::Binary { words: u.row(0), dim: 4 }, &c);
+        // |1-0.5| + |1-1| + |0-0| + |0-0.25| = 0.75 → /4
+        assert!((d - 0.1875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_of_empty_sets_is_zero() {
+        let u = bin(8, &[]);
+        let v = bin(8, &[]);
+        let d = Metric::Jaccard.distance(
+            VectorView::Binary { words: u.row(0), dim: 8 },
+            VectorView::Binary { words: v.row(0), dim: 8 },
+        );
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn cosine_equals_half_squared_l2_on_unit_vectors() {
+        // §3.2: dis_cos(u, v) = dis_L2(u, v)² / 2 for |u| = |v| = 1.
+        let mut u = [0.6f32, 0.8, 0.0];
+        let mut v = [0.0f32, 0.6, 0.8];
+        let norm = |x: &mut [f32]| {
+            let n = x.iter().map(|a| a * a).sum::<f32>().sqrt();
+            x.iter_mut().for_each(|a| *a /= n);
+        };
+        norm(&mut u);
+        norm(&mut v);
+        let cos = Metric::Cosine.distance(VectorView::Dense(&u), VectorView::Dense(&v));
+        let l2 = Metric::L2.distance(VectorView::Dense(&u), VectorView::Dense(&v));
+        assert!((cos - l2 * l2 / 2.0).abs() < 1e-5, "cos={cos} l2²/2={}", l2 * l2 / 2.0);
+        // And angular is arccos(1 − cos)/π.
+        let ang = Metric::Angular.distance(VectorView::Dense(&u), VectorView::Dense(&v));
+        assert!((ang - (1.0 - cos).acos() / std::f32::consts::PI).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_is_not_flagged_as_true_metric() {
+        assert!(!Metric::Cosine.is_true_metric());
+        for m in [Metric::L1, Metric::L2, Metric::Angular, Metric::Hamming, Metric::Jaccard] {
+            assert!(m.is_true_metric());
+        }
+    }
+
+    #[test]
+    fn metrics_are_symmetric_and_zero_on_self() {
+        let a = [0.3f32, -0.2, 0.9, 0.1];
+        let b = [0.1f32, 0.7, -0.3, 0.5];
+        for m in [Metric::L1, Metric::L2, Metric::Angular, Metric::Cosine] {
+            let ab = m.distance(VectorView::Dense(&a), VectorView::Dense(&b));
+            let ba = m.distance(VectorView::Dense(&b), VectorView::Dense(&a));
+            assert!((ab - ba).abs() < 1e-6, "{m:?} not symmetric");
+            let aa = m.distance(VectorView::Dense(&a), VectorView::Dense(&a));
+            assert!(aa.abs() < 1e-3, "{m:?} not ~zero on self: {aa}");
+        }
+    }
+}

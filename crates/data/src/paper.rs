@@ -1,0 +1,245 @@
+//! The six dataset specifications of Table 3, realized by the synthetic
+//! generators of [`crate::synth`] and scaled for a single-core machine.
+//!
+//! Dimensions and sizes are scaled down together (see `DESIGN.md` §2); the
+//! *relative* ordering of the paper's datasets is preserved — ImageNET has
+//! the smallest dimension, DBLP the largest, the binary/dense split and the
+//! metric per dataset are identical to Table 3.
+
+use crate::metric::Metric;
+use crate::synth;
+use crate::vector::VectorData;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the paper's six evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperDataset {
+    /// KDD-Cup 2000 clickstream product baskets (Jaccard).
+    Bms,
+    /// GloVe 300-d word embeddings (Angular).
+    GloVe300,
+    /// HashNet binary codes of ImageNET images (Hamming).
+    ImageNet,
+    /// Aminer publication titles (Edit → Hamming over token vectors).
+    Aminer,
+    /// YouTube Faces raw frames (Euclidean).
+    YouTube,
+    /// DBLP publication titles (Edit → Hamming over token vectors).
+    Dblp,
+}
+
+impl PaperDataset {
+    pub const ALL: [PaperDataset; 6] = [
+        PaperDataset::Bms,
+        PaperDataset::GloVe300,
+        PaperDataset::ImageNet,
+        PaperDataset::Aminer,
+        PaperDataset::YouTube,
+        PaperDataset::Dblp,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperDataset::Bms => "BMS",
+            PaperDataset::GloVe300 => "GloVe300",
+            PaperDataset::ImageNet => "ImageNET",
+            PaperDataset::Aminer => "Aminer",
+            PaperDataset::YouTube => "YouTube",
+            PaperDataset::Dblp => "DBLP",
+        }
+    }
+
+    /// Parses the (case-insensitive) dataset name used on the `exp` CLI.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(s))
+    }
+
+    /// The scaled specification for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            // Paper: 512-d, 515,597 points, Jaccard, τmax 0.50, 8000 train.
+            PaperDataset::Bms => DatasetSpec {
+                dataset: self,
+                dim: 128,
+                n_data: 12_000,
+                n_train_queries: 800,
+                n_test_queries: 200,
+                metric: Metric::Jaccard,
+                tau_max: 0.50,
+            },
+            // Paper: 300-d, 1.9M points, Angular, τmax 0.60, 8000 train.
+            PaperDataset::GloVe300 => DatasetSpec {
+                dataset: self,
+                dim: 64,
+                n_data: 16_000,
+                n_train_queries: 800,
+                n_test_queries: 200,
+                metric: Metric::Angular,
+                tau_max: 0.60,
+            },
+            // Paper: 64-d hash codes, 1.43M points, Hamming, τmax 0.90.
+            PaperDataset::ImageNet => DatasetSpec {
+                dataset: self,
+                dim: 64,
+                n_data: 16_000,
+                n_train_queries: 800,
+                n_test_queries: 200,
+                metric: Metric::Hamming,
+                tau_max: 0.90,
+            },
+            // Paper: 2943-d, 1.7M points, Edit→Hamming, τmax 0.05, 4000 train.
+            PaperDataset::Aminer => DatasetSpec {
+                dataset: self,
+                dim: 512,
+                n_data: 10_000,
+                n_train_queries: 400,
+                n_test_queries: 100,
+                metric: Metric::Hamming,
+                tau_max: 0.08,
+            },
+            // Paper: 1770-d, 346k points, Euclidean, τmax 0.15, 2400 train.
+            PaperDataset::YouTube => DatasetSpec {
+                dataset: self,
+                dim: 256,
+                n_data: 8_000,
+                n_train_queries: 240,
+                n_test_queries: 60,
+                metric: Metric::L2,
+                tau_max: 0.30,
+            },
+            // Paper: 5373-d, 1M points, Edit→Hamming, τmax 0.20, 2400 train.
+            PaperDataset::Dblp => DatasetSpec {
+                dataset: self,
+                dim: 768,
+                n_data: 10_000,
+                n_train_queries: 240,
+                n_test_queries: 60,
+                metric: Metric::Hamming,
+                tau_max: 0.10,
+            },
+        }
+    }
+}
+
+/// A scaled dataset specification (one row of Table 3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    pub dataset: PaperDataset,
+    pub dim: usize,
+    pub n_data: usize,
+    pub n_train_queries: usize,
+    pub n_test_queries: usize,
+    pub metric: Metric,
+    /// Maximal supported threshold (Table 3's τ_max); thresholds are drawn
+    /// by selectivity and capped here.
+    pub tau_max: f32,
+}
+
+impl DatasetSpec {
+    /// Generates the synthetic stand-in for this dataset.
+    ///
+    /// The per-dataset generator and parameters mirror the modality of the
+    /// real data (see module docs). Generation is deterministic in `seed`.
+    pub fn generate(&self, seed: u64) -> VectorData {
+        self.generate_labeled(seed).data
+    }
+
+    /// Like [`DatasetSpec::generate`] but keeps the latent cluster labels
+    /// (tests only; the estimators never see them).
+    pub fn generate_labeled(&self, seed: u64) -> synth::Labeled {
+        // Offset the seed by the dataset so "seed 0 for every dataset"
+        // doesn't correlate their randomness.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(
+            PaperDataset::ALL.iter().position(|d| *d == self.dataset).expect("known dataset")
+                as u64,
+        ));
+        match self.dataset {
+            PaperDataset::Bms => synth::sparse_binary_baskets(
+                &mut rng, self.n_data, self.dim, 24, 9.0, 1.05,
+            ),
+            PaperDataset::GloVe300 => {
+                synth::gaussian_mixture_sphere(&mut rng, self.n_data, self.dim, 40, 0.25)
+            }
+            PaperDataset::ImageNet => {
+                synth::hash_codes(&mut rng, self.n_data, self.dim, 48, 0.10)
+            }
+            PaperDataset::Aminer => {
+                synth::token_titles(&mut rng, self.n_data, self.dim, 32, 12.0, 0.85)
+            }
+            PaperDataset::YouTube => synth::low_rank_mixture(
+                &mut rng, self.n_data, self.dim, 24, 6, 0.06, 0.01,
+            ),
+            PaperDataset::Dblp => {
+                synth::token_titles(&mut rng, self.n_data, self.dim, 40, 14.0, 0.85)
+            }
+        }
+    }
+}
+
+/// All six scaled specifications, in Table 3 order.
+pub fn paper_datasets() -> Vec<DatasetSpec> {
+    PaperDataset::ALL.iter().map(|d| d.spec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_cover_all_six_datasets_with_table3_metrics() {
+        let specs = paper_datasets();
+        assert_eq!(specs.len(), 6);
+        let m = |d: PaperDataset| d.spec().metric;
+        assert_eq!(m(PaperDataset::Bms), Metric::Jaccard);
+        assert_eq!(m(PaperDataset::GloVe300), Metric::Angular);
+        assert_eq!(m(PaperDataset::ImageNet), Metric::Hamming);
+        assert_eq!(m(PaperDataset::Aminer), Metric::Hamming);
+        assert_eq!(m(PaperDataset::YouTube), Metric::L2);
+        assert_eq!(m(PaperDataset::Dblp), Metric::Hamming);
+    }
+
+    #[test]
+    fn dimension_ordering_matches_paper() {
+        // ImageNET smallest … DBLP largest, as in Table 3.
+        let d = |p: PaperDataset| p.spec().dim;
+        assert!(d(PaperDataset::ImageNet) <= d(PaperDataset::GloVe300));
+        assert!(d(PaperDataset::GloVe300) < d(PaperDataset::Bms));
+        assert!(d(PaperDataset::Bms) < d(PaperDataset::YouTube));
+        assert!(d(PaperDataset::YouTube) < d(PaperDataset::Aminer));
+        assert!(d(PaperDataset::Aminer) < d(PaperDataset::Dblp));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let spec = PaperDataset::ImageNet.spec();
+        let a = spec.generate(42);
+        let b = spec.generate(42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.n_data);
+        assert_eq!(a.dim(), spec.dim);
+    }
+
+    #[test]
+    fn binary_datasets_are_binary_dense_are_dense() {
+        for spec in paper_datasets() {
+            // Generate a small clone of the spec to keep the test fast.
+            let small = DatasetSpec { n_data: 100, ..spec };
+            let data = small.generate(7);
+            match spec.metric {
+                Metric::Hamming | Metric::Jaccard => {
+                    assert!(matches!(data, VectorData::Binary(_)), "{:?}", spec.dataset)
+                }
+                _ => assert!(matches!(data, VectorData::Dense(_)), "{:?}", spec.dataset),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_case_insensitive_names() {
+        assert_eq!(PaperDataset::parse("bms"), Some(PaperDataset::Bms));
+        assert_eq!(PaperDataset::parse("GLOVE300"), Some(PaperDataset::GloVe300));
+        assert_eq!(PaperDataset::parse("nope"), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! Synthetic dataset generators.
+//!
+//! The paper evaluates on six real datasets we cannot redistribute; each
+//! generator here produces a synthetic stand-in matching the dataset's
+//! modality (dense vs binary), metric, and — crucially for the paper's
+//! data-segmentation idea — *clustered* structure. Every generator returns
+//! the latent cluster id per point ([`Labeled`]), which tests use to verify
+//! that segmentation-friendly structure actually exists; the estimators
+//! never see these labels.
+
+use crate::vector::{BinaryData, DenseData, VectorData};
+use rand::Rng;
+
+/// Generated vectors plus the latent cluster each point was drawn from.
+#[derive(Debug, Clone)]
+pub struct Labeled {
+    pub data: VectorData,
+    pub cluster: Vec<usize>,
+}
+
+/// Dense unit-sphere Gaussian mixture — the GloVe300 stand-in (angular
+/// distance over word embeddings clusters by topic).
+pub fn gaussian_mixture_sphere<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    dim: usize,
+    k: usize,
+    spread: f32,
+) -> Labeled {
+    let centers: Vec<Vec<f32>> = (0..k).map(|_| random_unit(rng, dim)).collect();
+    let mut values = Vec::with_capacity(n * dim);
+    let mut cluster = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.gen_range(0..k);
+        cluster.push(c);
+        let mut v: Vec<f32> =
+            centers[c].iter().map(|&m| m + spread * gauss(rng)).collect();
+        normalize(&mut v);
+        values.extend_from_slice(&v);
+    }
+    Labeled { data: VectorData::Dense(DenseData::from_flat(dim, values)), cluster }
+}
+
+/// Dense mixture with per-cluster low-rank covariance — the YouTube Faces
+/// stand-in: each cluster is an "identity", the low-rank factors model pose
+/// and illumination variation within the identity.
+pub fn low_rank_mixture<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    dim: usize,
+    k: usize,
+    rank: usize,
+    factor_scale: f32,
+    noise: f32,
+) -> Labeled {
+    struct ClusterModel {
+        mean: Vec<f32>,
+        factors: Vec<Vec<f32>>,
+    }
+    let models: Vec<ClusterModel> = (0..k)
+        .map(|_| ClusterModel {
+            mean: random_unit(rng, dim),
+            factors: (0..rank).map(|_| random_unit(rng, dim)).collect(),
+        })
+        .collect();
+    let mut values = Vec::with_capacity(n * dim);
+    let mut cluster = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.gen_range(0..k);
+        cluster.push(c);
+        let m = &models[c];
+        let coeffs: Vec<f32> = (0..rank).map(|_| factor_scale * gauss(rng)).collect();
+        let mut v: Vec<f32> = m
+            .mean
+            .iter()
+            .enumerate()
+            .map(|(j, &mu)| {
+                let lowrank: f32 =
+                    coeffs.iter().zip(&m.factors).map(|(a, f)| a * f[j]).sum();
+                mu + lowrank + noise * gauss(rng)
+            })
+            .collect();
+        normalize(&mut v);
+        values.extend_from_slice(&v);
+    }
+    Labeled { data: VectorData::Dense(DenseData::from_flat(dim, values)), cluster }
+}
+
+/// Binary hash codes — the ImageNET stand-in: HashNet-style codes cluster
+/// around per-class prototype codes with independent bit flips.
+pub fn hash_codes<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    bits: usize,
+    k: usize,
+    flip_prob: f64,
+) -> Labeled {
+    let prototypes: Vec<Vec<bool>> =
+        (0..k).map(|_| (0..bits).map(|_| rng.gen_bool(0.5)).collect()).collect();
+    let mut data = BinaryData::new(bits);
+    let mut cluster = Vec::with_capacity(n);
+    let mut row = vec![false; bits];
+    for _ in 0..n {
+        let c = rng.gen_range(0..k);
+        cluster.push(c);
+        for (b, &p) in row.iter_mut().zip(&prototypes[c]) {
+            *b = if rng.gen_bool(flip_prob) { !p } else { p };
+        }
+        data.push_bools(&row);
+    }
+    Labeled { data: VectorData::Binary(data), cluster }
+}
+
+/// Sparse binary baskets — the BMS stand-in: each cluster is a "shopping
+/// profile" with its own Zipf-ranked item popularity; a basket samples
+/// `Poisson(avg_items)`-many items from its profile.
+pub fn sparse_binary_baskets<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    dim: usize,
+    k: usize,
+    avg_items: f64,
+    zipf_s: f64,
+) -> Labeled {
+    // Per profile: a random permutation of items ranked by Zipf popularity.
+    let profiles: Vec<Vec<usize>> = (0..k).map(|_| random_permutation(rng, dim)).collect();
+    let zipf = ZipfSampler::new(dim, zipf_s);
+    let mut data = BinaryData::new(dim);
+    let mut cluster = Vec::with_capacity(n);
+    let mut on: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        let c = rng.gen_range(0..k);
+        cluster.push(c);
+        on.clear();
+        let items = poisson(rng, avg_items).max(1);
+        for _ in 0..items {
+            let rank = zipf.sample(rng);
+            on.push(profiles[c][rank]);
+        }
+        data.push_indices(&on);
+        // (duplicate indices are idempotent under push_indices)
+    }
+    Labeled { data: VectorData::Binary(data), cluster }
+}
+
+/// Sparse binary token vectors — the Aminer/DBLP stand-in: publication
+/// titles as topic-conditioned token sets (the paper converts edit distance
+/// on titles to Hamming over exactly this representation).
+pub fn token_titles<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    dim: usize,
+    k: usize,
+    avg_tokens: f64,
+    topic_share: f64,
+) -> Labeled {
+    // Each topic concentrates on its own slice of the vocabulary, with a
+    // `1 − topic_share` chance of drawing a global stopword-like token.
+    let zipf_topic = ZipfSampler::new(dim / k.max(1), 1.05);
+    let zipf_global = ZipfSampler::new(dim, 1.2);
+    let global_perm = random_permutation(rng, dim);
+    let mut data = BinaryData::new(dim);
+    let mut cluster = Vec::with_capacity(n);
+    let mut on: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        let c = rng.gen_range(0..k);
+        cluster.push(c);
+        on.clear();
+        let tokens = poisson(rng, avg_tokens).max(2);
+        let base = c * (dim / k.max(1));
+        for _ in 0..tokens {
+            if rng.gen_bool(topic_share) {
+                on.push(base + zipf_topic.sample(rng));
+            } else {
+                on.push(global_perm[zipf_global.sample(rng)]);
+            }
+        }
+        data.push_indices(&on);
+    }
+    Labeled { data: VectorData::Binary(data), cluster }
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s`, via inverse-CDF lookup
+/// on the precomputed normalized cumulative weights.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn gauss<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Poisson sample via Knuth's method (fine for small means).
+fn poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological means
+        }
+    }
+}
+
+fn random_unit<R: Rng>(rng: &mut R, dim: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..dim).map(|_| gauss(rng)).collect();
+    normalize(&mut v);
+    v
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+fn random_permutation<R: Rng>(rng: &mut R, n: usize) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut p: Vec<usize> = (0..n).collect();
+    p.shuffle(rng);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Intra-cluster distances should be visibly smaller than inter-cluster
+    /// ones — the property data segmentation exploits.
+    fn assert_clustered(l: &Labeled, metric: Metric, samples: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = l.data.len();
+        let (mut intra, mut inter) = (Vec::new(), Vec::new());
+        while intra.len() < samples || inter.len() < samples {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let d = metric.distance(l.data.view(i), l.data.view(j));
+            if l.cluster[i] == l.cluster[j] {
+                if intra.len() < samples {
+                    intra.push(d);
+                }
+            } else if inter.len() < samples {
+                inter.push(d);
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&intra) < 0.9 * mean(&inter),
+            "generator is not clustered: intra {} vs inter {}",
+            mean(&intra),
+            mean(&inter)
+        );
+    }
+
+    #[test]
+    fn sphere_mixture_is_unit_norm_and_clustered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = gaussian_mixture_sphere(&mut rng, 600, 32, 8, 0.08);
+        for i in 0..l.data.len() {
+            if let crate::vector::VectorView::Dense(v) = l.data.view(i) {
+                let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                assert!((n - 1.0).abs() < 1e-4);
+            }
+        }
+        assert_clustered(&l, Metric::Angular, 200, 11);
+    }
+
+    #[test]
+    fn low_rank_mixture_is_clustered_under_l2() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = low_rank_mixture(&mut rng, 600, 48, 6, 4, 0.05, 0.02);
+        assert_clustered(&l, Metric::L2, 200, 12);
+    }
+
+    #[test]
+    fn hash_codes_cluster_under_hamming() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = hash_codes(&mut rng, 600, 64, 10, 0.08);
+        assert_clustered(&l, Metric::Hamming, 200, 13);
+    }
+
+    #[test]
+    fn baskets_cluster_under_jaccard() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = sparse_binary_baskets(&mut rng, 600, 128, 6, 8.0, 1.1);
+        assert_clustered(&l, Metric::Jaccard, 200, 14);
+    }
+
+    #[test]
+    fn token_titles_cluster_under_hamming() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = token_titles(&mut rng, 600, 256, 8, 10.0, 0.8);
+        assert_clustered(&l, Metric::Hamming, 200, 15);
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+    }
+
+    #[test]
+    fn gauss_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f32> = (0..20_000).map(|_| gauss(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = hash_codes(&mut StdRng::seed_from_u64(9), 50, 64, 4, 0.1);
+        let b = hash_codes(&mut StdRng::seed_from_u64(9), 50, 64, 4, 0.1);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.cluster, b.cluster);
+    }
+}

@@ -1,0 +1,300 @@
+//! Query workloads: the "Query Selection" procedure of §6.
+//!
+//! * Search queries are random points of the dataset, split 80/20 into
+//!   train/test. Each training query gets 10 thresholds at *uniform*
+//!   selectivities in `(0, 1%]`; each testing query gets 10 thresholds at a
+//!   low-selectivity-heavy ("geometric") distribution, to probe
+//!   generalization exactly as the paper does.
+//! * Join sets draw member queries from the corresponding pool: training
+//!   sizes in `[1, 100)`, testing sizes in the three buckets `[50,100)`,
+//!   `[100,150)`, `[150,200)`, with a shared per-set threshold.
+//!
+//! All labels are exact, derived from a [`DistanceTable`].
+
+use crate::ground_truth::DistanceTable;
+use crate::metric::Metric;
+use crate::paper::DatasetSpec;
+use crate::vector::VectorData;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on query selectivity — the paper keeps both training and
+/// testing selectivities below 1% of the dataset (§6).
+pub const MAX_SELECTIVITY: f32 = 0.01;
+
+/// Number of thresholds generated per query (§6).
+pub const THRESHOLDS_PER_QUERY: usize = 10;
+
+/// One labelled similarity-search sample: `(q, τ, card)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchSample {
+    /// Index into the workload's query collection.
+    pub query: usize,
+    pub tau: f32,
+    pub card: f32,
+}
+
+/// A labelled search workload over one dataset.
+#[derive(Debug)]
+pub struct SearchWorkload {
+    /// Materialized query vectors (train queries first, then test queries).
+    pub queries: VectorData,
+    /// Number of training queries (`queries[..n_train]`).
+    pub n_train_queries: usize,
+    pub train: Vec<SearchSample>,
+    pub test: Vec<SearchSample>,
+    /// The exact distance table backing the labels; kept for per-segment
+    /// label derivation and for exact join cardinalities.
+    pub table: DistanceTable,
+    pub metric: Metric,
+    pub tau_max: f32,
+}
+
+impl SearchWorkload {
+    /// Builds the workload for a dataset per the paper's procedure.
+    pub fn build(data: &VectorData, spec: &DatasetSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        let n_train = spec.n_train_queries;
+        let n_test = spec.n_test_queries;
+        // Random dataset points as queries (distinct).
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(n_train + n_test);
+        let queries = data.gather(&ids);
+        let table = DistanceTable::compute(&queries, data, spec.metric);
+
+        let mut train = Vec::with_capacity(n_train * THRESHOLDS_PER_QUERY);
+        let mut test = Vec::with_capacity(n_test * THRESHOLDS_PER_QUERY);
+        for q in 0..n_train + n_test {
+            let sorted = table.sorted_row(q);
+            for _ in 0..THRESHOLDS_PER_QUERY {
+                let is_train = q < n_train;
+                let sel = if is_train {
+                    // Uniform selectivity in (0, 1%].
+                    rng.gen_range(f32::EPSILON..=MAX_SELECTIVITY)
+                } else {
+                    // Geometric-like: cube of a uniform biases mass toward
+                    // low selectivities ("more queries with lower
+                    // selectivity", §6).
+                    let u: f32 = rng.gen_range(0.0..1.0);
+                    (MAX_SELECTIVITY * u * u * u).max(f32::EPSILON)
+                };
+                let tau = DistanceTable::tau_at_selectivity(&sorted, sel).min(spec.tau_max);
+                let card = table.cardinality(q, tau) as f32;
+                let sample = SearchSample { query: q, tau, card };
+                if is_train {
+                    train.push(sample);
+                } else {
+                    test.push(sample);
+                }
+            }
+        }
+        SearchWorkload {
+            queries,
+            n_train_queries: n_train,
+            train,
+            test,
+            table,
+            metric: spec.metric,
+            tau_max: spec.tau_max,
+        }
+    }
+
+    /// Truncates the training set to the first `n` samples — Exp-7 varies
+    /// the training size this way (queries stay grouped, so `n` samples
+    /// ≈ `n / 10` queries).
+    pub fn with_train_size(&self, n: usize) -> Vec<SearchSample> {
+        self.train[..n.min(self.train.len())].to_vec()
+    }
+
+    /// Median threshold at the selectivity cap, used as the upper end of
+    /// the join threshold range so join sets keep paper-like selectivities.
+    pub fn tau_selectivity_cap(&self) -> f32 {
+        let mut taus: Vec<f32> = (0..self.n_train_queries)
+            .map(|q| {
+                let sorted = self.table.sorted_row(q);
+                DistanceTable::tau_at_selectivity(&sorted, MAX_SELECTIVITY)
+            })
+            .collect();
+        taus.sort_by(|a, b| a.total_cmp(b));
+        taus.get(taus.len() / 2).copied().unwrap_or(self.tau_max).min(self.tau_max)
+    }
+}
+
+/// One labelled join set: member queries, a shared threshold, and the exact
+/// total pair count `card(Q, τ) = Σ_q card(q, τ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinSet {
+    /// Indices into the search workload's query collection.
+    pub query_ids: Vec<usize>,
+    pub tau: f32,
+    pub card: f32,
+}
+
+/// A labelled join workload (training sets + the three test size buckets).
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    pub train: Vec<JoinSet>,
+    /// Test sets bucketed by size: `[50,100)`, `[100,150)`, `[150,200)`.
+    pub test_buckets: [Vec<JoinSet>; 3],
+}
+
+/// Size buckets for join testing, as in §6.
+pub const JOIN_TEST_BUCKETS: [(usize, usize); 3] = [(50, 100), (100, 150), (150, 200)];
+
+impl JoinWorkload {
+    /// Builds join sets on top of a search workload.
+    ///
+    /// Training sets sample sizes from `[1, 100)` and members from the
+    /// training-query pool; test sets sample members from the test pool
+    /// (with replacement when the scaled pool is smaller than the set
+    /// size). Thresholds are evenly spaced in `(0, τ_cap]` where `τ_cap`
+    /// keeps per-query selectivities at paper-like levels.
+    pub fn build(
+        search: &SearchWorkload,
+        n_train_sets: usize,
+        n_test_sets_per_bucket: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10_1DEA);
+        let tau_cap = search.tau_selectivity_cap();
+        let n_train_q = search.n_train_queries;
+        let n_test_q = search.table.n_queries() - n_train_q;
+        assert!(n_train_q > 0 && n_test_q > 0, "need both train and test queries for joins");
+
+        fn make_set(
+            rng: &mut StdRng,
+            search: &SearchWorkload,
+            pool_start: usize,
+            pool_len: usize,
+            size: usize,
+            tau: f32,
+        ) -> JoinSet {
+            let query_ids: Vec<usize> =
+                (0..size).map(|_| pool_start + rng.gen_range(0..pool_len)).collect();
+            let card: f32 = query_ids
+                .iter()
+                .map(|&q| search.table.cardinality(q, tau) as f32)
+                .sum();
+            JoinSet { query_ids, tau, card }
+        }
+
+        let mut train = Vec::with_capacity(n_train_sets);
+        for i in 0..n_train_sets {
+            let size = rng.gen_range(1..100usize);
+            // 10 evenly spaced thresholds over (0, τ_cap], cycled per set.
+            let step = (i % THRESHOLDS_PER_QUERY + 1) as f32
+                / THRESHOLDS_PER_QUERY as f32;
+            let tau = tau_cap * step;
+            train.push(make_set(&mut rng, search, 0, n_train_q, size, tau));
+        }
+
+        let mut test_buckets: [Vec<JoinSet>; 3] = Default::default();
+        for (b, &(lo, hi)) in JOIN_TEST_BUCKETS.iter().enumerate() {
+            for _ in 0..n_test_sets_per_bucket {
+                let size = rng.gen_range(lo..hi);
+                let tau = tau_cap * rng.gen_range(0.1..=1.0f32);
+                test_buckets[b].push(make_set(&mut rng, search, n_train_q, n_test_q, size, tau));
+            }
+        }
+        JoinWorkload { train, test_buckets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperDataset;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            n_data: 400,
+            n_train_queries: 20,
+            n_test_queries: 10,
+            ..PaperDataset::ImageNet.spec()
+        }
+    }
+
+    #[test]
+    fn workload_sizes_and_split_follow_spec() {
+        let spec = tiny_spec();
+        let data = spec.generate(1);
+        let w = SearchWorkload::build(&data, &spec, 1);
+        assert_eq!(w.queries.len(), 30);
+        assert_eq!(w.n_train_queries, 20);
+        assert_eq!(w.train.len(), 20 * THRESHOLDS_PER_QUERY);
+        assert_eq!(w.test.len(), 10 * THRESHOLDS_PER_QUERY);
+        // Train samples reference train queries only.
+        assert!(w.train.iter().all(|s| s.query < 20));
+        assert!(w.test.iter().all(|s| s.query >= 20));
+    }
+
+    #[test]
+    fn labels_are_exact_and_selectivity_capped() {
+        let spec = tiny_spec();
+        let data = spec.generate(2);
+        let w = SearchWorkload::build(&data, &spec, 2);
+        for s in w.train.iter().chain(&w.test) {
+            assert_eq!(s.card, w.table.cardinality(s.query, s.tau) as f32);
+            assert!(s.tau <= spec.tau_max + 1e-6);
+        }
+        // Mean selectivity should be paper-like (≤ ~1%, allowing ties and
+        // the ceil-rank to nudge individual queries slightly above).
+        let mean_sel: f32 = w
+            .train
+            .iter()
+            .map(|s| s.card / spec.n_data as f32)
+            .sum::<f32>()
+            / w.train.len() as f32;
+        assert!(mean_sel <= 0.03, "mean selectivity {mean_sel} too large");
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let spec = tiny_spec();
+        let data = spec.generate(3);
+        let a = SearchWorkload::build(&data, &spec, 7);
+        let b = SearchWorkload::build(&data, &spec, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn join_sets_have_exact_summed_cardinalities() {
+        let spec = tiny_spec();
+        let data = spec.generate(4);
+        let w = SearchWorkload::build(&data, &spec, 4);
+        let j = JoinWorkload::build(&w, 20, 5, 4);
+        assert_eq!(j.train.len(), 20);
+        for set in j.train.iter().chain(j.test_buckets.iter().flatten()) {
+            let expect: f32 = set
+                .query_ids
+                .iter()
+                .map(|&q| w.table.cardinality(q, set.tau) as f32)
+                .sum();
+            assert_eq!(set.card, expect);
+        }
+        // Bucket sizes respect their ranges.
+        for (b, &(lo, hi)) in JOIN_TEST_BUCKETS.iter().enumerate() {
+            for set in &j.test_buckets[b] {
+                assert!(set.query_ids.len() >= lo && set.query_ids.len() < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn join_train_members_come_from_train_pool_and_test_from_test_pool() {
+        let spec = tiny_spec();
+        let data = spec.generate(5);
+        let w = SearchWorkload::build(&data, &spec, 5);
+        let j = JoinWorkload::build(&w, 10, 3, 5);
+        assert!(j.train.iter().all(|s| s.query_ids.iter().all(|&q| q < 20)));
+        assert!(j
+            .test_buckets
+            .iter()
+            .flatten()
+            .all(|s| s.query_ids.iter().all(|&q| (20..30).contains(&q))));
+    }
+}

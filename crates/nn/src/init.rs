@@ -1,0 +1,60 @@
+//! Weight initialization.
+//!
+//! Everything is seeded by the caller so training runs are reproducible; no
+//! global RNG state exists anywhere in the workspace.
+
+use rand::Rng;
+
+/// He (Kaiming) uniform initialization, the default for ReLU layers.
+///
+/// Samples from `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+pub fn he_uniform<R: Rng>(rng: &mut R, fan_in: usize, n: usize) -> Vec<f32> {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    (0..n).map(|_| rng.gen_range(-bound..=bound)).collect()
+}
+
+/// Xavier/Glorot uniform initialization, used for sigmoid/tanh/linear layers.
+///
+/// Samples from `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    (0..n).map(|_| rng.gen_range(-bound..=bound)).collect()
+}
+
+/// Non-negative initialization for positivity-constrained (monotone) layers:
+/// `U(0, b)` with the Xavier bound, so the constraint holds from step zero.
+pub fn nonneg_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    (0..n).map(|_| rng.gen_range(0.0..=bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he_uniform(&mut rng, 24, 1000);
+        let b = (6.0f32 / 24.0).sqrt();
+        assert!(w.iter().all(|x| x.abs() <= b));
+        // Mean should be near zero for a symmetric distribution.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn nonneg_init_is_nonneg() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(nonneg_uniform(&mut rng, 8, 8, 500).iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = he_uniform(&mut StdRng::seed_from_u64(7), 16, 64);
+        let b = he_uniform(&mut StdRng::seed_from_u64(7), 16, 64);
+        assert_eq!(a, b);
+    }
+}

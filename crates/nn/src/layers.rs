@@ -1,0 +1,886 @@
+//! The three layer kinds the paper's models are assembled from.
+//!
+//! * [`Dense`] — fully-connected layer. With a [`WeightConstraint`] it
+//!   becomes the positivity-constrained layer used by the threshold
+//!   embedding `E2`/`E5` to make the τ-path monotone (§5.1).
+//! * [`Conv1d`] — 1-D convolution with shared weights per layer plus a
+//!   built-in pooling stage. With `kernel = stride = segment length` the
+//!   first layer evaluates one filter per query segment — exactly the
+//!   query-segmentation module `f()`/`g()` of §3.2 and Fig. 7.
+//! * [`ShiftSigmoid`] — `σ(s − t)` with a learnable per-output threshold
+//!   `t`: the "added learnable threshold before the Sigmoid activator" of
+//!   the global model (§5.1).
+//!
+//! Layers are enum variants rather than trait objects so models serialize
+//! with serde and dispatch statically.
+
+use crate::activation::Activation;
+use crate::init;
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A mutable view over one parameter tensor and its gradient accumulator.
+/// Optimizers iterate these in a deterministic order.
+pub struct ParamSlice<'a> {
+    pub values: &'a mut [f32],
+    pub grads: &'a mut [f32],
+}
+
+/// Positivity constraints on a dense layer's weights, enforced by clamping
+/// after every optimizer step (standard monotone-network practice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum WeightConstraint {
+    /// Unconstrained weights.
+    #[default]
+    None,
+    /// Every weight is clamped to `≥ 0`. Used by the threshold embedding.
+    NonNegative,
+    /// Only weights reading the flagged input columns are clamped to `≥ 0`.
+    /// Used in `strict_monotonic` mode for the first layer of `F`, whose
+    /// input concatenates `z_q ⊕ z_τ ⊕ z_D`: only the `z_τ` block must be
+    /// positive for the τ-path to stay monotone.
+    NonNegativeCols(Vec<bool>),
+}
+
+/// Pooling operator inside a [`Conv1d`] layer — the paper tunes this as the
+/// hyperparameter `θ_op ∈ {MAX, AVG, SUM}` (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolOp {
+    Max,
+    Avg,
+    Sum,
+}
+
+/// Fully-connected layer `y = act(x·Wᵀ + b)` with `W` stored `[out, in]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Matrix,
+    b: Vec<f32>,
+    gw: Matrix,
+    gb: Vec<f32>,
+    activation: Activation,
+    constraint: WeightConstraint,
+    #[serde(skip)]
+    cache_input: Option<Matrix>,
+    #[serde(skip)]
+    cache_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with activation-appropriate initialization.
+    pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+        let w = match activation {
+            Activation::Relu => init::he_uniform(rng, in_dim, in_dim * out_dim),
+            _ => init::xavier_uniform(rng, in_dim, out_dim, in_dim * out_dim),
+        };
+        Dense {
+            in_dim,
+            out_dim,
+            w: Matrix::from_vec(out_dim, in_dim, w),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(out_dim, in_dim),
+            gb: vec![0.0; out_dim],
+            activation,
+            constraint: WeightConstraint::None,
+            cache_input: None,
+            cache_output: None,
+        }
+    }
+
+    /// Creates a positivity-constrained dense layer (monotone in every
+    /// input): weights are initialized non-negative and clamped after each
+    /// step. This is the building block of the threshold embedding `E2`.
+    pub fn new_nonneg<R: Rng>(
+        rng: &mut R,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+    ) -> Self {
+        let w = init::nonneg_uniform(rng, in_dim, out_dim, in_dim * out_dim);
+        Dense {
+            in_dim,
+            out_dim,
+            w: Matrix::from_vec(out_dim, in_dim, w),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(out_dim, in_dim),
+            gb: vec![0.0; out_dim],
+            activation,
+            constraint: WeightConstraint::NonNegative,
+            cache_input: None,
+            cache_output: None,
+        }
+    }
+
+    /// Restricts positivity to the weights reading the flagged input columns.
+    pub fn with_nonneg_cols(mut self, cols: Vec<bool>) -> Self {
+        assert_eq!(cols.len(), self.in_dim, "column mask length mismatch");
+        // Make the constraint hold immediately.
+        for o in 0..self.out_dim {
+            for (i, &flag) in cols.iter().enumerate() {
+                if flag && self.w.get(o, i) < 0.0 {
+                    let v = -self.w.get(o, i);
+                    self.w.set(o, i, v);
+                }
+            }
+        }
+        self.constraint = WeightConstraint::NonNegativeCols(cols);
+        self
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Read-only view of the weight matrix (used by tests and the
+    /// monotonicity checker).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
+        let mut y = x.matmul_nt(&self.w);
+        y.add_bias(&self.b);
+        self.activation.apply(y.as_mut_slice());
+        self.cache_input = Some(x.clone());
+        self.cache_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cache_input.as_ref().expect("backward before forward");
+        let y = self.cache_output.as_ref().expect("backward before forward");
+        // Pre-activation gradient.
+        let mut g = grad_out.clone();
+        for (gi, yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *gi *= self.activation.derivative_from_output(*yi);
+        }
+        // Accumulate parameter gradients.
+        let dw = g.matmul_tn(x); // [out, in]
+        for (a, b) in self.gw.as_mut_slice().iter_mut().zip(dw.as_slice()) {
+            *a += b;
+        }
+        for r in 0..g.rows() {
+            for (gb, gi) in self.gb.iter_mut().zip(g.row(r)) {
+                *gb += gi;
+            }
+        }
+        // Input gradient: dx = g · W.
+        g.matmul_nn(&self.w)
+    }
+
+    fn apply_constraints(&mut self) {
+        match &self.constraint {
+            WeightConstraint::None => {}
+            WeightConstraint::NonNegative => {
+                for w in self.w.as_mut_slice() {
+                    if *w < 0.0 {
+                        *w = 0.0;
+                    }
+                }
+            }
+            WeightConstraint::NonNegativeCols(cols) => {
+                let out_dim = self.out_dim;
+                for o in 0..out_dim {
+                    for (i, &flag) in cols.iter().enumerate() {
+                        if flag && self.w.get(o, i) < 0.0 {
+                            self.w.set(o, i, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 1-D convolution with shared weights, built-in activation and pooling.
+///
+/// Input is `[batch, in_channels × in_len]` laid out channel-major per
+/// sample. Output is `[batch, out_channels × pool_len]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    in_channels: usize,
+    in_len: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    pool: PoolOp,
+    pool_size: usize,
+    activation: Activation,
+    /// Weights `[out_c, in_c, k]`, flattened.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    #[serde(skip)]
+    cache_input: Option<Matrix>,
+    #[serde(skip)]
+    cache_conv: Option<Matrix>,
+    #[serde(skip)]
+    cache_argmax: Option<Vec<usize>>,
+}
+
+/// Static description of a conv layer — the tuple `Θ` of tunable
+/// hyperparameters from §5.2 (Algorithm 3 searches over these).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvSpec {
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+    pub pool_size: usize,
+    pub pool: PoolOp,
+}
+
+impl Conv1d {
+    /// Creates a conv layer for input `[in_channels × in_len]`.
+    ///
+    /// # Panics
+    /// Panics if the configuration produces an empty output.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        in_len: usize,
+        spec: ConvSpec,
+        activation: Activation,
+    ) -> Self {
+        let conv_len = Self::conv_len_for(in_len, &spec);
+        assert!(conv_len >= 1, "conv configuration {spec:?} yields empty output for len {in_len}");
+        let fan_in = in_channels * spec.kernel;
+        let n = spec.out_channels * in_channels * spec.kernel;
+        let w = match activation {
+            Activation::Relu => init::he_uniform(rng, fan_in, n),
+            _ => init::xavier_uniform(rng, fan_in, spec.out_channels, n),
+        };
+        Conv1d {
+            in_channels,
+            in_len,
+            out_channels: spec.out_channels,
+            kernel: spec.kernel,
+            stride: spec.stride,
+            padding: spec.padding,
+            pool: spec.pool,
+            pool_size: spec.pool_size.max(1),
+            activation,
+            w,
+            b: vec![0.0; spec.out_channels],
+            gw: vec![0.0; n],
+            gb: vec![0.0; spec.out_channels],
+            cache_input: None,
+            cache_conv: None,
+            cache_argmax: None,
+        }
+    }
+
+    fn conv_len_for(in_len: usize, spec: &ConvSpec) -> usize {
+        let padded = in_len + 2 * spec.padding;
+        if padded < spec.kernel {
+            0
+        } else {
+            (padded - spec.kernel) / spec.stride.max(1) + 1
+        }
+    }
+
+    /// Whether `spec` is applicable to an input of length `in_len`.
+    pub fn spec_fits(in_len: usize, spec: &ConvSpec) -> bool {
+        Self::conv_len_for(in_len, spec) >= 1
+    }
+
+    /// Convolution output length before pooling.
+    pub fn conv_len(&self) -> usize {
+        let spec = ConvSpec {
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            pool_size: self.pool_size,
+            pool: self.pool,
+        };
+        Self::conv_len_for(self.in_len, &spec)
+    }
+
+    /// Output length after pooling (`ceil(conv_len / pool_size)`).
+    pub fn pool_len(&self) -> usize {
+        self.conv_len().div_ceil(self.pool_size)
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_channels * self.in_len
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_channels * self.pool_len()
+    }
+
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    #[inline]
+    fn w_at(&self, oc: usize, ic: usize, k: usize) -> f32 {
+        self.w[(oc * self.in_channels + ic) * self.kernel + k]
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "conv input width mismatch");
+        let batch = x.rows();
+        let conv_len = self.conv_len();
+        let pool_len = self.pool_len();
+        let mut conv = Matrix::zeros(batch, self.out_channels * conv_len);
+        // Convolution + activation.
+        for s in 0..batch {
+            let xin = x.row(s);
+            let orow = conv.row_mut(s);
+            for oc in 0..self.out_channels {
+                for t in 0..conv_len {
+                    let start = (t * self.stride) as isize - self.padding as isize;
+                    let mut acc = self.b[oc];
+                    for ic in 0..self.in_channels {
+                        let base = ic * self.in_len;
+                        for k in 0..self.kernel {
+                            let pos = start + k as isize;
+                            if pos >= 0 && (pos as usize) < self.in_len {
+                                acc += self.w_at(oc, ic, k) * xin[base + pos as usize];
+                            }
+                        }
+                    }
+                    orow[oc * conv_len + t] = acc;
+                }
+            }
+        }
+        self.activation.apply(conv.as_mut_slice());
+        // Pooling.
+        let mut out = Matrix::zeros(batch, self.out_channels * pool_len);
+        let mut argmax = vec![0usize; batch * self.out_channels * pool_len];
+        for s in 0..batch {
+            let crow = conv.row(s);
+            let orow = out.row_mut(s);
+            for oc in 0..self.out_channels {
+                for p in 0..pool_len {
+                    let lo = p * self.pool_size;
+                    let hi = ((p + 1) * self.pool_size).min(conv_len);
+                    let window = &crow[oc * conv_len + lo..oc * conv_len + hi];
+                    let oi = oc * pool_len + p;
+                    match self.pool {
+                        PoolOp::Max => {
+                            let (ami, amv) = window
+                                .iter()
+                                .enumerate()
+                                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                                    if v > bv {
+                                        (i, v)
+                                    } else {
+                                        (bi, bv)
+                                    }
+                                });
+                            orow[oi] = amv;
+                            argmax[(s * self.out_channels + oc) * pool_len + p] = lo + ami;
+                        }
+                        PoolOp::Avg => {
+                            orow[oi] = window.iter().sum::<f32>() / window.len() as f32;
+                        }
+                        PoolOp::Sum => {
+                            orow[oi] = window.iter().sum::<f32>();
+                        }
+                    }
+                }
+            }
+        }
+        self.cache_input = Some(x.clone());
+        self.cache_conv = Some(conv);
+        self.cache_argmax = Some(argmax);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cache_input.as_ref().expect("backward before forward");
+        let conv = self.cache_conv.as_ref().expect("backward before forward");
+        let argmax = self.cache_argmax.as_ref().expect("backward before forward");
+        let batch = x.rows();
+        let conv_len = self.conv_len();
+        let pool_len = self.pool_len();
+        // Un-pool into gradient w.r.t. post-activation conv output, then fold
+        // in the activation derivative.
+        let mut gconv = Matrix::zeros(batch, self.out_channels * conv_len);
+        for s in 0..batch {
+            let grow = grad_out.row(s);
+            let crow = gconv.row_mut(s);
+            for oc in 0..self.out_channels {
+                for p in 0..pool_len {
+                    let g = grow[oc * pool_len + p];
+                    let lo = p * self.pool_size;
+                    let hi = ((p + 1) * self.pool_size).min(conv_len);
+                    match self.pool {
+                        PoolOp::Max => {
+                            let am = argmax[(s * self.out_channels + oc) * pool_len + p];
+                            crow[oc * conv_len + am] += g;
+                        }
+                        PoolOp::Avg => {
+                            let inv = 1.0 / (hi - lo) as f32;
+                            for t in lo..hi {
+                                crow[oc * conv_len + t] += g * inv;
+                            }
+                        }
+                        PoolOp::Sum => {
+                            for t in lo..hi {
+                                crow[oc * conv_len + t] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (g, y) in gconv.as_mut_slice().iter_mut().zip(conv.as_slice()) {
+            *g *= self.activation.derivative_from_output(*y);
+        }
+        // Parameter and input gradients.
+        let mut gx = Matrix::zeros(batch, self.in_dim());
+        for s in 0..batch {
+            let xin = x.row(s);
+            let grow = gconv.row(s);
+            let gxrow = gx.row_mut(s);
+            for oc in 0..self.out_channels {
+                for t in 0..conv_len {
+                    let g = grow[oc * conv_len + t];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.gb[oc] += g;
+                    let start = (t * self.stride) as isize - self.padding as isize;
+                    for ic in 0..self.in_channels {
+                        let base = ic * self.in_len;
+                        for k in 0..self.kernel {
+                            let pos = start + k as isize;
+                            if pos >= 0 && (pos as usize) < self.in_len {
+                                let pos = pos as usize;
+                                self.gw[(oc * self.in_channels + ic) * self.kernel + k] +=
+                                    g * xin[base + pos];
+                                gxrow[base + pos] += g * self.w_at(oc, ic, k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+}
+
+/// `p = σ(s − t)` with a learnable per-output threshold vector `t`.
+///
+/// The global model emits one selection probability per data segment; the
+/// learned shift keeps the probability monotone in the query threshold
+/// while letting each segment pick its own operating point (§5.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShiftSigmoid {
+    dim: usize,
+    t: Vec<f32>,
+    gt: Vec<f32>,
+    #[serde(skip)]
+    cache_output: Option<Matrix>,
+}
+
+impl ShiftSigmoid {
+    pub fn new(dim: usize) -> Self {
+        ShiftSigmoid { dim, t: vec![0.0; dim], gt: vec![0.0; dim], cache_output: None }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "shift-sigmoid input width mismatch");
+        let mut y = x.clone();
+        for r in 0..y.rows() {
+            for (v, t) in y.row_mut(r).iter_mut().zip(&self.t) {
+                *v -= t;
+            }
+        }
+        Activation::Sigmoid.apply(y.as_mut_slice());
+        self.cache_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let y = self.cache_output.as_ref().expect("backward before forward");
+        let mut gx = grad_out.clone();
+        for (g, p) in gx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *g *= p * (1.0 - p);
+        }
+        for r in 0..gx.rows() {
+            for (gt, g) in self.gt.iter_mut().zip(gx.row(r)) {
+                *gt -= g;
+            }
+        }
+        gx
+    }
+}
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so evaluation
+/// needs no rescaling. Exp-9 credits part of GL+'s speed to "the dropout
+/// for DNN" — only a part of the parameters participating per query.
+///
+/// The layer is a no-op until [`Dropout::set_training`] turns training
+/// mode on; estimators run inference with the mask disabled.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    dim: usize,
+    p: f32,
+    #[serde(skip)]
+    training: bool,
+    /// Deterministic per-forward mask seed, advanced each call.
+    seed: u64,
+    #[serde(skip)]
+    cache_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    pub fn new(dim: usize, p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { dim, p, training: false, seed, cache_mask: None }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Enables/disables the training-time mask.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "dropout input width mismatch");
+        if !self.training || self.p == 0.0 {
+            self.cache_mask = None;
+            return x.clone();
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        self.seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.as_slice().len())
+            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
+        let mut y = x.clone();
+        for (v, m) in y.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.cache_mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match &self.cache_mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let mut g = grad_out.clone();
+                for (v, m) in g.as_mut_slice().iter_mut().zip(mask) {
+                    *v *= m;
+                }
+                g
+            }
+        }
+    }
+}
+
+/// A network layer. Enum-based so models are serde-serializable and layer
+/// dispatch is static.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    Dense(Dense),
+    Conv1d(Conv1d),
+    ShiftSigmoid(ShiftSigmoid),
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Runs the layer on a batch, caching what backward needs.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        match self {
+            Layer::Dense(l) => l.forward(x),
+            Layer::Conv1d(l) => l.forward(x),
+            Layer::ShiftSigmoid(l) => l.forward(x),
+            Layer::Dropout(l) => l.forward(x),
+        }
+    }
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient w.r.t. the layer input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match self {
+            Layer::Dense(l) => l.backward(grad_out),
+            Layer::Conv1d(l) => l.backward(grad_out),
+            Layer::ShiftSigmoid(l) => l.backward(grad_out),
+            Layer::Dropout(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Flattened output width for a given input width.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            Layer::Dense(l) => l.out_dim(),
+            Layer::Conv1d(l) => l.out_dim(),
+            Layer::ShiftSigmoid(l) => l.dim(),
+            Layer::Dropout(l) => l.dim(),
+        }
+    }
+
+    /// Flattened input width the layer expects.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            Layer::Dense(l) => l.in_dim(),
+            Layer::Conv1d(l) => l.in_dim(),
+            Layer::ShiftSigmoid(l) => l.dim(),
+            Layer::Dropout(l) => l.dim(),
+        }
+    }
+
+    /// Visits every `(values, grads)` parameter pair in deterministic order.
+    pub fn params_mut(&mut self) -> Vec<ParamSlice<'_>> {
+        match self {
+            Layer::Dense(l) => vec![
+                ParamSlice { values: l.w.as_mut_slice(), grads: l.gw.as_mut_slice() },
+                ParamSlice { values: &mut l.b, grads: &mut l.gb },
+            ],
+            Layer::Conv1d(l) => vec![
+                ParamSlice { values: &mut l.w, grads: &mut l.gw },
+                ParamSlice { values: &mut l.b, grads: &mut l.gb },
+            ],
+            Layer::ShiftSigmoid(l) => {
+                vec![ParamSlice { values: &mut l.t, grads: &mut l.gt }]
+            }
+            Layer::Dropout(_) => Vec::new(),
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(l) => l.w.as_slice().len() + l.b.len(),
+            Layer::Conv1d(l) => l.w.len() + l.b.len(),
+            Layer::ShiftSigmoid(l) => l.t.len(),
+            Layer::Dropout(_) => 0,
+        }
+    }
+
+    /// Re-establishes weight constraints after an optimizer step.
+    pub fn apply_constraints(&mut self) {
+        if let Layer::Dense(l) = self {
+            l.apply_constraints();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check over every parameter and the input,
+    /// for an arbitrary layer under a quadratic loss L = 0.5·Σ y².
+    fn grad_check(layer: &mut Layer, x: &Matrix, tol: f32) {
+        let loss = |layer: &mut Layer, x: &Matrix| -> f32 {
+            let y = layer.forward(x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        // Analytic gradients.
+        let y = layer.forward(x);
+        let gx = layer.backward(&y);
+        let analytic: Vec<Vec<f32>> =
+            layer.params_mut().iter().map(|p| p.grads.to_vec()).collect();
+        // Numeric parameter gradients.
+        let h = 2e-3f32;
+        for (pi, grads) in analytic.iter().enumerate() {
+            for wi in 0..grads.len() {
+                let orig = layer.params_mut()[pi].values[wi];
+                layer.params_mut()[pi].values[wi] = orig + h;
+                let lp = loss(layer, x);
+                layer.params_mut()[pi].values[wi] = orig - h;
+                let lm = loss(layer, x);
+                layer.params_mut()[pi].values[wi] = orig;
+                let fd = (lp - lm) / (2.0 * h);
+                let an = grads[wi];
+                let denom = fd.abs().max(an.abs()).max(1.0);
+                assert!(
+                    (fd - an).abs() / denom < tol,
+                    "param[{pi}][{wi}]: fd={fd} analytic={an}"
+                );
+            }
+        }
+        // Numeric input gradients.
+        let mut xm = x.clone();
+        for i in 0..xm.as_slice().len() {
+            let orig = xm.as_slice()[i];
+            xm.as_mut_slice()[i] = orig + h;
+            let lp = loss(layer, &xm);
+            xm.as_mut_slice()[i] = orig - h;
+            let lm = loss(layer, &xm);
+            xm.as_mut_slice()[i] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            let an = gx.as_slice()[i];
+            let denom = fd.abs().max(an.abs()).max(1.0);
+            assert!((fd - an).abs() / denom < tol, "input[{i}]: fd={fd} analytic={an}");
+        }
+    }
+
+    fn batch(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        use rand::Rng;
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn dense_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            let mut l = Layer::Dense(Dense::new(&mut rng, 5, 4, act));
+            let x = batch(&mut rng, 3, 5);
+            grad_check(&mut l, &x, 2e-2);
+        }
+    }
+
+    #[test]
+    fn nonneg_dense_stays_nonneg_after_constraint() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Dense::new_nonneg(&mut rng, 4, 3, Activation::Relu);
+        // Push weights negative, then re-apply the constraint.
+        for w in l.w.as_mut_slice() {
+            *w -= 10.0;
+        }
+        l.apply_constraints();
+        assert!(l.weights().as_slice().iter().all(|w| *w >= 0.0));
+    }
+
+    #[test]
+    fn nonneg_cols_only_clamps_masked_columns() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = Dense::new(&mut rng, 3, 2, Activation::Identity)
+            .with_nonneg_cols(vec![false, true, false]);
+        // Masked column (index 1) must already be non-negative.
+        for o in 0..2 {
+            assert!(l.weights().get(o, 1) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn conv1d_gradients_check_out_all_pools() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for pool in [PoolOp::Avg, PoolOp::Sum, PoolOp::Max] {
+            let spec = ConvSpec {
+                out_channels: 2,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                pool_size: 2,
+                pool,
+            };
+            let mut l = Layer::Conv1d(Conv1d::new(&mut rng, 2, 8, spec, Activation::Tanh));
+            let x = batch(&mut rng, 2, 16);
+            // Max pooling is piecewise-linear; a slightly looser tolerance
+            // absorbs ties near window boundaries.
+            grad_check(&mut l, &x, 3e-2);
+        }
+    }
+
+    #[test]
+    fn conv1d_segment_layout_evaluates_one_filter_per_segment() {
+        // kernel = stride = segment length: output t-th position only sees
+        // the t-th query segment — the f() layout of §3.2.
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = ConvSpec {
+            out_channels: 1,
+            kernel: 4,
+            stride: 4,
+            padding: 0,
+            pool_size: 1,
+            pool: PoolOp::Avg,
+        };
+        let mut l = Conv1d::new(&mut rng, 1, 8, spec, Activation::Identity);
+        assert_eq!(l.conv_len(), 2);
+        let x1 = Matrix::from_row(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        let x2 = Matrix::from_row(&[1.0, 2.0, 3.0, 4.0, 9.0, 9.0, 9.0, 9.0]);
+        let y1 = l.forward(&x1);
+        let y2 = l.forward(&x2);
+        // Changing segment 2 must not change the output for segment 1.
+        assert!((y1.get(0, 0) - y2.get(0, 0)).abs() < 1e-6);
+        assert!((y1.get(0, 1) - y2.get(0, 1)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn shift_sigmoid_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut l = Layer::ShiftSigmoid(ShiftSigmoid::new(4));
+        let x = batch(&mut rng, 3, 4);
+        grad_check(&mut l, &x, 2e-2);
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = batch(&mut rng, 3, 6);
+        let mut l = Dropout::new(6, 0.5, 1);
+        let y = l.forward(&x);
+        assert_eq!(y, x, "inference-mode dropout must pass through");
+        // Backward is likewise the identity.
+        let g = l.backward(&x);
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn dropout_training_zeroes_and_rescales() {
+        let mut l = Dropout::new(64, 0.5, 2);
+        l.set_training(true);
+        let x = Matrix::from_vec(4, 64, vec![1.0; 256]);
+        let y = l.forward(&x);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let twos = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, 256, "survivors must be scaled by 1/(1-p)");
+        assert!(zeros > 64 && zeros < 192, "~half the units should drop, got {zeros}");
+        // Expectation is preserved: mean stays ≈ 1.
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 256.0;
+        assert!((mean - 1.0).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_the_same_mask() {
+        let mut l = Dropout::new(32, 0.3, 3);
+        l.set_training(true);
+        let x = Matrix::from_vec(2, 32, vec![1.0; 64]);
+        let y = l.forward(&x);
+        let g = l.backward(&Matrix::from_vec(2, 32, vec![1.0; 64]));
+        // Gradient is zero exactly where the activation was dropped.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn pool_len_covers_remainder_window() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = ConvSpec {
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            pool_size: 4,
+            pool: PoolOp::Sum,
+        };
+        // conv_len = 6, pool_size 4 → windows [0,4) and [4,6).
+        let l = Conv1d::new(&mut rng, 1, 7, spec, Activation::Identity);
+        assert_eq!(l.conv_len(), 6);
+        assert_eq!(l.pool_len(), 2);
+        assert_eq!(l.out_dim(), 2);
+    }
+}

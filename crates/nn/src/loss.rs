@@ -1,0 +1,210 @@
+//! Loss functions from the paper.
+//!
+//! * [`hybrid_loss`] — the regression loss of §3.1: the model predicts
+//!   `log card` and the loss combines MAPE and λ·Q-error on the
+//!   exponentiated estimate.
+//! * [`weighted_bce_loss`] — the global model's loss of §3.3: binary
+//!   cross-entropy over per-segment selection probabilities, with positive
+//!   labels up-weighted by `1 + ε` where `ε` is the min-max-normalized
+//!   per-segment cardinality, so segments holding large cardinalities are
+//!   not missed.
+
+use serde::{Deserialize, Serialize};
+
+/// Floor applied to `min(ĉ, c)` in the Q-error term, per §2 ("we set it
+/// with a small value, e.g., 0.1").
+pub const Q_ERROR_FLOOR: f32 = 0.1;
+
+/// Configuration for the hybrid regression loss `MAPE + λ·Q-error`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HybridLoss {
+    /// Weight λ of the Q-error term (a tunable hyperparameter, §3.1).
+    pub lambda: f32,
+    /// Clamp on the magnitude of the per-sample gradient; the Q-error term
+    /// is exponential in the prediction, so clipping keeps early training
+    /// stable (the paper trains the same way implicitly via small LR).
+    pub grad_clip: f32,
+}
+
+impl Default for HybridLoss {
+    fn default() -> Self {
+        HybridLoss { lambda: 0.5, grad_clip: 10.0 }
+    }
+}
+
+impl HybridLoss {
+    /// Evaluates the loss and gradient for a batch.
+    ///
+    /// `pred_log[i]` is the network output (an estimate of `ln card`),
+    /// `card[i]` the true cardinality. Returns the mean loss and the
+    /// gradient w.r.t. each `pred_log[i]` (already averaged over the batch).
+    pub fn eval(&self, pred_log: &[f32], card: &[f32]) -> (f32, Vec<f32>) {
+        assert_eq!(pred_log.len(), card.len(), "prediction/target length mismatch");
+        let n = pred_log.len().max(1) as f32;
+        let mut grads = Vec::with_capacity(pred_log.len());
+        let mut total = 0.0f64;
+        for (&p, &c) in pred_log.iter().zip(card) {
+            // Keep exp in a safe range; card is at most a few million here.
+            let p = p.clamp(-20.0, 20.0);
+            let c_hat = p.exp();
+            let c_safe = c.max(Q_ERROR_FLOOR);
+            // MAPE term: |ĉ − c| / c, gradient = sign(ĉ − c)·ĉ/c.
+            let mape = (c_hat - c).abs() / c_safe;
+            let g_mape = (c_hat - c).signum() * c_hat / c_safe;
+            // Q-error term with the 0.1 floor.
+            let hi = c_hat.max(c).max(Q_ERROR_FLOOR);
+            let lo = c_hat.min(c).max(Q_ERROR_FLOOR);
+            let qerr = hi / lo;
+            let g_q = if c_hat >= c {
+                // q = ĉ / max(c, floor): dq/dp = ĉ / lo.
+                c_hat / lo
+            } else if c_hat > Q_ERROR_FLOOR {
+                // q = c / ĉ: dq/dp = −c/ĉ.
+                -(hi / c_hat.max(Q_ERROR_FLOOR))
+            } else {
+                // ĉ below the floor: q = hi / floor, dq/dp = 0 until ĉ
+                // re-enters the active range; nudge upward instead.
+                -(hi / Q_ERROR_FLOOR)
+            };
+            total += (mape + self.lambda * qerr) as f64;
+            let g = (g_mape + self.lambda * g_q) / n;
+            grads.push(g.clamp(-self.grad_clip, self.grad_clip));
+        }
+        ((total / n as f64) as f32, grads)
+    }
+}
+
+/// Convenience wrapper: hybrid loss with the given λ and default clipping.
+pub fn hybrid_loss(pred_log: &[f32], card: &[f32], lambda: f32) -> (f32, Vec<f32>) {
+    HybridLoss { lambda, ..HybridLoss::default() }.eval(pred_log, card)
+}
+
+/// Cardinality-weighted binary cross-entropy for the global model (§3.3).
+///
+/// For a batch of `B` queries over `n` segments:
+/// * `probs[j*n + i]` — predicted probability that segment `i` holds
+///   matches for query `j` (output of the shift-sigmoid),
+/// * `labels` — 1.0 if `card(j, i) > 0` else 0.0,
+/// * `weights` — the min-max-normalized cardinality `ε^{j}[i]` (pass zeros
+///   to recover plain BCE; this is the "no penalty" ablation of Exp-6).
+///
+/// Returns the mean loss and the gradient w.r.t. the *probabilities*.
+pub fn weighted_bce_loss(
+    probs: &[f32],
+    labels: &[f32],
+    weights: &[f32],
+) -> (f32, Vec<f32>) {
+    assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
+    assert_eq!(probs.len(), weights.len(), "probs/weights length mismatch");
+    let n = probs.len().max(1) as f32;
+    let mut grads = Vec::with_capacity(probs.len());
+    let mut total = 0.0f64;
+    const EPS: f32 = 1e-6;
+    for ((&p, &r), &eps_w) in probs.iter().zip(labels).zip(weights) {
+        let p = p.clamp(EPS, 1.0 - EPS);
+        let w_pos = 1.0 + eps_w;
+        let loss = -(r * w_pos * p.ln() + (1.0 - r) * (1.0 - p).ln());
+        total += loss as f64;
+        // dJ/dp, averaged over the batch.
+        let g = (-(r * w_pos / p) + (1.0 - r) / (1.0 - p)) / n;
+        grads.push(g.clamp(-1e4, 1e4));
+    }
+    ((total / n as f64) as f32, grads)
+}
+
+/// Min-max normalizes one query's per-segment cardinalities into the weights
+/// `ε^{j}[i]` of §3.3. A query whose cardinalities are all equal gets zero
+/// weights (the normalization is degenerate there).
+pub fn minmax_weights(cards: &[f32]) -> Vec<f32> {
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &c in cards {
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    if !lo.is_finite() || hi <= lo {
+        return vec![0.0; cards.len()];
+    }
+    cards.iter().map(|&c| (c - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_loss_is_zero_gradient_free_at_perfect_prediction() {
+        // At ĉ = c the loss is 1·λ (Q-error = 1) + 0 (MAPE).
+        let c = 50.0f32;
+        let (loss, _) = hybrid_loss(&[c.ln()], &[c], 0.5);
+        assert!((loss - 0.5).abs() < 1e-3, "loss at perfect prediction should be λ, got {loss}");
+    }
+
+    #[test]
+    fn hybrid_loss_gradient_matches_finite_difference() {
+        let lambda = 0.7;
+        for (p, c) in [(3.0f32, 10.0f32), (2.0, 20.0), (4.5, 30.0), (1.0, 8.0)] {
+            let h = 1e-3;
+            let (lp, _) = hybrid_loss(&[p + h], &[c], lambda);
+            let (lm, _) = hybrid_loss(&[p - h], &[c], lambda);
+            let fd = (lp - lm) / (2.0 * h);
+            let (_, g) = hybrid_loss(&[p], &[c], lambda);
+            assert!(
+                (fd - g[0]).abs() / fd.abs().max(1.0) < 1e-2,
+                "p={p} c={c}: fd={fd} analytic={}",
+                g[0]
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_loss_handles_zero_cardinality() {
+        // card = 0 exercises the Q-error floor; must stay finite.
+        let (loss, g) = hybrid_loss(&[2.0], &[0.0], 0.5);
+        assert!(loss.is_finite() && g[0].is_finite());
+        assert!(g[0] > 0.0, "overestimating zero cardinality must push the estimate down");
+    }
+
+    #[test]
+    fn hybrid_gradient_is_clipped() {
+        let l = HybridLoss { lambda: 1.0, grad_clip: 5.0 };
+        let (_, g) = l.eval(&[15.0], &[1.0]); // wildly overestimated
+        assert!(g[0] <= 5.0 + 1e-6);
+    }
+
+    #[test]
+    fn weighted_bce_prefers_not_missing_heavy_segments() {
+        // Two segments, both labeled positive and predicted at p = 0.3;
+        // the heavier one (weight 1.0) must receive a larger push upward.
+        let probs = [0.3f32, 0.3];
+        let labels = [1.0f32, 1.0];
+        let weights = [0.0f32, 1.0];
+        let (_, g) = weighted_bce_loss(&probs, &labels, &weights);
+        assert!(g[1] < g[0], "heavy segment should get the stronger (more negative) gradient");
+        assert!(g[0] < 0.0 && g[1] < 0.0);
+    }
+
+    #[test]
+    fn weighted_bce_gradient_matches_finite_difference() {
+        let probs = [0.2f32, 0.8, 0.55];
+        let labels = [1.0f32, 0.0, 1.0];
+        let weights = [0.5f32, 0.0, 0.9];
+        let (_, g) = weighted_bce_loss(&probs, &labels, &weights);
+        for i in 0..probs.len() {
+            let h = 1e-4;
+            let mut pp = probs;
+            pp[i] += h;
+            let (lp, _) = weighted_bce_loss(&pp, &labels, &weights);
+            pp[i] -= 2.0 * h;
+            let (lm, _) = weighted_bce_loss(&pp, &labels, &weights);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - g[i]).abs() / fd.abs().max(1.0) < 1e-2, "i={i}: fd={fd} an={}", g[i]);
+        }
+    }
+
+    #[test]
+    fn minmax_weights_normalize_and_degenerate() {
+        assert_eq!(minmax_weights(&[0.0, 5.0, 10.0]), vec![0.0, 0.5, 1.0]);
+        assert_eq!(minmax_weights(&[3.0, 3.0, 3.0]), vec![0.0, 0.0, 0.0]);
+        assert_eq!(minmax_weights(&[]), Vec::<f32>::new());
+    }
+}

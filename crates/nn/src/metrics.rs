@@ -1,0 +1,120 @@
+//! Error metrics used throughout the evaluation: Q-error, MAPE, and the
+//! mean / median / 90th / 95th / 99th / max summary the paper reports in
+//! Tables 4 and 7.
+
+use serde::{Deserialize, Serialize};
+
+use crate::loss::Q_ERROR_FLOOR;
+
+/// Q-error: `max(ĉ, c) / min(ĉ, c)` with the 0.1 floor of §2.
+pub fn q_error(estimate: f32, truth: f32) -> f32 {
+    let hi = estimate.max(truth).max(Q_ERROR_FLOOR);
+    let lo = estimate.min(truth).max(Q_ERROR_FLOOR);
+    hi / lo
+}
+
+/// Mean absolute percentage error for one estimate: `|ĉ − c| / c`
+/// (with the same floor guarding `c = 0`).
+pub fn mape(estimate: f32, truth: f32) -> f32 {
+    (estimate - truth).abs() / truth.max(Q_ERROR_FLOOR)
+}
+
+/// Summary statistics over a set of per-query errors, matching the columns
+/// of Tables 4 and 7 (Mean / Median / 90th / 95th / 99th / Max).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    pub mean: f32,
+    pub median: f32,
+    pub p90: f32,
+    pub p95: f32,
+    pub p99: f32,
+    pub max: f32,
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Computes the summary. Returns a zeroed summary for an empty input.
+    pub fn from_errors(errors: &[f32]) -> Self {
+        if errors.is_empty() {
+            return ErrorSummary { mean: 0.0, median: 0.0, p90: 0.0, p95: 0.0, p99: 0.0, max: 0.0, count: 0 };
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f32>() / sorted.len() as f32;
+        ErrorSummary {
+            mean,
+            median: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+            count: sorted.len(),
+        }
+    }
+
+    /// Builds the summary directly from `(estimate, truth)` pairs using
+    /// Q-error.
+    pub fn from_q_errors(pairs: &[(f32, f32)]) -> Self {
+        let errs: Vec<f32> = pairs.iter().map(|&(e, t)| q_error(e, t)).collect();
+        Self::from_errors(&errs)
+    }
+}
+
+/// Nearest-rank percentile on a pre-sorted slice, `q ∈ [0, 1]`.
+fn percentile(sorted: &[f32], q: f32) -> f32 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f32 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 5.0), q_error(5.0, 10.0));
+        assert!((q_error(7.0, 7.0) - 1.0).abs() < 1e-7);
+        assert!(q_error(0.0, 0.0) >= 1.0);
+    }
+
+    #[test]
+    fn q_error_floor_guards_zero() {
+        // card = 0 estimated as 10 → 10 / 0.1 = 100.
+        assert!((q_error(10.0, 0.0) - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mape_matches_definition() {
+        assert!((mape(8.0, 10.0) - 0.2).abs() < 1e-7);
+        assert!((mape(12.0, 10.0) - 0.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn summary_percentiles_are_nearest_rank() {
+        let errs: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let s = ErrorSummary::from_errors(&errs);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-4);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn summary_of_empty_input_is_zeroed() {
+        let s = ErrorSummary::from_errors(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_handles_single_element() {
+        let s = ErrorSummary::from_errors(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p99, 3.0);
+    }
+}

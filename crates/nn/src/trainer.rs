@@ -1,0 +1,367 @@
+//! Mini-batch scheduling utilities shared by every training loop in the
+//! workspace (Algorithms 1 and 2 of the paper both iterate epochs over
+//! shuffled mini-batches).
+
+use crate::loss::{weighted_bce_loss, HybridLoss};
+use crate::net::BranchNet;
+use crate::optim::{Adam, Optimizer};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Yields shuffled index mini-batches for one epoch.
+///
+/// The caller owns the sample storage; batches are index lists so that
+/// training loops can gather whatever per-sample features they need (query
+/// vectors, thresholds, distance vectors, per-segment labels) without
+/// copying the dataset.
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl BatchIter {
+    /// Creates a shuffled epoch over `n` samples.
+    pub fn new<R: Rng>(rng: &mut R, n: usize, batch_size: usize) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        BatchIter { order, batch_size: batch_size.max(1), cursor: 0 }
+    }
+
+    /// Number of batches in the epoch.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+/// Early-stopping tracker: stops when the validation error has not improved
+/// by `min_rel_improvement` for `patience` consecutive checks. Algorithm 3
+/// uses a 2% relative-improvement criterion; training loops reuse this.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    best: f32,
+    stale: usize,
+    patience: usize,
+    min_rel_improvement: f32,
+}
+
+impl EarlyStopper {
+    pub fn new(patience: usize, min_rel_improvement: f32) -> Self {
+        EarlyStopper { best: f32::INFINITY, stale: 0, patience, min_rel_improvement }
+    }
+
+    /// Records a validation error; returns `true` when training should stop.
+    pub fn should_stop(&mut self, error: f32) -> bool {
+        if !error.is_finite() {
+            self.stale += 1;
+            return self.stale > self.patience;
+        }
+        let improved = if self.best.is_finite() {
+            (self.best - error) / self.best.max(1e-12) >= self.min_rel_improvement
+        } else {
+            true
+        };
+        if improved {
+            self.best = error;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale > self.patience
+    }
+
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+/// Shared configuration for the two training loops below (Algorithms 1
+/// and 2 of the paper both run epoch/mini-batch gradient descent).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    /// λ in the hybrid loss (regression only).
+    pub lambda: f32,
+    /// Multiplied into the learning rate after each epoch.
+    pub lr_decay: f32,
+    /// Stop when the epoch loss plateaus for this many epochs (relative
+    /// improvement below 2%, matching Algorithm 3's criterion).
+    pub patience: usize,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 40,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            lambda: 0.5,
+            lr_decay: 0.98,
+            patience: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainReport {
+    pub epochs_run: usize,
+    pub final_loss: f32,
+}
+
+/// Trains a [`BranchNet`] regressor with the hybrid MAPE + λ·Q-error loss
+/// of §3.1 (Algorithm 1). The network's single output is interpreted as
+/// `ln card`.
+///
+/// `build_batch` maps a shuffled index mini-batch to the per-branch input
+/// matrices and the true cardinalities; the caller owns all feature
+/// construction (distance vectors, thresholds, …).
+pub fn train_branch_regression(
+    net: &mut BranchNet,
+    n_samples: usize,
+    build_batch: &mut dyn FnMut(&[usize]) -> (Vec<Matrix>, Vec<f32>),
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let loss_fn = HybridLoss { lambda: cfg.lambda, ..HybridLoss::default() };
+    let mut opt = Adam::new(cfg.learning_rate);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7EA1_0001);
+    let mut stopper = EarlyStopper::new(cfg.patience, 0.02);
+    let mut epoch_loss = f32::INFINITY;
+    let mut epochs_run = 0;
+    for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for idx in BatchIter::new(&mut rng, n_samples, cfg.batch_size) {
+            let (inputs, cards) = build_batch(&idx);
+            let refs: Vec<&Matrix> = inputs.iter().collect();
+            let pred = net.forward(&refs);
+            debug_assert_eq!(pred.cols(), 1, "regressor must have one output");
+            let (loss, grad) = loss_fn.eval(pred.as_slice(), &cards);
+            let gmat = Matrix::from_vec(pred.rows(), 1, grad);
+            net.backward(&gmat);
+            opt.step(&mut net.params_mut());
+            net.apply_constraints();
+            total += loss as f64;
+            batches += 1;
+        }
+        epoch_loss = (total / batches.max(1) as f64) as f32;
+        opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay);
+        if stopper.should_stop(epoch_loss) {
+            break;
+        }
+    }
+    TrainReport { epochs_run, final_loss: epoch_loss }
+}
+
+/// Trains the global discriminative model (Algorithm 2): the network's
+/// outputs are per-segment selection probabilities, trained with the
+/// cardinality-weighted BCE of §3.3.
+///
+/// `build_batch` returns the per-branch inputs plus two `B × n_segments`
+/// matrices: the 0/1 labels `R` and the min-max weights `ε`.
+pub fn train_global_classifier(
+    net: &mut BranchNet,
+    n_samples: usize,
+    build_batch: &mut dyn FnMut(&[usize]) -> (Vec<Matrix>, Matrix, Matrix),
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut opt = Adam::new(cfg.learning_rate);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7EA1_0002);
+    let mut stopper = EarlyStopper::new(cfg.patience, 0.02);
+    let mut epoch_loss = f32::INFINITY;
+    let mut epochs_run = 0;
+    for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for idx in BatchIter::new(&mut rng, n_samples, cfg.batch_size) {
+            let (inputs, labels, weights) = build_batch(&idx);
+            let refs: Vec<&Matrix> = inputs.iter().collect();
+            let probs = net.forward(&refs);
+            debug_assert_eq!(probs.cols(), labels.cols(), "one probability per segment");
+            let (loss, grad) =
+                weighted_bce_loss(probs.as_slice(), labels.as_slice(), weights.as_slice());
+            let gmat = Matrix::from_vec(probs.rows(), probs.cols(), grad);
+            net.backward(&gmat);
+            opt.step(&mut net.params_mut());
+            net.apply_constraints();
+            total += loss as f64;
+            batches += 1;
+        }
+        epoch_loss = (total / batches.max(1) as f64) as f32;
+        opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay);
+        if stopper.should_stop(epoch_loss) {
+            break;
+        }
+    }
+    TrainReport { epochs_run, final_loss: epoch_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_every_index_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let it = BatchIter::new(&mut rng, 10, 3);
+        assert_eq!(it.num_batches(), 4);
+        let mut seen: Vec<usize> = it.flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_iter_is_deterministic_per_seed() {
+        let a: Vec<Vec<usize>> = BatchIter::new(&mut StdRng::seed_from_u64(7), 8, 4).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(&mut StdRng::seed_from_u64(7), 8, 4).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn early_stopper_stops_on_plateau() {
+        let mut es = EarlyStopper::new(2, 0.02);
+        assert!(!es.should_stop(1.0));
+        assert!(!es.should_stop(0.5)); // big improvement
+        assert!(!es.should_stop(0.499)); // < 2% improvement → stale 1
+        assert!(!es.should_stop(0.498)); // stale 2
+        assert!(es.should_stop(0.498)); // stale 3 > patience
+        assert_eq!(es.best(), 0.5);
+    }
+
+    #[test]
+    fn early_stopper_tolerates_nan() {
+        let mut es = EarlyStopper::new(1, 0.02);
+        assert!(!es.should_stop(f32::NAN));
+        assert!(es.should_stop(f32::NAN));
+    }
+
+    use crate::activation::Activation;
+    use crate::layers::{Dense, Layer, ShiftSigmoid};
+    use crate::net::{BranchNet, Sequential};
+
+    /// A tiny synthetic regression: card = round(exp(2·x₀ + τ)), learnable
+    /// from (x, τ) pairs. Checks the Algorithm-1 loop converges.
+    #[test]
+    fn branch_regression_learns_a_simple_cardinality_function() {
+        let mut rng = StdRng::seed_from_u64(42);
+        use rand::Rng;
+        let n = 256;
+        let xs: Vec<[f32; 2]> = (0..n)
+            .map(|_| [rng.gen_range(0.0..1.5f32), rng.gen_range(0.0..1.5f32)])
+            .collect();
+        let taus: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0f32)).collect();
+        let cards: Vec<f32> =
+            xs.iter().zip(&taus).map(|(x, t)| (2.0 * x[0] + t).exp().round().max(1.0)).collect();
+
+        let mut init = StdRng::seed_from_u64(1);
+        let bq = Sequential::new(vec![Layer::Dense(Dense::new(&mut init, 2, 8, Activation::Relu))]);
+        let bt = Sequential::new(vec![Layer::Dense(Dense::new_nonneg(
+            &mut init,
+            1,
+            4,
+            Activation::Relu,
+        ))]);
+        let head = Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut init, 12, 8, Activation::Relu)),
+            Layer::Dense(Dense::new(&mut init, 8, 1, Activation::Identity)),
+        ]);
+        let mut net = BranchNet::new(vec![bq, bt], vec![2, 1], head);
+
+        let mut build = |idx: &[usize]| {
+            let xq = Matrix::from_rows(&idx.iter().map(|&i| &xs[i][..]).collect::<Vec<_>>());
+            let xt = Matrix::from_vec(idx.len(), 1, idx.iter().map(|&i| taus[i]).collect());
+            let c: Vec<f32> = idx.iter().map(|&i| cards[i]).collect();
+            (vec![xq, xt], c)
+        };
+        let cfg = TrainConfig { epochs: 80, batch_size: 32, learning_rate: 5e-3, ..Default::default() };
+        let report = train_branch_regression(&mut net, n, &mut build, &cfg);
+        assert!(report.final_loss.is_finite());
+
+        // Mean Q-error on the training points should be small.
+        let (inputs, cards_all) = build(&(0..n).collect::<Vec<_>>());
+        let refs: Vec<&Matrix> = inputs.iter().collect();
+        let pred = net.forward(&refs);
+        let mean_q: f32 = pred
+            .as_slice()
+            .iter()
+            .zip(&cards_all)
+            .map(|(&p, &c)| crate::metrics::q_error(p.exp(), c))
+            .sum::<f32>()
+            / n as f32;
+        assert!(mean_q < 2.0, "mean Q-error {mean_q} after training");
+    }
+
+    /// The Algorithm-2 loop must learn a linearly separable segment
+    /// selection task.
+    #[test]
+    fn global_classifier_learns_separable_selection() {
+        let mut rng = StdRng::seed_from_u64(43);
+        use rand::Rng;
+        let n = 200;
+        let n_segs = 4;
+        // Feature: x ∈ R⁴; label for segment i is 1 iff x[i] > 0.
+        let xs: Vec<[f32; 4]> = (0..n)
+            .map(|_| std::array::from_fn(|_| rng.gen_range(-1.0..1.0f32)))
+            .collect();
+        let mut init = StdRng::seed_from_u64(2);
+        let b = Sequential::new(vec![Layer::Dense(Dense::new(&mut init, 4, 8, Activation::Tanh))]);
+        let head = Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut init, 8, n_segs, Activation::Identity)),
+            Layer::ShiftSigmoid(ShiftSigmoid::new(n_segs)),
+        ]);
+        let mut net = BranchNet::new(vec![b], vec![4], head);
+
+        let mut build = |idx: &[usize]| {
+            let x = Matrix::from_rows(&idx.iter().map(|&i| &xs[i][..]).collect::<Vec<_>>());
+            let mut labels = Matrix::zeros(idx.len(), n_segs);
+            for (r, &i) in idx.iter().enumerate() {
+                for s in 0..n_segs {
+                    labels.set(r, s, if xs[i][s] > 0.0 { 1.0 } else { 0.0 });
+                }
+            }
+            let weights = Matrix::zeros(idx.len(), n_segs);
+            (vec![x], labels, weights)
+        };
+        let cfg = TrainConfig { epochs: 120, batch_size: 32, learning_rate: 1e-2, ..Default::default() };
+        train_global_classifier(&mut net, n, &mut build, &cfg);
+
+        // Accuracy at the 0.5 cut must be high.
+        let (inputs, labels, _) = build(&(0..n).collect::<Vec<_>>());
+        let refs: Vec<&Matrix> = inputs.iter().collect();
+        let probs = net.forward(&refs);
+        let mut correct = 0usize;
+        for i in 0..probs.as_slice().len() {
+            let pred = probs.as_slice()[i] > 0.5;
+            if pred == (labels.as_slice()[i] > 0.5) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / probs.as_slice().len() as f32;
+        assert!(acc > 0.9, "selection accuracy {acc}");
+    }
+}

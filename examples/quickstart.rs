@@ -1,0 +1,66 @@
+//! Quickstart: train a global-local estimator on a synthetic dataset and
+//! compare its estimates against exact cardinalities.
+//!
+//! ```sh
+//! cargo run --release -p cardest --example quickstart
+//! ```
+
+use cardest::prelude::*;
+
+fn main() {
+    // 1. Generate a synthetic stand-in for the paper's ImageNET dataset:
+    //    64-bit HashNet-style codes under normalized Hamming distance.
+    let spec = DatasetSpec {
+        n_data: 4000,
+        n_train_queries: 200,
+        n_test_queries: 50,
+        ..PaperDataset::ImageNet.spec()
+    };
+    let data = spec.generate(42);
+    println!("dataset: {} vectors, {} dims, {:?}", data.len(), data.dim(), spec.metric);
+
+    // 2. Build the labelled workload: random data points as queries, 10
+    //    thresholds per query chosen by selectivity, exact cardinalities.
+    let workload = SearchWorkload::build(&data, &spec, 42);
+    println!(
+        "workload: {} training samples, {} test samples",
+        workload.train.len(),
+        workload.test.len()
+    );
+
+    // 3. Train GL-CNN: PCA+k-means data segmentation, one CNN local model
+    //    per segment, and a global model that picks which locals to run.
+    let mut cfg = GlConfig::for_variant(GlVariant::GlCnn);
+    cfg.n_segments = 8;
+    cfg.local_train.epochs = 35;
+    cfg.local_train.learning_rate = 2e-3;
+    cfg.global_train.epochs = 30;
+    cfg.global_train.learning_rate = 2e-3;
+    let training = TrainingSet::new(&workload.queries, &workload.train);
+    let mut model = GlEstimator::train(&data, spec.metric, &training, &workload.table, &cfg);
+    println!(
+        "model: {} segments, {:.1} KB of parameters",
+        model.n_segments(),
+        model.model_bytes() as f64 / 1024.0
+    );
+
+    // 4. Estimate — and check against the exact answer.
+    let mut q_errors = Vec::new();
+    for sample in &workload.test {
+        let est = model.estimate(workload.queries.view(sample.query), sample.tau);
+        q_errors.push(q_error(est, sample.card));
+    }
+    let summary = ErrorSummary::from_errors(&q_errors);
+    println!(
+        "test Q-error: mean {:.2}, median {:.2}, p95 {:.2}, max {:.1}",
+        summary.mean, summary.median, summary.p95, summary.max
+    );
+
+    // 5. Single ad-hoc query: how many near-duplicates does point 0 have
+    //    within Hamming distance 0.15?
+    let est = model.estimate(data.view(0), 0.15);
+    let exact = (0..data.len())
+        .filter(|&p| spec.metric.distance(data.view(0), data.view(p)) <= 0.15)
+        .count();
+    println!("ad-hoc query: estimated {est:.0} vs exact {exact}");
+}

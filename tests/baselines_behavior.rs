@@ -1,0 +1,98 @@
+//! Cross-method behavioural invariants: three independent implementations
+//! of `card(q, τ, D)` must agree where they are exact, and the known
+//! weaknesses of each baseline must show up where the paper says they do.
+
+use cardest::baselines::HistogramEstimator;
+use cardest::prelude::*;
+
+fn dataset(seed: u64) -> (DatasetSpec, VectorData) {
+    let spec = DatasetSpec { n_data: 600, ..PaperDataset::ImageNet.spec() };
+    (spec, spec.generate(seed))
+}
+
+/// Sampling at ratio 1.0, the pivot index and brute force all agree.
+#[test]
+fn exact_paths_agree() {
+    let (spec, data) = dataset(501);
+    let index = PivotIndex::build(&data, spec.metric, 10, 501);
+    let mut full =
+        SamplingEstimator::with_ratio(&data, spec.metric, 1.0, 501, "Sampling (100%)");
+    for q in (0..data.len()).step_by(89) {
+        for tau in [0.1f32, 0.25, 0.4] {
+            let brute = (0..data.len())
+                .filter(|&p| spec.metric.distance(data.view(q), data.view(p)) <= tau)
+                .count() as f32;
+            assert_eq!(index.range_count(&data, data.view(q), tau) as f32, brute);
+            assert_eq!(full.estimate(data.view(q), tau), brute);
+        }
+    }
+}
+
+/// The query-oblivious histogram is calibrated in aggregate but loses to
+/// a query-aware learned estimator on per-query error over clustered data
+/// — the motivation for learning the query embedding at all.
+#[test]
+fn query_awareness_beats_global_histogram() {
+    let spec = DatasetSpec {
+        n_data: 900,
+        n_train_queries: 70,
+        n_test_queries: 20,
+        ..PaperDataset::ImageNet.spec()
+    };
+    let data = spec.generate(502);
+    let w = SearchWorkload::build(&data, &spec, 502);
+    let mut hist = HistogramEstimator::build(&data, spec.metric, 4000, 502);
+    let mut cfg = QesConfig::default();
+    cfg.train.epochs = 20;
+    let training = TrainingSet::new(&w.queries, &w.train);
+    let (mut qes, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 502);
+
+    let err = |est: &mut dyn CardinalityEstimator| -> f32 {
+        let errs: Vec<f32> = w
+            .test
+            .iter()
+            .map(|s| q_error(est.estimate(w.queries.view(s.query), s.tau), s.card))
+            .collect();
+        ErrorSummary::from_errors(&errs).mean
+    };
+    let h = err(&mut hist);
+    let q = err(&mut qes);
+    assert!(q < h, "query-aware QES ({q}) must beat the global histogram ({h})");
+}
+
+/// Kernel estimates dominate plain same-size sampling near the 0-tuple
+/// regime (the kernel's raison d'être per §6).
+#[test]
+fn kernel_never_returns_hard_zero_where_sampling_does() {
+    let (spec, data) = dataset(503);
+    let mut kernel = KernelEstimator::new(&data, spec.metric, 0.03, 503);
+    let mut sampling =
+        SamplingEstimator::with_ratio(&data, spec.metric, 0.03, 503, "Sampling (3%)");
+    let mut zero_sampling = 0usize;
+    let mut zero_kernel = 0usize;
+    for q in (0..data.len()).step_by(23) {
+        let tau = 0.05; // very selective
+        if sampling.estimate(data.view(q), tau) == 0.0 {
+            zero_sampling += 1;
+            if kernel.estimate(data.view(q), tau) == 0.0 {
+                zero_kernel += 1;
+            }
+        }
+    }
+    assert!(zero_sampling > 0, "expected the 0-tuple regime to appear");
+    assert!(
+        zero_kernel < zero_sampling,
+        "kernel smoothing should avoid some hard zeros ({zero_kernel} vs {zero_sampling})"
+    );
+}
+
+/// Every baseline's model_bytes is consistent with what it retains.
+#[test]
+fn model_size_accounting_is_sane() {
+    let (spec, data) = dataset(504);
+    let s10 = SamplingEstimator::with_ratio(&data, spec.metric, 0.10, 504, "Sampling (10%)");
+    let s1 = SamplingEstimator::with_ratio(&data, spec.metric, 0.01, 504, "Sampling (1%)");
+    assert!(s10.model_bytes() > s1.model_bytes());
+    let hist = HistogramEstimator::build(&data, spec.metric, 1000, 504);
+    assert_eq!(hist.model_bytes(), 1000 * 4);
+}

@@ -1,0 +1,192 @@
+//! End-to-end integration tests for similarity-search estimation,
+//! spanning data generation → workload labelling → segmentation →
+//! training → estimation across all the workspace crates.
+
+use cardest::prelude::*;
+use cardest_nn::trainer::TrainConfig;
+
+fn small_spec(dataset: PaperDataset, seed: u64) -> (DatasetSpec, VectorData, SearchWorkload) {
+    let spec = DatasetSpec {
+        n_data: 900,
+        n_train_queries: 70,
+        n_test_queries: 20,
+        ..dataset.spec()
+    };
+    let data = spec.generate(seed);
+    let w = SearchWorkload::build(&data, &spec, seed);
+    (spec, data, w)
+}
+
+fn fast_gl(variant: GlVariant) -> GlConfig {
+    let mut cfg = GlConfig::for_variant(variant);
+    cfg.n_segments = 6;
+    cfg.local_train = TrainConfig { epochs: 10, batch_size: 64, ..Default::default() };
+    cfg.global_train = TrainConfig { epochs: 12, batch_size: 64, ..Default::default() };
+    cfg.tuning = cardest::core::tuning::TuningConfig::fast();
+    cfg.tuning_segments = 1;
+    cfg
+}
+
+fn mean_q<E: CardinalityEstimator>(est: &mut E, w: &SearchWorkload) -> f32 {
+    let errs: Vec<f32> = w
+        .test
+        .iter()
+        .map(|s| q_error(est.estimate(w.queries.view(s.query), s.tau), s.card))
+        .collect();
+    ErrorSummary::from_errors(&errs).mean
+}
+
+/// The headline claim at miniature scale: on a clustered dataset the
+/// global-local model beats a memory-equal random sample.
+#[test]
+fn gl_beats_equal_size_sampling_on_clustered_data() {
+    let (spec, data, w) = small_spec(PaperDataset::ImageNet, 201);
+    let training = TrainingSet::new(&w.queries, &w.train);
+    let mut gl =
+        GlEstimator::train(&data, spec.metric, &training, &w.table, &fast_gl(GlVariant::GlCnn));
+    let mut sampling =
+        SamplingEstimator::with_count(&data, spec.metric, 20, 201, "Sampling (tiny)");
+    let gl_err = mean_q(&mut gl, &w);
+    let s_err = mean_q(&mut sampling, &w);
+    assert!(
+        gl_err < s_err,
+        "GL-CNN ({gl_err}) should beat a tiny sample ({s_err}) on low-selectivity queries"
+    );
+}
+
+/// Every estimator must produce finite, non-negative estimates on every
+/// dataset modality (dense + binary, all metrics).
+#[test]
+fn all_estimators_are_finite_on_all_modalities() {
+    for (dataset, seed) in [
+        (PaperDataset::Bms, 211u64),      // Jaccard / sparse binary
+        (PaperDataset::GloVe300, 212),    // Angular / dense
+        (PaperDataset::YouTube, 213),     // L2 / dense
+        (PaperDataset::ImageNet, 214),    // Hamming / binary
+    ] {
+        let (spec, data, w) = small_spec(dataset, seed);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let quick = TrainConfig { epochs: 3, ..Default::default() };
+
+        let mut estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
+            Box::new(
+                QesEstimator::train(
+                    &data,
+                    spec.metric,
+                    &training,
+                    &QesConfig { train: quick, ..Default::default() },
+                    seed,
+                )
+                .0,
+            ),
+            Box::new(
+                MlpEstimator::train(
+                    &data,
+                    spec.metric,
+                    &training,
+                    &MlpConfig { train: quick, ..Default::default() },
+                    seed,
+                )
+                .0,
+            ),
+            Box::new(
+                CardNet::train(
+                    &training,
+                    spec.tau_max,
+                    &CardNetConfig { train: quick, ..Default::default() },
+                    seed,
+                )
+                .0,
+            ),
+            Box::new(SamplingEstimator::with_ratio(&data, spec.metric, 0.1, seed, "S10")),
+            Box::new(KernelEstimator::new(&data, spec.metric, 0.05, seed)),
+        ];
+        for est in &mut estimators {
+            for s in w.test.iter().take(20) {
+                let e = est.estimate(w.queries.view(s.query), s.tau);
+                assert!(
+                    e.is_finite() && e >= 0.0,
+                    "{} produced {e} on {dataset:?}",
+                    est.name()
+                );
+            }
+        }
+    }
+}
+
+/// The learned methods should track threshold growth: mean estimate at a
+/// large τ must exceed the mean estimate at a tiny τ.
+#[test]
+fn estimates_grow_with_threshold_on_average() {
+    let (spec, data, w) = small_spec(PaperDataset::ImageNet, 221);
+    let training = TrainingSet::new(&w.queries, &w.train);
+    let (mut qes, _) = QesEstimator::train(
+        &data,
+        spec.metric,
+        &training,
+        &QesConfig {
+            train: TrainConfig { epochs: 15, ..Default::default() },
+            ..Default::default()
+        },
+        221,
+    );
+    let (mut lo_sum, mut hi_sum) = (0.0f32, 0.0f32);
+    for q in 0..20 {
+        lo_sum += qes.estimate(w.queries.view(q), 0.01);
+        hi_sum += qes.estimate(w.queries.view(q), spec.tau_max);
+    }
+    assert!(
+        hi_sum > lo_sum,
+        "mean estimate at tau_max ({hi_sum}) must exceed tau≈0 ({lo_sum})"
+    );
+}
+
+/// Training is deterministic: same seed, same model, same estimates.
+#[test]
+fn training_is_deterministic_per_seed() {
+    let (spec, data, w) = small_spec(PaperDataset::ImageNet, 231);
+    let training = TrainingSet::new(&w.queries, &w.train);
+    let cfg = QesConfig {
+        train: TrainConfig { epochs: 4, ..Default::default() },
+        ..Default::default()
+    };
+    let (mut a, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 231);
+    let (mut b, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 231);
+    for s in w.test.iter().take(10) {
+        let ea = a.estimate(w.queries.view(s.query), s.tau);
+        let eb = b.estimate(w.queries.view(s.query), s.tau);
+        assert_eq!(ea, eb);
+    }
+}
+
+/// A trained GL estimator serializes to JSON and the restored model
+/// produces bit-identical estimates (the deployment path: the paper
+/// trains offline and ships parameters to a serving engine).
+#[test]
+fn gl_model_roundtrips_through_json() {
+    let (spec, data, w) = small_spec(PaperDataset::ImageNet, 251);
+    let training = TrainingSet::new(&w.queries, &w.train);
+    let mut cfg = fast_gl(GlVariant::GlCnn);
+    cfg.local_train.epochs = 4;
+    cfg.global_train.epochs = 4;
+    let mut original = GlEstimator::train(&data, spec.metric, &training, &w.table, &cfg);
+    let json = original.to_json().expect("serialize");
+    let mut restored = GlEstimator::from_json(&json).expect("deserialize");
+    for s in w.test.iter().take(15) {
+        let a = original.estimate(w.queries.view(s.query), s.tau);
+        let b = restored.estimate(w.queries.view(s.query), s.tau);
+        assert_eq!(a, b, "restored model diverged at tau={}", s.tau);
+    }
+}
+
+/// The exact index agrees with the workload's ground-truth labels — two
+/// independent implementations of `card(q, τ, D)`.
+#[test]
+fn pivot_index_agrees_with_ground_truth_labels() {
+    let (spec, data, w) = small_spec(PaperDataset::GloVe300, 241);
+    let index = PivotIndex::build(&data, spec.metric, 10, 241);
+    for s in w.test.iter().take(40) {
+        let exact = index.range_count(&data, w.queries.view(s.query), s.tau);
+        assert_eq!(exact as f32, s.card, "index disagrees with labels at tau={}", s.tau);
+    }
+}

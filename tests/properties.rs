@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! workspace: metric axioms, loss behaviour, error metrics, label
+//! partitioning and model monotonicity.
+
+use cardest::prelude::*;
+use cardest_nn::loss::{hybrid_loss, minmax_weights};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+// ---------- metric axioms ----------
+
+fn dense_vec(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, dim)
+}
+
+proptest! {
+    /// §3.2's identity: on unit vectors the cosine distance equals half
+    /// the squared Euclidean distance, for arbitrary directions.
+    #[test]
+    fn cosine_l2_identity_on_unit_vectors(a in dense_vec(8), b in dense_vec(8)) {
+        let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assume!(norm(&a) > 1e-3 && norm(&b) > 1e-3);
+        let ua: Vec<f32> = a.iter().map(|x| x / norm(&a)).collect();
+        let ub: Vec<f32> = b.iter().map(|x| x / norm(&b)).collect();
+        let cos = Metric::Cosine.distance(VectorView::Dense(&ua), VectorView::Dense(&ub));
+        let l2 = Metric::L2.distance(VectorView::Dense(&ua), VectorView::Dense(&ub));
+        prop_assert!((cos - l2 * l2 / 2.0).abs() < 2e-3, "cos={cos} l2²/2={}", l2 * l2 / 2.0);
+    }
+
+    /// Symmetry and self-distance ≈ 0 for the dense metrics.
+    #[test]
+    fn dense_metrics_are_symmetric(a in dense_vec(12), b in dense_vec(12)) {
+        for m in [Metric::L1, Metric::L2, Metric::Angular] {
+            let ab = m.distance(VectorView::Dense(&a), VectorView::Dense(&b));
+            let ba = m.distance(VectorView::Dense(&b), VectorView::Dense(&a));
+            prop_assert!((ab - ba).abs() <= 1e-5 * ab.abs().max(1.0));
+            let aa = m.distance(VectorView::Dense(&a), VectorView::Dense(&a));
+            prop_assert!(aa.abs() < 1e-2, "{m:?} self-distance {aa}");
+        }
+    }
+
+    /// Triangle inequality for L1/L2/Hamming on random binary vectors.
+    #[test]
+    fn binary_metrics_satisfy_triangle_inequality(
+        xs in prop::collection::vec(prop::collection::vec(any::<bool>(), 40), 3)
+    ) {
+        let mut data = BinaryData::new(40);
+        for x in &xs {
+            data.push_bools(x);
+        }
+        let v = |i: usize| VectorView::Binary { words: data.row(i), dim: 40 };
+        for m in [Metric::Hamming, Metric::Jaccard] {
+            let ab = m.distance(v(0), v(1));
+            let bc = m.distance(v(1), v(2));
+            let ac = m.distance(v(0), v(2));
+            prop_assert!(
+                ac <= ab + bc + 1e-5,
+                "{m:?}: d(a,c)={ac} > d(a,b)+d(b,c)={}",
+                ab + bc
+            );
+        }
+    }
+
+    /// Binary distances are invariant under the dense expansion: the
+    /// popcount fast path equals the elementwise generic path.
+    #[test]
+    fn binary_fast_path_matches_dense_expansion(
+        a in prop::collection::vec(any::<bool>(), 70),
+        b in prop::collection::vec(any::<bool>(), 70),
+    ) {
+        let mut data = BinaryData::new(70);
+        data.push_bools(&a);
+        data.push_bools(&b);
+        let af: Vec<f32> = a.iter().map(|&x| x as u8 as f32).collect();
+        let bf: Vec<f32> = b.iter().map(|&x| x as u8 as f32).collect();
+        for m in [Metric::Hamming, Metric::Jaccard] {
+            let fast = m.distance(
+                VectorView::Binary { words: data.row(0), dim: 70 },
+                VectorView::Binary { words: data.row(1), dim: 70 },
+            );
+            let slow = m.distance(VectorView::Dense(&af), VectorView::Dense(&bf));
+            prop_assert!((fast - slow).abs() < 1e-5, "{m:?}: {fast} vs {slow}");
+        }
+    }
+}
+
+// ---------- error metrics and losses ----------
+
+proptest! {
+    /// Q-error is symmetric, ≥ 1, and exactly 1 on perfect estimates.
+    #[test]
+    fn q_error_axioms(est in 0.0f32..1e6, truth in 0.0f32..1e6) {
+        let q = q_error(est, truth);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q - q_error(truth, est)).abs() < 1e-3 * q);
+        prop_assert!((q_error(truth, truth) - 1.0).abs() < 1e-6);
+    }
+
+    /// The hybrid loss pushes the estimate toward the truth: gradient is
+    /// positive when overestimating, negative when underestimating.
+    #[test]
+    fn hybrid_loss_gradient_points_at_truth(card in 1.0f32..10_000.0, off in 0.3f32..3.0) {
+        let log_truth = card.ln();
+        let (_, g_over) = hybrid_loss(&[log_truth + off], &[card], 0.5);
+        let (_, g_under) = hybrid_loss(&[log_truth - off], &[card], 0.5);
+        prop_assert!(g_over[0] > 0.0, "overestimate must push down, got {}", g_over[0]);
+        prop_assert!(g_under[0] < 0.0, "underestimate must push up, got {}", g_under[0]);
+    }
+
+    /// Min-max weights are within [0,1] and hit both bounds when the
+    /// input has spread.
+    #[test]
+    fn minmax_weights_bounds(cards in prop::collection::vec(0.0f32..1e5, 2..20)) {
+        let w = minmax_weights(&cards);
+        prop_assert!(w.iter().all(|x| (0.0..=1.0).contains(x)));
+        let spread = cards.iter().cloned().fold(f32::MIN, f32::max)
+            - cards.iter().cloned().fold(f32::MAX, f32::min);
+        if spread > 0.0 {
+            prop_assert!(w.contains(&0.0) && w.contains(&1.0));
+        }
+    }
+
+    /// ErrorSummary percentiles are ordered: median ≤ p90 ≤ p95 ≤ p99 ≤ max.
+    #[test]
+    fn summary_percentiles_are_ordered(errs in prop::collection::vec(1.0f32..1e4, 1..200)) {
+        let s = ErrorSummary::from_errors(&errs);
+        prop_assert!(s.median <= s.p90 + 1e-6);
+        prop_assert!(s.p90 <= s.p95 + 1e-6);
+        prop_assert!(s.p95 <= s.p99 + 1e-6);
+        prop_assert!(s.p99 <= s.max + 1e-6);
+        prop_assert!(s.mean <= s.max + 1e-6);
+    }
+}
+
+// ---------- ground truth ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact cardinality is monotone in τ and segment labels always
+    /// partition the total, for arbitrary thresholds.
+    #[test]
+    fn cardinality_is_monotone_and_partitioned(taus in prop::collection::vec(0.0f32..1.0, 1..8)) {
+        static CTX: OnceLock<(VectorData, DatasetSpec)> = OnceLock::new();
+        let (data, spec) = CTX.get_or_init(|| {
+            let spec = DatasetSpec { n_data: 300, ..PaperDataset::ImageNet.spec() };
+            (spec.generate(5), spec)
+        });
+        let queries = data.gather(&[0, 17]);
+        let table = cardest::data::ground_truth::DistanceTable::compute(
+            &queries, data, spec.metric,
+        );
+        let seg_of: Vec<usize> = (0..data.len()).map(|i| i % 5).collect();
+        let mut sorted = taus.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in 0..2 {
+            let mut prev = 0u32;
+            for &tau in &sorted {
+                let c = table.cardinality(q, tau);
+                prop_assert!(c >= prev, "cardinality decreased with tau");
+                let segs = table.segment_cardinalities(q, tau, &seg_of, 5);
+                prop_assert_eq!(segs.iter().sum::<u32>(), c);
+                prev = c;
+            }
+        }
+    }
+}
+
+// ---------- learned-model monotonicity ----------
+
+/// CardNet's prefix-sum construction is monotone in τ for *any* query and
+/// *any* τ pair — checked against a model trained once.
+#[test]
+fn cardnet_monotonicity_property() {
+    static MODEL: OnceLock<(std::sync::Mutex<CardNet>, SearchWorkload, f32)> = OnceLock::new();
+    let (model, w, tau_max) = MODEL.get_or_init(|| {
+        let spec = DatasetSpec {
+            n_data: 500,
+            n_train_queries: 40,
+            n_test_queries: 10,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let data = spec.generate(9);
+        let w = SearchWorkload::build(&data, &spec, 9);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let mut cfg = CardNetConfig::default();
+        cfg.train.epochs = 4;
+        let (net, _) = CardNet::train(&training, spec.tau_max, &cfg, 9);
+        (std::sync::Mutex::new(net), w, spec.tau_max)
+    });
+    let mut runner = proptest::test_runner::TestRunner::default();
+    runner
+        .run(
+            &(0usize..40, 0.0f32..1.0, 0.0f32..1.0),
+            |(q, t1, t2)| {
+                let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+                let mut net = model.lock().expect("no poisoning");
+                let e_lo = net.estimate(w.queries.view(q), lo * tau_max);
+                let e_hi = net.estimate(w.queries.view(q), hi * tau_max);
+                prop_assert!(
+                    e_hi >= e_lo - 1e-4,
+                    "CardNet not monotone: q={q} {e_lo} @ {lo} vs {e_hi} @ {hi}"
+                );
+                Ok(())
+            },
+        )
+        .expect("monotonicity property holds");
+}

@@ -1,0 +1,97 @@
+//! Serde round-trips of the persistent artifacts: datasets, workload
+//! samples, segmentations and network layers. The paper's deployment story
+//! (train in PyTorch, copy parameters into a C++ engine) maps here to
+//! serde round-trips that must preserve behaviour exactly.
+
+use cardest::cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
+use cardest::prelude::*;
+
+#[test]
+fn vector_data_roundtrips_both_layouts() {
+    let spec = DatasetSpec { n_data: 120, ..PaperDataset::ImageNet.spec() };
+    let binary = spec.generate(1);
+    let json = serde_json::to_string(&binary).expect("serialize binary");
+    let back: VectorData = serde_json::from_str(&json).expect("deserialize binary");
+    assert_eq!(binary, back);
+
+    let spec = DatasetSpec { n_data: 80, ..PaperDataset::GloVe300.spec() };
+    let dense = spec.generate(2);
+    let json = serde_json::to_string(&dense).expect("serialize dense");
+    let back: VectorData = serde_json::from_str(&json).expect("deserialize dense");
+    assert_eq!(dense, back);
+}
+
+#[test]
+fn workload_samples_roundtrip() {
+    let spec = DatasetSpec {
+        n_data: 300,
+        n_train_queries: 20,
+        n_test_queries: 5,
+        ..PaperDataset::ImageNet.spec()
+    };
+    let data = spec.generate(3);
+    let w = SearchWorkload::build(&data, &spec, 3);
+    let json = serde_json::to_string(&w.train).expect("serialize samples");
+    let back: Vec<SearchSample> = serde_json::from_str(&json).expect("deserialize samples");
+    assert_eq!(w.train, back);
+
+    let j = JoinWorkload::build(&w, 5, 2, 3);
+    let json = serde_json::to_string(&j.train).expect("serialize join sets");
+    let back: Vec<JoinSet> = serde_json::from_str(&json).expect("deserialize join sets");
+    assert_eq!(j.train, back);
+}
+
+#[test]
+fn segmentation_roundtrip_preserves_routing() {
+    let spec = DatasetSpec { n_data: 400, ..PaperDataset::ImageNet.spec() };
+    let data = spec.generate(4);
+    let seg = Segmentation::fit(
+        &data,
+        spec.metric,
+        &SegmentationConfig {
+            n_segments: 6,
+            method: SegmentationMethod::PcaKMeans,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let json = serde_json::to_string(&seg).expect("serialize segmentation");
+    let back: Segmentation = serde_json::from_str(&json).expect("deserialize segmentation");
+    assert_eq!(seg.assignment(), back.assignment());
+    for i in (0..data.len()).step_by(37) {
+        assert_eq!(seg.nearest_segment(data.view(i)), back.nearest_segment(data.view(i)));
+        assert_eq!(
+            seg.centroid_distances(data.view(i)),
+            back.centroid_distances(data.view(i))
+        );
+    }
+}
+
+#[test]
+fn metric_and_spec_roundtrip() {
+    for spec in paper_datasets() {
+        let json = serde_json::to_string(&spec).expect("serialize spec");
+        let back: DatasetSpec = serde_json::from_str(&json).expect("deserialize spec");
+        assert_eq!(spec.metric, back.metric);
+        assert_eq!(spec.dim, back.dim);
+        assert_eq!(spec.tau_max, back.tau_max);
+    }
+}
+
+#[test]
+fn trained_layers_roundtrip_with_fresh_caches() {
+    use cardest::nn::layers::{Dense, Layer};
+    use cardest::nn::{Activation, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut layer = Layer::Dense(Dense::new(&mut rng, 6, 4, Activation::Relu));
+    let x = Matrix::from_row(&[0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
+    let y_before = layer.forward(&x);
+    // Round-trip mid-life: caches are skipped, parameters preserved.
+    let json = serde_json::to_string(&layer).expect("serialize layer");
+    let mut back: Layer = serde_json::from_str(&json).expect("deserialize layer");
+    let y_after = back.forward(&x);
+    assert_eq!(y_before, y_after);
+}
