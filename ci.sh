@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Repository CI gate: formatting, lints, and the full test suite.
+# Usage: ./ci.sh  (add CARGO_FLAGS=--offline for air-gapped machines)
+set -eu
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
+cargo test --workspace ${CARGO_FLAGS:-} -q

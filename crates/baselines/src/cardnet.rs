@@ -62,8 +62,6 @@ pub struct CardNet {
     /// Cap on emitted estimates: twice the largest training cardinality
     /// (the decoder's softplus increments are otherwise unbounded).
     card_cap: f32,
-    /// Scratch buffer for dense query expansion.
-    buf: Vec<f32>,
 }
 
 impl CardNet {
@@ -81,11 +79,26 @@ impl CardNet {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xCA2D);
         let encoder = Sequential::new(vec![
             Layer::Dense(Dense::new(&mut rng, dim, cfg.hidden, Activation::Relu)),
-            Layer::Dense(Dense::new(&mut rng, cfg.hidden, 2 * cfg.latent, Activation::Identity)),
+            Layer::Dense(Dense::new(
+                &mut rng,
+                cfg.hidden,
+                2 * cfg.latent,
+                Activation::Identity,
+            )),
         ]);
         let decoder = Sequential::new(vec![
-            Layer::Dense(Dense::new(&mut rng, cfg.latent, cfg.hidden, Activation::Relu)),
-            Layer::Dense(Dense::new(&mut rng, cfg.hidden, cfg.buckets, Activation::Identity)),
+            Layer::Dense(Dense::new(
+                &mut rng,
+                cfg.latent,
+                cfg.hidden,
+                Activation::Relu,
+            )),
+            Layer::Dense(Dense::new(
+                &mut rng,
+                cfg.hidden,
+                cfg.buckets,
+                Activation::Identity,
+            )),
         ]);
         let card_cap = training
             .samples
@@ -100,7 +113,6 @@ impl CardNet {
             buckets: cfg.buckets,
             tau_max,
             card_cap,
-            buf: Vec::with_capacity(dim),
         };
         let report = net.fit(training, cfg, seed);
         (net, report)
@@ -109,7 +121,10 @@ impl CardNet {
     fn fit(&mut self, training: &TrainingSet<'_>, cfg: &CardNetConfig, seed: u64) -> TrainReport {
         let dim = training.queries.dim();
         let n = training.samples.len();
-        let loss_fn = HybridLoss { lambda: cfg.train.lambda, ..HybridLoss::default() };
+        let loss_fn = HybridLoss {
+            lambda: cfg.train.lambda,
+            ..HybridLoss::default()
+        };
         let mut opt = Adam::new(cfg.train.learning_rate);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xCA2E);
         let mut stopper = EarlyStopper::new(cfg.train.patience, 0.02);
@@ -147,7 +162,7 @@ impl CardNet {
                     }
                 }
                 let dec = self.decoder.forward(&z); // [b, buckets]
-                // Increments and prefix estimate at each sample's τ.
+                                                    // Increments and prefix estimate at each sample's τ.
                 let (pred_log, cum_info) = self.prefix_estimates(&dec, &taus);
                 let (loss, grad_log) = loss_fn.eval(&pred_log, &cards);
                 // KL term.
@@ -203,22 +218,21 @@ impl CardNet {
                 break;
             }
         }
-        TrainReport { epochs_run, final_loss: epoch_loss }
+        TrainReport {
+            epochs_run,
+            final_loss: epoch_loss,
+        }
     }
 
     /// Converts decoder outputs into per-sample `ln card` estimates via the
     /// softplus-increment prefix sum, interpolating inside the bucket that
     /// contains τ. Returns `(pred_log, per-sample (bucket, frac, ĉ))`.
-    fn prefix_estimates(
-        &self,
-        dec: &Matrix,
-        taus: &[f32],
-    ) -> (Vec<f32>, Vec<(usize, f32, f32)>) {
+    fn prefix_estimates(&self, dec: &Matrix, taus: &[f32]) -> (Vec<f32>, Vec<(usize, f32, f32)>) {
         let b = dec.rows();
         let mut pred_log = Vec::with_capacity(b);
         let mut info = Vec::with_capacity(b);
-        for r in 0..b {
-            let pos = (taus[r] / self.tau_max).clamp(0.0, 1.0) * self.buckets as f32;
+        for (r, &tau) in taus.iter().enumerate().take(b) {
+            let pos = (tau / self.tau_max).clamp(0.0, 1.0) * self.buckets as f32;
             let bucket = (pos.floor() as usize).min(self.buckets - 1);
             let frac = (pos - bucket as f32).clamp(0.0, 1.0);
             let mut cum = 0.0f32;
@@ -232,15 +246,37 @@ impl CardNet {
         (pred_log, info)
     }
 
-    /// Estimate at inference time (z = μ, no sampling).
-    fn infer(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
-        q.write_dense(&mut self.buf);
-        let xq = Matrix::from_row(&self.buf);
-        let enc = self.encoder.forward(&xq);
-        let z = Matrix::from_vec(1, self.latent, enc.row(0)[..self.latent].to_vec());
-        let dec = self.decoder.forward(&z);
-        let (pred_log, _) = self.prefix_estimates(&dec, &[tau]);
-        pred_log[0].exp().min(self.card_cap)
+    /// Batched estimate at inference time (z = μ, no sampling): one
+    /// encoder/decoder pass for the whole batch, immutably.
+    fn infer_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Vec<f32> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let b = queries.len();
+        let dim = self.encoder.layers()[0].in_dim();
+        cardest_nn::scratch::with_thread_scratch(|scratch| {
+            let mut xq = scratch.take(b, dim);
+            let mut qbuf: Vec<f32> = Vec::with_capacity(dim);
+            for (r, &(q, _)) in queries.iter().enumerate() {
+                q.write_dense(&mut qbuf);
+                xq.row_mut(r).copy_from_slice(&qbuf);
+            }
+            let enc = self.encoder.infer(&xq, scratch);
+            let mut z = scratch.take(b, self.latent);
+            for r in 0..b {
+                z.row_mut(r).copy_from_slice(&enc.row(r)[..self.latent]);
+            }
+            let dec = self.decoder.infer(&z, scratch);
+            let taus: Vec<f32> = queries.iter().map(|&(_, tau)| tau).collect();
+            let (pred_log, _) = self.prefix_estimates(&dec, &taus);
+            for m in [xq, enc, z, dec] {
+                scratch.recycle(m);
+            }
+            pred_log
+                .iter()
+                .map(|p| p.exp().min(self.card_cap))
+                .collect()
+        })
     }
 }
 
@@ -249,8 +285,12 @@ impl CardinalityEstimator for CardNet {
         "CardNet"
     }
 
-    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
-        self.infer(q, tau)
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
+        self.infer_batch(&[(q, tau)])[0]
+    }
+
+    fn estimate_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Vec<f32> {
+        self.infer_batch(queries)
     }
 
     fn model_bytes(&self) -> usize {
@@ -297,10 +337,13 @@ mod tests {
         let (w, spec) = tiny();
         let training = TrainingSet::new(&w.queries, &w.train);
         let cfg = CardNetConfig {
-            train: TrainConfig { epochs: 5, ..Default::default() },
+            train: TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let (mut net, _) = CardNet::train(&training, spec.tau_max, &cfg, 61);
+        let (net, _) = CardNet::train(&training, spec.tau_max, &cfg, 61);
         for q in 0..6 {
             let mut prev = -1.0f32;
             for i in 0..=20 {
@@ -316,7 +359,7 @@ mod tests {
     fn training_improves_over_initialization() {
         let (w, spec) = tiny();
         let training = TrainingSet::new(&w.queries, &w.train);
-        let eval = |net: &mut CardNet| {
+        let eval = |net: &CardNet| {
             let pairs: Vec<(f32, f32)> = w
                 .test
                 .iter()
@@ -325,21 +368,27 @@ mod tests {
             ErrorSummary::from_q_errors(&pairs).mean
         };
         let cfg0 = CardNetConfig {
-            train: TrainConfig { epochs: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let (mut untrained, _) = CardNet::train(&training, spec.tau_max, &cfg0, 62);
+        let (untrained, _) = CardNet::train(&training, spec.tau_max, &cfg0, 62);
         let cfg = CardNetConfig {
-            train: TrainConfig { epochs: 40, ..Default::default() },
+            train: TrainConfig {
+                epochs: 40,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let (mut trained, report) = CardNet::train(&training, spec.tau_max, &cfg, 62);
+        let (trained, report) = CardNet::train(&training, spec.tau_max, &cfg, 62);
         assert!(report.final_loss.is_finite());
         assert!(
-            eval(&mut trained) < eval(&mut untrained) * 1.05,
+            eval(&trained) < eval(&untrained) * 1.05,
             "training did not help: {} vs {}",
-            eval(&mut trained),
-            eval(&mut untrained)
+            eval(&trained),
+            eval(&untrained)
         );
     }
 
@@ -348,10 +397,13 @@ mod tests {
         let (w, spec) = tiny();
         let training = TrainingSet::new(&w.queries, &w.train);
         let cfg = CardNetConfig {
-            train: TrainConfig { epochs: 2, ..Default::default() },
+            train: TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let (mut net, _) = CardNet::train(&training, spec.tau_max, &cfg, 63);
+        let (net, _) = CardNet::train(&training, spec.tau_max, &cfg, 63);
         let a = net.estimate(w.queries.view(0), 0.1);
         let b = net.estimate(w.queries.view(0), 0.1);
         assert_eq!(a, b, "inference must not sample the latent");
@@ -362,7 +414,10 @@ mod tests {
         let (w, spec) = tiny();
         let training = TrainingSet::new(&w.queries, &w.train);
         let cfg = CardNetConfig {
-            train: TrainConfig { epochs: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (net, _) = CardNet::train(&training, spec.tau_max, &cfg, 64);

@@ -37,7 +37,10 @@ impl HistogramEstimator {
             distances.push(metric.distance(data.view(a), data.view(b)));
         }
         distances.sort_by(|x, y| x.total_cmp(y));
-        HistogramEstimator { distances, n_data: data.len() }
+        HistogramEstimator {
+            distances,
+            n_data: data.len(),
+        }
     }
 
     /// Empirical CDF of the sampled distance distribution at `tau`.
@@ -52,7 +55,7 @@ impl CardinalityEstimator for HistogramEstimator {
         "Histogram (query-oblivious)"
     }
 
-    fn estimate(&mut self, _q: VectorView<'_>, tau: f32) -> f32 {
+    fn estimate(&self, _q: VectorView<'_>, tau: f32) -> f32 {
         self.n_data as f32 * self.cdf(tau)
     }
 
@@ -68,7 +71,10 @@ mod tests {
 
     #[test]
     fn cdf_is_monotone_and_bounded() {
-        let spec = DatasetSpec { n_data: 400, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 400,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(71);
         let h = HistogramEstimator::build(&data, spec.metric, 2000, 71);
         let mut prev = -1.0f32;
@@ -84,9 +90,12 @@ mod tests {
 
     #[test]
     fn estimate_ignores_the_query() {
-        let spec = DatasetSpec { n_data: 300, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 300,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(72);
-        let mut h = HistogramEstimator::build(&data, spec.metric, 1000, 72);
+        let h = HistogramEstimator::build(&data, spec.metric, 1000, 72);
         let a = h.estimate(data.view(0), 0.3);
         let b = h.estimate(data.view(123), 0.3);
         assert_eq!(a, b, "the histogram baseline is query-oblivious by design");
@@ -96,9 +105,12 @@ mod tests {
     fn estimates_are_calibrated_on_average() {
         // Averaged over queries, the global CDF matches the mean
         // cardinality (it errs per-query, not in aggregate).
-        let spec = DatasetSpec { n_data: 500, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 500,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(73);
-        let mut h = HistogramEstimator::build(&data, spec.metric, 4000, 73);
+        let h = HistogramEstimator::build(&data, spec.metric, 4000, 73);
         let tau = 0.4;
         let mean_true: f32 = (0..50)
             .map(|q| {

@@ -32,7 +32,10 @@ pub struct KernelEstimator {
 impl KernelEstimator {
     /// Retains `ratio · n` sample points.
     pub fn new(data: &VectorData, metric: Metric, ratio: f32, seed: u64) -> Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "sampling ratio must be in (0, 1]");
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "sampling ratio must be in (0, 1]"
+        );
         let m = ((data.len() as f32 * ratio).round() as usize).clamp(2, data.len());
         let mut ids: Vec<usize> = (0..data.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5);
@@ -56,10 +59,11 @@ impl CardinalityEstimator for KernelEstimator {
         "Kernel-based"
     }
 
-    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
         let m = self.sample.len();
-        let dists: Vec<f32> =
-            (0..m).map(|i| self.metric.distance(q, self.sample.view(i))).collect();
+        let dists: Vec<f32> = (0..m)
+            .map(|i| self.metric.distance(q, self.sample.view(i)))
+            .collect();
         // Scott's rule on the distance sample: h = σ · m^(−1/5).
         let mean = dists.iter().sum::<f32>() / m as f32;
         let var = dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / m as f32;
@@ -84,8 +88,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -108,15 +111,21 @@ mod tests {
 
     #[test]
     fn estimates_are_smooth_and_monotone_in_tau() {
-        let spec = DatasetSpec { n_data: 800, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 800,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(41);
-        let mut k = KernelEstimator::new(&data, spec.metric, 0.05, 41);
+        let k = KernelEstimator::new(&data, spec.metric, 0.05, 41);
         let q = data.view(3);
         let mut prev = -1.0f32;
         for i in 0..10 {
             let tau = i as f32 * 0.05;
             let est = k.estimate(q, tau);
-            assert!(est >= prev - 1e-4, "kernel estimate not monotone at τ={tau}");
+            assert!(
+                est >= prev - 1e-4,
+                "kernel estimate not monotone at τ={tau}"
+            );
             assert!(est.is_finite() && est >= 0.0);
             prev = est;
         }
@@ -127,9 +136,12 @@ mod tests {
         // Pick a threshold just below the nearest sample distance: plain
         // sampling counts zero matches, but the kernel's smoothed CDF
         // still produces a positive estimate.
-        let spec = DatasetSpec { n_data: 800, ..PaperDataset::GloVe300.spec() };
+        let spec = DatasetSpec {
+            n_data: 800,
+            ..PaperDataset::GloVe300.spec()
+        };
         let data = spec.generate(42);
-        let mut k = KernelEstimator::new(&data, spec.metric, 0.02, 42);
+        let k = KernelEstimator::new(&data, spec.metric, 0.02, 42);
         let q = data.view(1);
         let nearest = (0..k.sample_size())
             .map(|i| spec.metric.distance(q, k.sample.view(i)))
@@ -145,9 +157,12 @@ mod tests {
 
     #[test]
     fn large_tau_estimate_approaches_dataset_size() {
-        let spec = DatasetSpec { n_data: 500, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 500,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(43);
-        let mut k = KernelEstimator::new(&data, spec.metric, 0.2, 43);
+        let k = KernelEstimator::new(&data, spec.metric, 0.2, 43);
         let est = k.estimate(data.view(0), 1.0); // every point within τ
         assert!(
             (est - 500.0).abs() / 500.0 < 0.1,

@@ -56,15 +56,15 @@ impl Default for MlpConfig {
     }
 }
 
-/// The trained basic-MLP estimator.
+/// The trained basic-MLP estimator. Inference is immutable (`&self`): the
+/// forward pass draws temporaries from a thread-local scratch pool, so one
+/// trained model can be shared across serving threads.
 pub struct MlpEstimator {
     net: BranchNet,
     samples: VectorData,
     metric: Metric,
     /// Dataset size at training time; estimates are capped here.
     n_data: usize,
-    /// Scratch buffer for dense query expansion.
-    buf: Vec<f32>,
 }
 
 impl MlpEstimator {
@@ -91,7 +91,6 @@ impl MlpEstimator {
             samples,
             metric,
             n_data: data.len(),
-            buf: Vec::with_capacity(dim),
         };
 
         // Precompute each training query's distance vector once.
@@ -143,17 +142,32 @@ impl MlpEstimator {
 fn build_net(dim: usize, k: usize, cfg: &MlpConfig, rng: &mut StdRng) -> BranchNet {
     let e1 = Sequential::new(vec![
         Layer::Dense(Dense::new(rng, dim, cfg.embed_q * 2, Activation::Relu)),
-        Layer::Dense(Dense::new(rng, cfg.embed_q * 2, cfg.embed_q, Activation::Relu)),
+        Layer::Dense(Dense::new(
+            rng,
+            cfg.embed_q * 2,
+            cfg.embed_q,
+            Activation::Relu,
+        )),
     ]);
     // One hidden layer, positive weights (§5.1).
     let e2 = Sequential::new(vec![
         Layer::Dense(Dense::new_nonneg(rng, 1, cfg.embed_t, Activation::Relu)),
-        Layer::Dense(Dense::new_nonneg(rng, cfg.embed_t, cfg.embed_t, Activation::Relu)),
+        Layer::Dense(Dense::new_nonneg(
+            rng,
+            cfg.embed_t,
+            cfg.embed_t,
+            Activation::Relu,
+        )),
     ]);
     // Two hidden layers (§5.1).
     let e3 = Sequential::new(vec![
         Layer::Dense(Dense::new(rng, k, cfg.embed_d * 2, Activation::Relu)),
-        Layer::Dense(Dense::new(rng, cfg.embed_d * 2, cfg.embed_d, Activation::Relu)),
+        Layer::Dense(Dense::new(
+            rng,
+            cfg.embed_d * 2,
+            cfg.embed_d,
+            Activation::Relu,
+        )),
         Layer::Dense(Dense::new(rng, cfg.embed_d, cfg.embed_d, Activation::Relu)),
     ]);
     let concat = cfg.embed_q + cfg.embed_t + cfg.embed_d;
@@ -184,13 +198,44 @@ impl CardinalityEstimator for MlpEstimator {
         "MLP"
     }
 
-    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
-        q.write_dense(&mut self.buf);
-        let xq = Matrix::from_row(&self.buf);
-        let xt = Matrix::from_row(&[tau]);
-        let xd = Matrix::from_row(&self.distance_vector(q));
-        let pred = self.net.forward(&[&xq, &xt, &xd]);
-        pred.get(0, 0).clamp(-20.0, 20.0).exp().min(self.n_data as f32)
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
+        self.estimate_batch(&[(q, tau)])[0]
+    }
+
+    fn estimate_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Vec<f32> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let b = queries.len();
+        let dim = self.samples.dim();
+        let k = self.samples.len();
+        cardest_nn::scratch::with_thread_scratch(|scratch| {
+            let mut xq = scratch.take(b, dim);
+            let mut xt = scratch.take(b, 1);
+            let mut xd = scratch.take(b, k);
+            let mut qbuf: Vec<f32> = Vec::with_capacity(dim);
+            for (r, &(q, tau)) in queries.iter().enumerate() {
+                q.write_dense(&mut qbuf);
+                xq.row_mut(r).copy_from_slice(&qbuf);
+                xt.set(r, 0, tau);
+                for (d, i) in xd.row_mut(r).iter_mut().zip(0..k) {
+                    *d = self.metric.distance(q, self.samples.view(i));
+                }
+            }
+            let pred = self.net.infer(&[&xq, &xt, &xd], scratch);
+            let out = (0..b)
+                .map(|r| {
+                    pred.get(r, 0)
+                        .clamp(-20.0, 20.0)
+                        .exp()
+                        .min(self.n_data as f32)
+                })
+                .collect();
+            for m in [xq, xt, xd, pred] {
+                scratch.recycle(m);
+            }
+            out
+        })
     }
 
     fn model_bytes(&self) -> usize {
@@ -223,11 +268,14 @@ mod tests {
         let (data, w, spec) = tiny_workload();
         let cfg = MlpConfig {
             k_samples: 32,
-            train: TrainConfig { epochs: 30, ..Default::default() },
+            train: TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
-        let (mut est, report) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 51);
+        let (est, report) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 51);
         assert!(report.final_loss.is_finite());
 
         let pairs: Vec<(f32, f32)> = w
@@ -251,7 +299,10 @@ mod tests {
         let (data, w, spec) = tiny_workload();
         let cfg = MlpConfig {
             k_samples: 16,
-            train: TrainConfig { epochs: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
@@ -265,11 +316,14 @@ mod tests {
         let cfg = MlpConfig {
             k_samples: 16,
             strict_monotonic: true,
-            train: TrainConfig { epochs: 10, ..Default::default() },
+            train: TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
-        let (mut est, _) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 53);
+        let (est, _) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 53);
         for q in 0..5 {
             let mut prev = f32::NEG_INFINITY;
             for i in 0..=10 {

@@ -36,7 +36,10 @@ impl SamplingEstimator {
         seed: u64,
         name: &'static str,
     ) -> Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "sampling ratio must be in (0, 1]");
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "sampling ratio must be in (0, 1]"
+        );
         let m = ((data.len() as f32 * ratio).round() as usize).clamp(1, data.len());
         Self::with_count(data, metric, m, seed, name)
     }
@@ -86,7 +89,7 @@ impl CardinalityEstimator for SamplingEstimator {
         self.name
     }
 
-    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
         let hits = (0..self.sample.len())
             .filter(|&i| self.metric.distance(q, self.sample.view(i)) <= tau)
             .count();
@@ -105,9 +108,12 @@ mod tests {
 
     #[test]
     fn full_sample_is_exact() {
-        let spec = DatasetSpec { n_data: 300, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 300,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(31);
-        let mut s = SamplingEstimator::with_ratio(&data, spec.metric, 1.0, 31, "Sampling (100%)");
+        let s = SamplingEstimator::with_ratio(&data, spec.metric, 1.0, 31, "Sampling (100%)");
         let q = data.view(0);
         let tau = 0.2;
         let brute = (0..data.len())
@@ -118,7 +124,10 @@ mod tests {
 
     #[test]
     fn scaling_is_unbiased_in_expectation() {
-        let spec = DatasetSpec { n_data: 1000, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 1000,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(32);
         let q = data.view(0);
         let tau = 0.25;
@@ -129,7 +138,7 @@ mod tests {
         let mut acc = 0.0;
         let trials = 30;
         for t in 0..trials {
-            let mut s = SamplingEstimator::with_ratio(&data, spec.metric, 0.1, t, "Sampling");
+            let s = SamplingEstimator::with_ratio(&data, spec.metric, 0.1, t, "Sampling");
             acc += s.estimate(q, tau);
         }
         let mean = acc / trials as f32;
@@ -143,9 +152,12 @@ mod tests {
     fn zero_tuple_problem_manifests_on_tiny_samples() {
         // A very selective query on a very small sample should usually
         // return exactly 0 — the failure mode the paper discusses.
-        let spec = DatasetSpec { n_data: 2000, ..PaperDataset::GloVe300.spec() };
+        let spec = DatasetSpec {
+            n_data: 2000,
+            ..PaperDataset::GloVe300.spec()
+        };
         let data = spec.generate(33);
-        let mut s = SamplingEstimator::with_count(&data, spec.metric, 10, 33, "Sampling (tiny)");
+        let s = SamplingEstimator::with_count(&data, spec.metric, 10, 33, "Sampling (tiny)");
         // τ = 0 matches only the query itself (selectivity 1/2000).
         let est = s.estimate(data.view(7), 1e-6);
         assert_eq!(est, 0.0, "expected the 0-tuple problem");
@@ -153,7 +165,10 @@ mod tests {
 
     #[test]
     fn equal_bytes_variant_respects_budget() {
-        let spec = DatasetSpec { n_data: 500, ..PaperDataset::YouTube.spec() };
+        let spec = DatasetSpec {
+            n_data: 500,
+            ..PaperDataset::YouTube.spec()
+        };
         let data = spec.generate(34);
         let target = 64 * 1024;
         let s = SamplingEstimator::with_equal_bytes(&data, spec.metric, target, 34);

@@ -23,12 +23,14 @@ fn bench(c: &mut Criterion) {
         ctx.spec.metric,
         &training,
         &ctx.search.table,
-        &GlConfig { variant: GlVariant::GlMlp, ..cfgs.gl },
+        &GlConfig {
+            variant: GlVariant::GlMlp,
+            ..cfgs.gl
+        },
     );
     let jcfg = JoinConfig::for_variant(JoinVariant::GlJoin);
-    let mut join_model =
+    let join_model =
         JoinEstimator::from_search_model(gl.clone(), &ctx.search.queries, &jw.train, &jcfg);
-    let mut gl = gl;
 
     // A 200-member set from the test pool (with replacement).
     let n_train = ctx.search.n_train_queries;
@@ -38,9 +40,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_join_latency_200");
     group.sample_size(10);
     group.bench_function("GLJoin batch (sum-pooled)", |b| {
-        b.iter(|| {
-            black_box(join_model.estimate_join(&ctx.search.queries, black_box(&ids), tau))
-        })
+        b.iter(|| black_box(join_model.estimate_join(&ctx.search.queries, black_box(&ids), tau)))
     });
     group.bench_function("GL+ single (per-query)", |b| {
         b.iter(|| {

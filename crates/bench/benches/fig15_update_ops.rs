@@ -15,9 +15,18 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let ctx = DatasetContext::build(PaperDataset::GloVe300, Scale::Smoke, 42);
     let cfgs = MethodConfigs::for_scale(Scale::Smoke, 42);
-    let cfg = GlConfig { variant: GlVariant::GlCnn, ..cfgs.gl };
+    let cfg = GlConfig {
+        variant: GlVariant::GlCnn,
+        ..cfgs.gl
+    };
     let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
-    let gl = GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+    let gl = GlEstimator::train(
+        &ctx.data,
+        ctx.spec.metric,
+        &training,
+        &ctx.search.table,
+        &cfg,
+    );
     let all: Vec<usize> = (0..ctx.search.queries.len()).collect();
     let mut live = UpdatableGl::new(
         ctx.data.clone(),
@@ -35,7 +44,9 @@ fn bench(c: &mut Criterion) {
     let mut cursor = 0usize;
     group.bench_function("insert 10 records + incremental finetune", |b| {
         b.iter(|| {
-            let ids: Vec<usize> = (0..10).map(|k| (cursor + k * 13) % ctx.data.len()).collect();
+            let ids: Vec<usize> = (0..10)
+                .map(|k| (cursor + k * 13) % ctx.data.len())
+                .collect();
             cursor += 7;
             let pts = live.data().gather(&ids);
             black_box(live.insert(&pts, true))
@@ -43,7 +54,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("insert 10 records, labels only", |b| {
         b.iter(|| {
-            let ids: Vec<usize> = (0..10).map(|k| (cursor + k * 13) % ctx.data.len()).collect();
+            let ids: Vec<usize> = (0..10)
+                .map(|k| (cursor + k * 13) % ctx.data.len())
+                .collect();
             cursor += 7;
             let pts = live.data().gather(&ids);
             black_box(live.insert(&pts, false))

@@ -33,23 +33,33 @@ fn bench(c: &mut Criterion) {
     for penalty in [true, false] {
         let cfg = GlobalConfig {
             penalty,
-            train: TrainConfig { epochs: 6, ..Default::default() },
+            train: TrainConfig {
+                epochs: 6,
+                ..Default::default()
+            },
             ..GlobalConfig::new(QueryEmbed::default_cnn(ctx.spec.dim, 8))
         };
-        let (mut g, _) = GlobalModel::train(&training, &labels, &xq, &xc, &cfg, 42);
-        let rate = missing_rate(&mut g, &training, &labels, &xq, &xc);
+        let (g, _) = GlobalModel::train(&training, &labels, &xq, &xc, &cfg, 42);
+        let rate = missing_rate(&g, &training, &labels, &xq, &xc);
         eprintln!("[fig9/smoke/ImageNET] penalty={penalty}: missing rate {rate:.3}");
     }
 
     let mut group = c.benchmark_group("fig9_penalty");
     group.sample_size(10);
     for penalty in [true, false] {
-        let name = if penalty { "train with penalty" } else { "train without penalty" };
+        let name = if penalty {
+            "train with penalty"
+        } else {
+            "train without penalty"
+        };
         group.bench_function(name, |b| {
             b.iter(|| {
                 let cfg = GlobalConfig {
                     penalty,
-                    train: TrainConfig { epochs: 2, ..Default::default() },
+                    train: TrainConfig {
+                        epochs: 2,
+                        ..Default::default()
+                    },
                     ..GlobalConfig::new(QueryEmbed::Mlp { hidden: 16 })
                 };
                 black_box(GlobalModel::train(&training, &labels, &xq, &xc, &cfg, 42))

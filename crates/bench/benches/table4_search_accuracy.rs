@@ -16,9 +16,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
 
     for method in [Method::GlCnn, Method::Qes, Method::Mlp, Method::Sampling10] {
-        let mut trained = train_method(&ctx, method, Scale::Smoke);
+        let trained = train_method(&ctx, method, Scale::Smoke);
         // Print the accuracy row once (the table this bench regenerates).
-        let pairs = evaluate_search(trained.estimator.as_mut(), &ctx);
+        let pairs = evaluate_search(trained.estimator.as_ref(), &ctx);
         let q = ErrorSummary::from_q_errors(&pairs);
         eprintln!(
             "[table4/smoke/ImageNET] {:<16} mean={:.2} median={:.2} max={:.1}",
@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
             q.max
         );
         group.bench_function(method.name(), |b| {
-            b.iter(|| black_box(evaluate_search(trained.estimator.as_mut(), &ctx)))
+            b.iter(|| black_box(evaluate_search(trained.estimator.as_ref(), &ctx)))
         });
     }
     group.finish();

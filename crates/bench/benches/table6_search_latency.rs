@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
 
     for method in [Method::GlCnn, Method::Qes, Method::Mlp, Method::Sampling1] {
-        let mut trained = train_method(&ctx, method, Scale::Smoke);
+        let trained = train_method(&ctx, method, Scale::Smoke);
         group.bench_function(method.name(), |b| {
             b.iter(|| black_box(trained.estimator.estimate(black_box(q), black_box(tau))))
         });

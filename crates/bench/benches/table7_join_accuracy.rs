@@ -18,8 +18,11 @@ fn bench(c: &mut Criterion) {
     let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
 
     let mut jcfg = JoinConfig::for_variant(JoinVariant::GlJoin);
-    jcfg.base = GlConfig { variant: GlVariant::GlMlp, ..cfgs.gl };
-    let mut est = JoinEstimator::train(
+    jcfg.base = GlConfig {
+        variant: GlVariant::GlMlp,
+        ..cfgs.gl
+    };
+    let est = JoinEstimator::train(
         &ctx.data,
         ctx.spec.metric,
         &training,
@@ -31,7 +34,12 @@ fn bench(c: &mut Criterion) {
     // Print the miniature Table 7 row once.
     let pairs: Vec<(f32, f32)> = jw.test_buckets[0]
         .iter()
-        .map(|s| (est.estimate_join(&ctx.search.queries, &s.query_ids, s.tau), s.card))
+        .map(|s| {
+            (
+                est.estimate_join(&ctx.search.queries, &s.query_ids, s.tau),
+                s.card,
+            )
+        })
         .collect();
     let q = ErrorSummary::from_q_errors(&pairs);
     eprintln!(

@@ -28,7 +28,9 @@ const ORDER: &[&str] = &[
 ];
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
     let dir = Path::new(&dir);
     let mut entries: Vec<String> = match std::fs::read_dir(dir) {
         Ok(rd) => rd

@@ -43,7 +43,9 @@ struct Options {
 
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
-    let exp = args.next().unwrap_or_else(|| usage("missing experiment id"));
+    let exp = args
+        .next()
+        .unwrap_or_else(|| usage("missing experiment id"));
     let mut opts = Options {
         datasets: PaperDataset::ALL.to_vec(),
         scale: Scale::Full,
@@ -53,19 +55,25 @@ fn parse_args() -> (String, Options) {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--dataset" => {
-                let name = args.next().unwrap_or_else(|| usage("--dataset needs a value"));
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| usage("--dataset needs a value"));
                 let d = PaperDataset::parse(&name)
                     .unwrap_or_else(|| usage(&format!("unknown dataset {name}")));
                 opts.datasets = vec![d];
             }
             "--scale" => {
-                let v = args.next().unwrap_or_else(|| usage("--scale needs a value"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale needs a value"));
                 opts.scale =
                     Scale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale {v}")));
             }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                opts.seed = v.parse().unwrap_or_else(|_| usage("seed must be an integer"));
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("seed must be an integer"));
             }
             "--out" => {
                 let v = args.next().unwrap_or_else(|| usage("--out needs a value"));
@@ -95,7 +103,13 @@ fn emit(tables: &[Table], opts: &Options) {
             let slug: String = t
                 .title()
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
                 .split('_')
                 .filter(|s| !s.is_empty())
@@ -152,10 +166,18 @@ fn debug_gl(opts: &Options) {
     let d = opts.datasets[0];
     let ctx = DatasetContext::build(d, opts.scale, opts.seed);
     let cfgs = MethodConfigs::for_scale(opts.scale, opts.seed);
-    let cfg = GlConfig { variant: GlVariant::GlCnn, ..cfgs.gl };
+    let cfg = GlConfig {
+        variant: GlVariant::GlCnn,
+        ..cfgs.gl
+    };
     let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
-    let mut gl =
-        GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+    let gl = GlEstimator::train(
+        &ctx.data,
+        ctx.spec.metric,
+        &training,
+        &ctx.search.table,
+        &cfg,
+    );
     let labels = SegmentLabels::compute(&ctx.search.table, &ctx.search.test, gl.segmentation());
 
     // Rank test samples by Q-error.
@@ -221,7 +243,10 @@ fn main() {
             // still leave usable output behind.
             emit(&[table3_datasets::run(opts.scale)], &opts);
             emit(&run_search("search-suite", &opts), &opts);
-            emit(&[fig9_penalty::run(&opts.datasets, opts.scale, opts.seed)], &opts);
+            emit(
+                &[fig9_penalty::run(&opts.datasets, opts.scale, opts.seed)],
+                &opts,
+            );
             emit(&fig10_training_size::run(opts.scale, opts.seed), &opts);
             // Fig. 11 sweeps re-train GL+ per point; three representative
             // datasets (binary sparse, binary hash, dense L2) keep the
@@ -236,7 +261,10 @@ fn main() {
                 .filter(|d| opts.datasets.contains(d))
                 .collect();
             if !fig11_sets.is_empty() {
-                emit(&[fig11_segments::run(&fig11_sets, opts.scale, opts.seed)], &opts);
+                emit(
+                    &[fig11_segments::run(&fig11_sets, opts.scale, opts.seed)],
+                    &opts,
+                );
             }
             emit(&[fig15_updates::run(opts.scale, opts.seed)], &opts);
             emit(&run_join("join-suite", &opts), &opts);
@@ -246,5 +274,8 @@ fn main() {
         other => usage(&format!("unknown experiment {other}")),
     };
     emit(&tables, &opts);
-    eprintln!("[exp] {exp} finished in {:.1} s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "[exp] {exp} finished in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
 }

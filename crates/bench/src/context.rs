@@ -58,7 +58,14 @@ impl DatasetContext {
         let start = std::time::Instant::now();
         let search = SearchWorkload::build(&data, &spec, seed);
         let workload_time = start.elapsed();
-        DatasetContext { dataset, spec, data, search, workload_time, seed }
+        DatasetContext {
+            dataset,
+            spec,
+            data,
+            search,
+            workload_time,
+            seed,
+        }
     }
 
     /// Builds the join workload on top of the search workload.
@@ -72,7 +79,9 @@ impl DatasetContext {
 
     /// All six datasets at the given scale.
     pub fn all(scale: Scale, seed: u64) -> impl Iterator<Item = DatasetContext> {
-        PaperDataset::ALL.into_iter().map(move |d| DatasetContext::build(d, scale, seed))
+        PaperDataset::ALL
+            .into_iter()
+            .map(move |d| DatasetContext::build(d, scale, seed))
     }
 }
 

@@ -34,18 +34,33 @@ pub fn lambda_sweep(scale: Scale, seed: u64) -> Table {
     );
     for lambda in [0.0f32, 0.25, 0.5, 1.0, 2.0] {
         let cfg = QesConfig {
-            train: TrainConfig { epochs: epochs(scale), lambda, seed, ..Default::default() },
+            train: TrainConfig {
+                epochs: epochs(scale),
+                lambda,
+                seed,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let (mut est, _) = QesEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfg, seed);
+        let (est, _) = QesEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfg, seed);
         let pairs: Vec<(f32, f32)> = ctx
             .search
             .test
             .iter()
-            .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+            .map(|s| {
+                (
+                    est.estimate(ctx.search.queries.view(s.query), s.tau),
+                    s.card,
+                )
+            })
             .collect();
         let q = ErrorSummary::from_q_errors(&pairs);
-        t.push_row(vec![format!("{lambda}"), fmt3(q.mean), fmt3(q.median), fmt3(q.max)]);
+        t.push_row(vec![
+            format!("{lambda}"),
+            fmt3(q.mean),
+            fmt3(q.median),
+            fmt3(q.max),
+        ]);
     }
     t
 }
@@ -56,14 +71,24 @@ pub fn segmentation_methods(scale: Scale, seed: u64) -> Table {
     let ctx = DatasetContext::build(PaperDataset::ImageNet, scale, seed);
     let mut t = Table::new(
         "Ablation: segmentation method (ImageNET)",
-        &["Method", "#Segments", "Fit time", "Cohesion (mean intra dist)"],
+        &[
+            "Method",
+            "#Segments",
+            "Fit time",
+            "Cohesion (mean intra dist)",
+        ],
     );
     for (name, method) in [
         ("PCA+KMeans", SegmentationMethod::PcaKMeans),
         ("PCA+DBSCAN", SegmentationMethod::PcaDbscan),
         ("PCA+LSH", SegmentationMethod::PcaLsh),
     ] {
-        let cfg = SegmentationConfig { n_segments: 16, method, seed, ..Default::default() };
+        let cfg = SegmentationConfig {
+            n_segments: 16,
+            method,
+            seed,
+            ..Default::default()
+        };
         let start = Instant::now();
         let seg = Segmentation::fit(&ctx.data, ctx.spec.metric, &cfg);
         let fit = start.elapsed();
@@ -84,20 +109,33 @@ pub fn monotonicity_modes(scale: Scale, seed: u64) -> Table {
     let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
     let mut t = Table::new(
         "Ablation: monotonicity mode (MLP, ImageNET)",
-        &["Mode", "Mean Q-error", "Monotonicity violations (of 200 cases)"],
+        &[
+            "Mode",
+            "Mean Q-error",
+            "Monotonicity violations (of 200 cases)",
+        ],
     );
     for (name, strict) in [("paper (E2 only)", false), ("strict (full tau-path)", true)] {
         let cfg = MlpConfig {
             strict_monotonic: strict,
-            train: TrainConfig { epochs: epochs(scale), seed, ..Default::default() },
+            train: TrainConfig {
+                epochs: epochs(scale),
+                seed,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let (mut est, _) = MlpEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfg, seed);
+        let (est, _) = MlpEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfg, seed);
         let pairs: Vec<(f32, f32)> = ctx
             .search
             .test
             .iter()
-            .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+            .map(|s| {
+                (
+                    est.estimate(ctx.search.queries.view(s.query), s.tau),
+                    s.card,
+                )
+            })
             .collect();
         let q = ErrorSummary::from_q_errors(&pairs);
         // Count τ-monotonicity violations on a grid of (query, τ) pairs.

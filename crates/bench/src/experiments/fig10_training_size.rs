@@ -31,16 +31,24 @@ fn mean_qerr_for(
     let training = TrainingSet::new(&ctx.search.queries, &train);
     let pairs: Vec<(f32, f32)> = match variant {
         Some(v) => {
-            let cfg = GlConfig { variant: v, ..cfgs.gl };
-            let mut est =
-                GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+            let cfg = GlConfig {
+                variant: v,
+                ..cfgs.gl
+            };
+            let est = GlEstimator::train(
+                &ctx.data,
+                ctx.spec.metric,
+                &training,
+                &ctx.search.table,
+                &cfg,
+            );
             ctx.search
                 .test
                 .iter()
                 .map(|s| {
                     (
                         cardest_baselines::traits::CardinalityEstimator::estimate(
-                            &mut est,
+                            &est,
                             ctx.search.queries.view(s.query),
                             s.tau,
                         ),
@@ -50,7 +58,7 @@ fn mean_qerr_for(
                 .collect()
         }
         None => {
-            let (mut est, _) =
+            let (est, _) =
                 QesEstimator::train(&ctx.data, ctx.spec.metric, &training, &cfgs.qes, ctx.seed);
             ctx.search
                 .test
@@ -58,7 +66,7 @@ fn mean_qerr_for(
                 .map(|s| {
                     (
                         cardest_baselines::traits::CardinalityEstimator::estimate(
-                            &mut est,
+                            &est,
                             ctx.search.queries.view(s.query),
                             s.tau,
                         ),

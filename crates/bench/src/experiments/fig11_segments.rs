@@ -38,13 +38,23 @@ pub fn run(datasets: &[PaperDataset], scale: Scale, seed: u64) -> Table {
                 n_segments: n,
                 ..cfgs.gl.clone()
             };
-            let mut est =
-                GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+            let est = GlEstimator::train(
+                &ctx.data,
+                ctx.spec.metric,
+                &training,
+                &ctx.search.table,
+                &cfg,
+            );
             let pairs: Vec<(f32, f32)> = ctx
                 .search
                 .test
                 .iter()
-                .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+                .map(|s| {
+                    (
+                        est.estimate(ctx.search.queries.view(s.query), s.tau),
+                        s.card,
+                    )
+                })
                 .collect();
             row.push(fmt3(ErrorSummary::from_q_errors(&pairs).mean));
         }

@@ -26,14 +26,25 @@ pub fn run_updates(scale: Scale, seed: u64) -> UpdateRun {
     let cfgs = MethodConfigs::for_scale(scale, seed);
     // GL-CNN keeps the run time reasonable; GL+ behaves identically under
     // updates (the update path never re-tunes hyperparameters).
-    let cfg = GlConfig { variant: GlVariant::GlCnn, ..cfgs.gl };
+    let cfg = GlConfig {
+        variant: GlVariant::GlCnn,
+        ..cfgs.gl
+    };
     let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
-    let gl = GlEstimator::train(&ctx.data, ctx.spec.metric, &training, &ctx.search.table, &cfg);
+    let gl = GlEstimator::train(
+        &ctx.data,
+        ctx.spec.metric,
+        &training,
+        &ctx.search.table,
+        &cfg,
+    );
     let mut upd = UpdatableGl::new(
         ctx.data.clone(),
         ctx.spec.metric,
         gl,
-        ctx.search.queries.gather(&(0..ctx.search.queries.len()).collect::<Vec<_>>()),
+        ctx.search
+            .queries
+            .gather(&(0..ctx.search.queries.len()).collect::<Vec<_>>()),
         ctx.search.train.clone(),
         ctx.search.test.clone(),
         &ctx.search.table,
@@ -52,7 +63,9 @@ pub fn run_updates(scale: Scale, seed: u64) -> UpdateRun {
         // (re-sampled dataset points; GloVe-like data is dense so copies
         // with new noise would need the generator — sampled points
         // exercise the same code path).
-        let ids: Vec<usize> = (0..records_per_op).map(|_| rng.gen_range(0..base_len)).collect();
+        let ids: Vec<usize> = (0..records_per_op)
+            .map(|_| rng.gen_range(0..base_len))
+            .collect();
         let points = upd_points(&upd, &ids);
         upd.insert(&points, true);
         if op % checkpoint_every == 0 {

@@ -43,12 +43,16 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> PenaltyResult {
     let rate_for = |penalty: bool| {
         let cfg = GlobalConfig {
             penalty,
-            train: TrainConfig { epochs, batch_size: 128, seed: ctx.seed, ..Default::default() },
+            train: TrainConfig {
+                epochs,
+                batch_size: 128,
+                seed: ctx.seed,
+                ..Default::default()
+            },
             ..GlobalConfig::new(QueryEmbed::default_cnn(ctx.spec.dim, 8))
         };
-        let (mut g, _) =
-            GlobalModel::train(&training, &train_labels, &xq, &xc, &cfg, ctx.seed);
-        missing_rate(&mut g, &testing, &test_labels, &xq, &xc)
+        let (g, _) = GlobalModel::train(&training, &train_labels, &xq, &xc, &cfg, ctx.seed);
+        missing_rate(&g, &testing, &test_labels, &xq, &xc)
     };
     PenaltyResult {
         dataset: ctx.dataset,

@@ -32,7 +32,7 @@ pub struct JoinDatasetResults {
 }
 
 fn eval_join_buckets(
-    est: &mut dyn CardinalityEstimator,
+    est: &dyn CardinalityEstimator,
     ctx: &DatasetContext,
     jw: &JoinWorkload,
 ) -> (Vec<ErrorSummary>, Vec<f32>) {
@@ -55,7 +55,7 @@ fn eval_join_buckets(
 /// Average latency of estimating a 200-member join set (Fig. 13's
 /// setting), drawing members from the test pool.
 fn join_latency_200(
-    est: &mut dyn CardinalityEstimator,
+    est: &dyn CardinalityEstimator,
     ctx: &DatasetContext,
     tau: f32,
     trials: usize,
@@ -65,8 +65,9 @@ fn join_latency_200(
     let n_total = ctx.search.queries.len();
     let start = Instant::now();
     for _ in 0..trials {
-        let ids: Vec<usize> =
-            (0..200).map(|_| n_train + rng.gen_range(0..n_total - n_train)).collect();
+        let ids: Vec<usize> = (0..200)
+            .map(|_| n_train + rng.gen_range(0..n_total - n_train))
+            .collect();
         let _ = est.estimate_join(&ctx.search.queries, &ids, tau);
     }
     start.elapsed() / trials.max(1) as u32
@@ -78,17 +79,24 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> JoinDatasetResults {
     let jw = ctx.join_workload(scale);
     let cfgs = MethodConfigs::for_scale(scale, ctx.seed);
     let training = TrainingSet::new(&ctx.search.queries, &ctx.search.train);
-    let tau_latency = jw.test_buckets[0].first().map_or(ctx.spec.tau_max * 0.2, |s| s.tau);
+    let tau_latency = jw.test_buckets[0]
+        .first()
+        .map_or(ctx.spec.tau_max * 0.2, |s| s.tau);
     let latency_trials = match scale {
         Scale::Full => 10,
         Scale::Smoke => 2,
     };
 
     let mut results: Vec<JoinMethodResult> = Vec::new();
-    let measure = |name: &'static str, est: &mut dyn CardinalityEstimator| {
+    let measure = |name: &'static str, est: &dyn CardinalityEstimator| {
         let (buckets, mape_buckets) = eval_join_buckets(est, ctx, &jw);
         let latency_200 = join_latency_200(est, ctx, tau_latency, latency_trials);
-        JoinMethodResult { name, buckets, mape_buckets, latency_200 }
+        JoinMethodResult {
+            name,
+            buckets,
+            mape_buckets,
+            latency_200,
+        }
     };
 
     // Train the GL+ search model once; share it between the "GL+" join
@@ -99,36 +107,40 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> JoinDatasetResults {
         ctx.spec.metric,
         &training,
         &ctx.search.table,
-        &GlConfig { variant: GlVariant::GlPlus, ..cfgs.gl.clone() },
+        &GlConfig {
+            variant: GlVariant::GlPlus,
+            ..cfgs.gl.clone()
+        },
     );
 
     // GLJoin+ (transfer + fine-tune).
     let mut jcfg_plus = JoinConfig::for_variant(JoinVariant::GlJoinPlus);
     jcfg_plus.seed = ctx.seed;
-    let mut gljoin_plus =
-        JoinEstimator::from_search_model(gl_plus.clone(), &ctx.search.queries, &jw.train, &jcfg_plus);
-    results.push(measure("GLJoin+", &mut gljoin_plus));
+    let gljoin_plus = JoinEstimator::from_search_model(
+        gl_plus.clone(),
+        &ctx.search.queries,
+        &jw.train,
+        &jcfg_plus,
+    );
+    results.push(measure("GLJoin+", &gljoin_plus));
 
     // GL+ evaluated per member query (search model as join baseline).
-    let mut gl_plus = gl_plus;
-    results.push(measure("GL+", &mut gl_plus));
+    results.push(measure("GL+", &gl_plus));
 
     // Sampling (10%).
-    let mut s10 = SamplingEstimator::with_ratio(
-        &ctx.data,
-        ctx.spec.metric,
-        0.10,
-        ctx.seed,
-        "Sampling (10%)",
-    );
-    results.push(measure("Sampling (10%)", &mut s10));
+    let s10 =
+        SamplingEstimator::with_ratio(&ctx.data, ctx.spec.metric, 0.10, ctx.seed, "Sampling (10%)");
+    results.push(measure("Sampling (10%)", &s10));
 
     // GLJoin (GL-MLP base).
     eprintln!("[join-suite] {}: GLJoin ...", ctx.dataset.name());
     let mut jcfg = JoinConfig::for_variant(JoinVariant::GlJoin);
-    jcfg.base = GlConfig { variant: GlVariant::GlMlp, ..cfgs.gl.clone() };
+    jcfg.base = GlConfig {
+        variant: GlVariant::GlMlp,
+        ..cfgs.gl.clone()
+    };
     jcfg.seed = ctx.seed;
-    let mut gljoin = JoinEstimator::train(
+    let gljoin = JoinEstimator::train(
         &ctx.data,
         ctx.spec.metric,
         &training,
@@ -136,14 +148,14 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> JoinDatasetResults {
         &jw.train,
         &jcfg,
     );
-    results.push(measure("GLJoin", &mut gljoin));
+    results.push(measure("GLJoin", &gljoin));
 
     // CNNJoin (QES base, sum pooling, no data segmentation).
     eprintln!("[join-suite] {}: CNNJoin ...", ctx.dataset.name());
     let mut jcfg_cnn = JoinConfig::for_variant(JoinVariant::CnnJoin);
     jcfg_cnn.qes = cfgs.qes.clone();
     jcfg_cnn.seed = ctx.seed;
-    let mut cnnjoin = JoinEstimator::train(
+    let cnnjoin = JoinEstimator::train(
         &ctx.data,
         ctx.spec.metric,
         &training,
@@ -151,30 +163,28 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> JoinDatasetResults {
         &jw.train,
         &jcfg_cnn,
     );
-    results.push(measure("CNNJoin", &mut cnnjoin));
+    results.push(measure("CNNJoin", &cnnjoin));
 
     // CardNet per-query baseline.
-    let mut cardnet = CardNet::train(&training, ctx.spec.tau_max, &cfgs.cardnet, ctx.seed).0;
-    results.push(measure("CardNet", &mut cardnet));
+    let cardnet = CardNet::train(&training, ctx.spec.tau_max, &cfgs.cardnet, ctx.seed).0;
+    results.push(measure("CardNet", &cardnet));
 
     // Sampling (equal) and Sampling (1%).
-    let mut seq = SamplingEstimator::with_equal_bytes(
+    let seq = SamplingEstimator::with_equal_bytes(
         &ctx.data,
         ctx.spec.metric,
         gl_plus.model_bytes(),
         ctx.seed,
     );
-    results.push(measure("Sampling (equal)", &mut seq));
-    let mut s1 = SamplingEstimator::with_ratio(
-        &ctx.data,
-        ctx.spec.metric,
-        0.01,
-        ctx.seed,
-        "Sampling (1%)",
-    );
-    results.push(measure("Sampling (1%)", &mut s1));
+    results.push(measure("Sampling (equal)", &seq));
+    let s1 =
+        SamplingEstimator::with_ratio(&ctx.data, ctx.spec.metric, 0.01, ctx.seed, "Sampling (1%)");
+    results.push(measure("Sampling (1%)", &s1));
 
-    JoinDatasetResults { dataset: ctx.dataset, results }
+    JoinDatasetResults {
+        dataset: ctx.dataset,
+        results,
+    }
 }
 
 pub fn run_join_suite(
@@ -223,7 +233,15 @@ pub fn table7(all: &[JoinDatasetResults]) -> Vec<Table> {
 pub fn fig12(all: &[JoinDatasetResults]) -> Table {
     let mut t = Table::new(
         "Figure 12: Join Errors with Query Set Size (GLJoin+)",
-        &["Dataset", "Q-err [50,100)", "Q-err [100,150)", "Q-err [150,200)", "MAPE [50,100)", "MAPE [100,150)", "MAPE [150,200)"],
+        &[
+            "Dataset",
+            "Q-err [50,100)",
+            "Q-err [100,150)",
+            "Q-err [150,200)",
+            "MAPE [50,100)",
+            "MAPE [100,150)",
+            "MAPE [150,200)",
+        ],
     );
     for d in all {
         if let Some(r) = d.results.iter().find(|r| r.name == "GLJoin+") {
@@ -244,7 +262,14 @@ pub fn fig12(all: &[JoinDatasetResults]) -> Table {
 /// Fig. 13: average latency for a 200-query join set, batch (GLJoin+) vs
 /// single-query (GL+) embedding plus baselines.
 pub fn fig13(all: &[JoinDatasetResults]) -> Table {
-    let methods = ["GLJoin+", "GL+", "CNNJoin", "GLJoin", "Sampling (10%)", "Sampling (1%)"];
+    let methods = [
+        "GLJoin+",
+        "GL+",
+        "CNNJoin",
+        "GLJoin",
+        "Sampling (10%)",
+        "Sampling (1%)",
+    ];
     let mut header = vec!["Method"];
     let names: Vec<String> = all.iter().map(|d| d.dataset.name().to_string()).collect();
     header.extend(names.iter().map(String::as_str));

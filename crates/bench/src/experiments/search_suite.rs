@@ -58,12 +58,12 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> DatasetResults {
         } else {
             method
         };
-        let mut trained = train_method(ctx, method, scale);
+        let trained = train_method(ctx, method, scale);
         if method == Method::GlPlus {
             gl_plus_bytes = trained.estimator.model_bytes();
         }
         let start = Instant::now();
-        let pairs = evaluate_search(trained.estimator.as_mut(), ctx);
+        let pairs = evaluate_search(trained.estimator.as_ref(), ctx);
         let elapsed = start.elapsed();
         let q: Vec<f32> = pairs.iter().map(|&(e, t)| q_error(e, t)).collect();
         let m: Vec<f32> = pairs.iter().map(|&(e, t)| mape(e, t)).collect();
@@ -110,7 +110,10 @@ pub fn table4(all: &[DatasetResults]) -> Vec<Table> {
     all.iter()
         .map(|d| {
             let mut t = Table::new(
-                format!("Table 4 ({}): Test Q-errors for Similarity Search", d.dataset.name()),
+                format!(
+                    "Table 4 ({}): Test Q-errors for Similarity Search",
+                    d.dataset.name()
+                ),
                 &["Method", "Mean", "Median", "90th", "95th", "99th", "Max"],
             );
             for r in &d.results {
@@ -206,8 +209,10 @@ pub fn table6(all: &[DatasetResults]) -> Table {
     let mut header = vec!["Model"];
     let names: Vec<String> = all.iter().map(|d| d.dataset.name().to_string()).collect();
     header.extend(names.iter().map(String::as_str));
-    let mut t =
-        Table::new("Table 6: Avg. Latency for Similarity Search (microseconds)", &header);
+    let mut t = Table::new(
+        "Table 6: Avg. Latency for Similarity Search (microseconds)",
+        &header,
+    );
     // SimSelect row first, as in the paper.
     let mut row = vec!["SimSelect".to_string()];
     for d in all {

@@ -7,7 +7,15 @@ use cardest_data::paper::paper_datasets;
 pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 3: Datasets (scaled synthetic stand-ins)",
-        &["Dataset", "Dimension", "#Data", "#Training", "#Testing", "Metric", "tau_max"],
+        &[
+            "Dataset",
+            "Dimension",
+            "#Data",
+            "#Training",
+            "#Testing",
+            "Metric",
+            "tau_max",
+        ],
     );
     for spec in paper_datasets() {
         let spec = scale.apply(spec);

@@ -78,7 +78,11 @@ impl MethodConfigs {
                 init_configs: 3,
                 max_layers: 2,
                 max_evals: 18,
-                trial_train: TrainConfig { epochs: 5, batch_size: 128, ..Default::default() },
+                trial_train: TrainConfig {
+                    epochs: 5,
+                    batch_size: 128,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             Scale::Smoke => TuningConfig::fast(),
@@ -106,18 +110,38 @@ impl MethodConfigs {
             ..Default::default()
         };
         let qes = QesConfig {
-            train: TrainConfig { epochs: single_epochs, batch_size: 128, seed, ..Default::default() },
+            train: TrainConfig {
+                epochs: single_epochs,
+                batch_size: 128,
+                seed,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mlp = MlpConfig {
-            train: TrainConfig { epochs: single_epochs, batch_size: 128, seed, ..Default::default() },
+            train: TrainConfig {
+                epochs: single_epochs,
+                batch_size: 128,
+                seed,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let cardnet = CardNetConfig {
-            train: TrainConfig { epochs: single_epochs, batch_size: 128, seed, ..Default::default() },
+            train: TrainConfig {
+                epochs: single_epochs,
+                batch_size: 128,
+                seed,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        MethodConfigs { gl, qes, mlp, cardnet }
+        MethodConfigs {
+            gl,
+            qes,
+            mlp,
+            cardnet,
+        }
     }
 }
 
@@ -152,9 +176,12 @@ pub fn train_method(ctx: &DatasetContext, method: Method, scale: Scale) -> Train
         Method::CardNet => {
             Box::new(CardNet::train(&training, ctx.spec.tau_max, &cfgs.cardnet, ctx.seed).0)
         }
-        Method::KernelBased => {
-            Box::new(KernelEstimator::new(&ctx.data, ctx.spec.metric, 0.01, ctx.seed))
-        }
+        Method::KernelBased => Box::new(KernelEstimator::new(
+            &ctx.data,
+            ctx.spec.metric,
+            0.01,
+            ctx.seed,
+        )),
         Method::Sampling1 => Box::new(SamplingEstimator::with_ratio(
             &ctx.data,
             ctx.spec.metric,
@@ -176,19 +203,27 @@ pub fn train_method(ctx: &DatasetContext, method: Method, scale: Scale) -> Train
             ctx.seed,
         )),
     };
-    TrainedMethod { estimator, train_time: start.elapsed() }
+    TrainedMethod {
+        estimator,
+        train_time: start.elapsed(),
+    }
 }
 
 /// Evaluates a trained method on the test samples, returning
-/// `(estimate, truth)` pairs.
-pub fn evaluate_search(
-    est: &mut dyn CardinalityEstimator,
-    ctx: &DatasetContext,
-) -> Vec<(f32, f32)> {
-    ctx.search
+/// `(estimate, truth)` pairs. Runs the whole test set through
+/// [`CardinalityEstimator::estimate_batch`] so batch-capable estimators
+/// (MLP, CardNet, the GL family) amortize their forward passes.
+pub fn evaluate_search(est: &dyn CardinalityEstimator, ctx: &DatasetContext) -> Vec<(f32, f32)> {
+    let queries: Vec<_> = ctx
+        .search
         .test
         .iter()
-        .map(|s| (est.estimate(ctx.search.queries.view(s.query), s.tau), s.card))
+        .map(|s| (ctx.search.queries.view(s.query), s.tau))
+        .collect();
+    est.estimate_batch(&queries)
+        .into_iter()
+        .zip(&ctx.search.test)
+        .map(|(e, s)| (e, s.card))
         .collect()
 }
 
@@ -207,9 +242,9 @@ mod tests {
     #[test]
     fn sampling_method_trains_and_evaluates() {
         let ctx = DatasetContext::build(PaperDataset::ImageNet, Scale::Smoke, 11);
-        let mut trained = train_method(&ctx, Method::Sampling10, Scale::Smoke);
+        let trained = train_method(&ctx, Method::Sampling10, Scale::Smoke);
         assert_eq!(trained.estimator.name(), "Sampling (10%)");
-        let pairs = evaluate_search(trained.estimator.as_mut(), &ctx);
+        let pairs = evaluate_search(trained.estimator.as_ref(), &ctx);
         assert_eq!(pairs.len(), ctx.search.test.len());
         assert!(pairs.iter().all(|(e, t)| e.is_finite() && *t >= 0.0));
     }

@@ -29,13 +29,24 @@
 //! cfg.local_train.epochs = 5;
 //! cfg.global_train.epochs = 5;
 //! let training = TrainingSet::new(&workload.queries, &workload.train);
-//! let mut model =
+//! let model =
 //!     GlEstimator::train(&data, spec.metric, &training, &workload.table, &cfg);
 //!
-//! // Estimate the cardinality of a similarity search.
+//! // Estimate the cardinality of a similarity search. Trained models are
+//! // immutable at serving time (`&self`) and `Sync`.
 //! let sample = &workload.test[0];
 //! let estimate = model.estimate(workload.queries.view(sample.query), sample.tau);
 //! assert!(estimate.is_finite() && estimate >= 0.0);
+//!
+//! // Batched estimation: one grouped forward pass per selected local
+//! // model instead of one pass per query.
+//! let batch: Vec<(VectorView<'_>, f32)> = workload
+//!     .test
+//!     .iter()
+//!     .map(|s| (workload.queries.view(s.query), s.tau))
+//!     .collect();
+//! let estimates = model.estimate_batch(&batch);
+//! assert_eq!(estimates.len(), workload.test.len());
 //! ```
 //!
 //! ## Crate map
@@ -62,9 +73,7 @@ pub mod prelude {
     pub use cardest_baselines::{
         CardNet, CardNetConfig, KernelEstimator, MlpConfig, MlpEstimator, SamplingEstimator,
     };
-    pub use cardest_cluster::segmentation::{
-        Segmentation, SegmentationConfig, SegmentationMethod,
-    };
+    pub use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
     pub use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
     pub use cardest_core::join::{JoinConfig, JoinEstimator, JoinVariant};
     pub use cardest_core::qes::{QesConfig, QesEstimator};

@@ -34,7 +34,10 @@ pub fn dbscan(points: &[f32], dim: usize, eps: f32, min_pts: usize) -> (Vec<usiz
             }
         }
     }
-    let is_core: Vec<bool> = neighbours.iter().map(|nb| nb.len() + 1 >= min_pts).collect();
+    let is_core: Vec<bool> = neighbours
+        .iter()
+        .map(|nb| nb.len() + 1 >= min_pts)
+        .collect();
 
     let mut label = vec![NOISE; n];
     let mut next_cluster = 0usize;

@@ -71,7 +71,10 @@ impl KMeans {
     /// k-means++ seeding: first centroid uniform, the rest sampled
     /// proportionally to the squared distance to the nearest chosen one.
     fn seed_plus_plus(points: &[f32], dim: usize, k: usize, seed: u64) -> Self {
-        assert!(dim > 0 && !points.is_empty(), "k-means needs non-empty input");
+        assert!(
+            dim > 0 && !points.is_empty(),
+            "k-means needs non-empty input"
+        );
         let n = points.len() / dim;
         let k = k.clamp(1, n);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
@@ -165,7 +168,11 @@ impl KMeans {
         if n == 0 {
             return 0.0;
         }
-        points.chunks(self.dim).map(|p| self.nearest(p).1).sum::<f32>() / n as f32
+        points
+            .chunks(self.dim)
+            .map(|p| self.nearest(p).1)
+            .sum::<f32>()
+            / n as f32
     }
 }
 
@@ -200,7 +207,9 @@ mod tests {
         // All points of one blob share a label, labels differ across blobs.
         for blob in 0..3 {
             let first = assign[blob * 50];
-            assert!(assign[blob * 50..(blob + 1) * 50].iter().all(|&a| a == first));
+            assert!(assign[blob * 50..(blob + 1) * 50]
+                .iter()
+                .all(|&a| a == first));
         }
         assert_ne!(assign[0], assign[50]);
         assert_ne!(assign[50], assign[100]);

@@ -24,7 +24,11 @@ impl LshSegmenter {
     pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x15A8);
         let planes = (0..bits)
-            .map(|_| (0..dim).map(|_| cardest_data::synth::gauss(&mut rng)).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| cardest_data::synth::gauss(&mut rng))
+                    .collect()
+            })
             .collect();
         LshSegmenter { dim, planes }
     }
@@ -47,8 +51,9 @@ impl LshSegmenter {
     /// labels `0..n_segments`.
     pub fn segment(&self, points: &[f32], min_bucket: usize) -> (Vec<usize>, usize) {
         let n = points.len() / self.dim;
-        let sigs: Vec<u64> =
-            (0..n).map(|i| self.signature(&points[i * self.dim..(i + 1) * self.dim])).collect();
+        let sigs: Vec<u64> = (0..n)
+            .map(|i| self.signature(&points[i * self.dim..(i + 1) * self.dim]))
+            .collect();
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, &s) in sigs.iter().enumerate() {
             buckets.entry(s).or_default().push(i);
@@ -77,8 +82,7 @@ impl LshSegmenter {
             .map(|(_, members)| {
                 let mut c = vec![0.0f32; self.dim];
                 for &i in members {
-                    for (cj, &pj) in c.iter_mut().zip(&points[i * self.dim..(i + 1) * self.dim])
-                    {
+                    for (cj, &pj) in c.iter_mut().zip(&points[i * self.dim..(i + 1) * self.dim]) {
                         *cj += pj;
                     }
                 }
@@ -161,11 +165,17 @@ mod tests {
         let trials = 200;
         for _ in 0..trials {
             let p: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-            let q: Vec<f32> = p.iter().map(|x| x + rng.gen_range(-0.01f32..0.01)).collect();
+            let q: Vec<f32> = p
+                .iter()
+                .map(|x| x + rng.gen_range(-0.01f32..0.01))
+                .collect();
             if l.signature(&p) == l.signature(&q) {
                 collisions += 1;
             }
         }
-        assert!(collisions > trials / 2, "only {collisions}/{trials} near-pairs collided");
+        assert!(
+            collisions > trials / 2,
+            "only {collisions}/{trials} near-pairs collided"
+        );
     }
 }

@@ -38,7 +38,11 @@ impl Pca {
         // Random orthonormal start.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9CA0_57A7);
         let mut q: Vec<Vec<f32>> = (0..r)
-            .map(|_| (0..d).map(|_| cardest_data::synth::gauss(&mut rng)).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| cardest_data::synth::gauss(&mut rng))
+                    .collect()
+            })
             .collect();
         orthonormalize(&mut q);
 
@@ -70,7 +74,10 @@ impl Pca {
             }
             orthonormalize(&mut q);
         }
-        Pca { mean, components: q }
+        Pca {
+            mean,
+            components: q,
+        }
     }
 
     /// Number of components.
@@ -168,7 +175,10 @@ mod tests {
         let pca = Pca::fit(&data, 2, 20, 1);
         let c0 = &pca.components()[0];
         // |c0[2]| should dominate all other coordinates.
-        assert!(c0[2].abs() > 0.99, "first component {c0:?} not aligned with axis 2");
+        assert!(
+            c0[2].abs() > 0.99,
+            "first component {c0:?} not aligned with axis 2"
+        );
     }
 
     #[test]

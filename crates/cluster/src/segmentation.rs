@@ -77,14 +77,7 @@ impl Segmentation {
 
         let assignment: Vec<usize> = match config.method {
             SegmentationMethod::PcaKMeans => {
-                let km = KMeans::fit_minibatch(
-                    &reduced,
-                    rank,
-                    n_segments,
-                    256,
-                    40,
-                    config.seed,
-                );
+                let km = KMeans::fit_minibatch(&reduced, rank, n_segments, 256, 40, config.seed);
                 km.assign_all(&reduced)
             }
             SegmentationMethod::PcaDbscan => {
@@ -137,7 +130,14 @@ impl Segmentation {
                     .fold(0.0f32, f32::max)
             })
             .collect();
-        Segmentation { metric, pca, assignment, members, centroids, radii }
+        Segmentation {
+            metric,
+            pca,
+            assignment,
+            members,
+            centroids,
+            radii,
+        }
     }
 
     pub fn n_segments(&self) -> usize {
@@ -167,7 +167,10 @@ impl Segmentation {
     /// The centroid-distance feature `x_C` of Fig. 5: distances from a
     /// query to every segment centroid, under the dataset metric.
     pub fn centroid_distances(&self, q: VectorView<'_>) -> Vec<f32> {
-        self.centroids.iter().map(|c| self.metric.distance_to_centroid(q, c)).collect()
+        self.centroids
+            .iter()
+            .map(|c| self.metric.distance_to_centroid(q, c))
+            .collect()
     }
 
     /// The segment whose centroid is nearest to `v` — the routing rule for
@@ -190,7 +193,11 @@ impl Segmentation {
     /// if needed. Returns the segment id.
     pub fn insert_point(&mut self, idx: usize, v: VectorView<'_>) -> usize {
         let seg = self.nearest_segment(v);
-        debug_assert_eq!(idx, self.assignment.len(), "points must be appended in order");
+        debug_assert_eq!(
+            idx,
+            self.assignment.len(),
+            "points must be appended in order"
+        );
         self.assignment.push(seg);
         self.members[seg].push(idx);
         let d = self.metric.distance_to_centroid(v, &self.centroids[seg]);
@@ -269,7 +276,13 @@ fn estimate_eps(points: &[f32], dim: usize, n_segments: usize) -> f32 {
     while i + step < n && dists.len() < 2048 {
         let a = &points[i * dim..(i + 1) * dim];
         let b = &points[(i + step) * dim..(i + step + 1) * dim];
-        dists.push(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt());
+        dists.push(
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt(),
+        );
         i += 1;
     }
     dists.sort_by(|a, b| a.total_cmp(b));
@@ -283,7 +296,10 @@ mod tests {
     use cardest_data::paper::{DatasetSpec, PaperDataset};
 
     fn small_spec() -> DatasetSpec {
-        DatasetSpec { n_data: 800, ..PaperDataset::ImageNet.spec() }
+        DatasetSpec {
+            n_data: 800,
+            ..PaperDataset::ImageNet.spec()
+        }
     }
 
     fn fit_small(method: SegmentationMethod) -> (VectorData, Segmentation) {
@@ -319,7 +335,9 @@ mod tests {
         let (data, seg) = fit_small(SegmentationMethod::PcaKMeans);
         for s in 0..seg.n_segments() {
             for &i in seg.members(s) {
-                let d = seg.metric().distance_to_centroid(data.view(i), seg.centroid(s));
+                let d = seg
+                    .metric()
+                    .distance_to_centroid(data.view(i), seg.centroid(s));
                 assert!(d <= seg.radius(s) + 1e-6);
             }
         }
@@ -386,7 +404,10 @@ mod tests {
     fn kmeans_cohesion_beats_random_assignment() {
         let spec = small_spec();
         let data = spec.generate(13);
-        let config = SegmentationConfig { n_segments: 8, ..Default::default() };
+        let config = SegmentationConfig {
+            n_segments: 8,
+            ..Default::default()
+        };
         let seg = Segmentation::fit(&data, spec.metric, &config);
         // Random segmentation baseline with the same segment count.
         let pca = Pca::fit(&data, 4, 4, 13);
@@ -404,7 +425,10 @@ mod tests {
     fn single_segment_config_works() {
         let spec = small_spec();
         let data = spec.generate(14);
-        let config = SegmentationConfig { n_segments: 1, ..Default::default() };
+        let config = SegmentationConfig {
+            n_segments: 1,
+            ..Default::default()
+        };
         let seg = Segmentation::fit(&data, spec.metric, &config);
         assert_eq!(seg.n_segments(), 1);
         assert_eq!(seg.members(0).len(), data.len());

@@ -54,7 +54,9 @@ impl QueryEmbed {
             pool_size: 2,
             pool: PoolOp::Max,
         };
-        QueryEmbed::Cnn { layers: vec![layer1, layer2] }
+        QueryEmbed::Cnn {
+            layers: vec![layer1, layer2],
+        }
     }
 }
 
@@ -73,7 +75,12 @@ pub struct ModelDims {
 
 impl Default for ModelDims {
     fn default() -> Self {
-        ModelDims { embed_q: 16, embed_t: 6, embed_aux: 12, hidden: 24 }
+        ModelDims {
+            embed_q: 16,
+            embed_t: 6,
+            embed_aux: 12,
+            hidden: 24,
+        }
     }
 }
 
@@ -254,7 +261,11 @@ mod tests {
         let ba = build_aux_branch(&mut rng, 8, 8);
         let head = build_global_head(&mut rng, 24, 16, 8);
         let mut net = BranchNet::new(vec![bq, bt, ba], vec![32, 1, 8], head);
-        let y = net.forward(&[&Matrix::zeros(2, 32), &Matrix::zeros(2, 1), &Matrix::zeros(2, 8)]);
+        let y = net.forward(&[
+            &Matrix::zeros(2, 32),
+            &Matrix::zeros(2, 1),
+            &Matrix::zeros(2, 8),
+        ]);
         assert_eq!((y.rows(), y.cols()), (2, 8));
         assert!(y.as_slice().iter().all(|p| (0.0..=1.0).contains(p)));
     }

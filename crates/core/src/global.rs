@@ -14,8 +14,8 @@
 //! differentiable model, §5.1 "Global Discriminative Module").
 
 use crate::arch::{
-    build_aux_branch, build_global_head, build_query_branch, build_threshold_branch,
-    tau_features, ModelDims, QueryEmbed, TAU_DIM,
+    build_aux_branch, build_global_head, build_query_branch, build_threshold_branch, tau_features,
+    ModelDims, QueryEmbed, TAU_DIM,
 };
 use crate::labels::SegmentLabels;
 use cardest_baselines::traits::TrainingSet;
@@ -107,17 +107,21 @@ impl GlobalModel {
             for (r, &j) in idx.iter().enumerate() {
                 let s = &samples[j];
                 xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
-                xt.row_mut(r).copy_from_slice(&tau_features(s.tau, cfg.tau_scale));
-                xc.row_mut(r)
-                    .copy_from_slice(&crate::gl::aux_features(&xc_cache[s.query], &radii, s.tau));
+                xt.row_mut(r)
+                    .copy_from_slice(&tau_features(s.tau, cfg.tau_scale));
+                xc.row_mut(r).copy_from_slice(&crate::gl::aux_features(
+                    &xc_cache[s.query],
+                    &radii,
+                    s.tau,
+                ));
                 let weights = if cfg.penalty {
                     labels.minmax_weights(j)
                 } else {
                     vec![0.0; n_segments]
                 };
-                for i in 0..n_segments {
+                for (i, &w) in weights.iter().enumerate().take(n_segments) {
                     lab.set(r, i, if labels.selected(j, i) { 1.0 } else { 0.0 });
-                    wts.set(r, i, weights[i]);
+                    wts.set(r, i, w);
                 }
             }
             (vec![xq, xt, xc], lab, wts)
@@ -144,31 +148,54 @@ impl GlobalModel {
         self.sigma
     }
 
-    /// Per-segment selection probabilities for one query.
-    pub fn probabilities(&mut self, xq: &[f32], tau: f32, xc: &[f32]) -> Vec<f32> {
+    /// Per-segment selection probabilities for one query. Immutable — the
+    /// forward pass runs through the shared-model inference path.
+    pub fn probabilities(&self, xq: &[f32], tau: f32, xc: &[f32]) -> Vec<f32> {
         let q = Matrix::from_row(xq);
         let t = Matrix::from_row(&tau_features(tau, self.tau_scale));
         let c = Matrix::from_row(&crate::gl::aux_features(xc, &self.radii, tau));
-        self.net.forward(&[&q, &t, &c]).as_slice().to_vec()
+        cardest_nn::scratch::with_thread_scratch(|scratch| {
+            let p = self.net.infer(&[&q, &t, &c], scratch);
+            let out = p.as_slice().to_vec();
+            scratch.recycle(p);
+            out
+        })
+    }
+
+    /// Per-segment probabilities for a whole query batch in one forward
+    /// pass: row `r` of the result holds query `r`'s probabilities.
+    /// `xq` is `[B, dim]`, `xc` is `[B, n_segments]` centroid distances.
+    pub fn probabilities_batch(&self, xq: &Matrix, taus: &[f32], xc: &Matrix) -> Matrix {
+        assert_eq!(xq.rows(), taus.len(), "one τ per query required");
+        let mut t = Matrix::zeros(taus.len(), TAU_DIM);
+        let mut aux = Matrix::zeros(taus.len(), 2 * self.n_segments);
+        for (r, &tau) in taus.iter().enumerate() {
+            t.row_mut(r)
+                .copy_from_slice(&tau_features(tau, self.tau_scale));
+            crate::gl::aux_features_into(xc.row(r), &self.radii, tau, aux.row_mut(r));
+        }
+        cardest_nn::scratch::with_thread_scratch(|scratch| {
+            let p = self.net.infer(&[xq, &t, &aux], scratch);
+            // Detach from the pool: callers keep the matrix.
+            let out = p.clone();
+            scratch.recycle(p);
+            out
+        })
     }
 
     /// The discretized selection (the "Global Discriminative Module"):
     /// segments whose probability exceeds σ.
-    pub fn select(&mut self, xq: &[f32], tau: f32, xc: &[f32]) -> Vec<bool> {
-        self.probabilities(xq, tau, xc).iter().map(|&p| p > self.sigma).collect()
+    pub fn select(&self, xq: &[f32], tau: f32, xc: &[f32]) -> Vec<bool> {
+        self.probabilities(xq, tau, xc)
+            .iter()
+            .map(|&p| p > self.sigma)
+            .collect()
     }
 
     /// Batched selection matrix `M` for a join query set (§4): row `r` is
     /// the indicator vector of query `r`.
-    pub fn select_batch(&mut self, xq: &Matrix, taus: &[f32], xc: &Matrix) -> Vec<Vec<bool>> {
-        let mut t = Matrix::zeros(taus.len(), TAU_DIM);
-        let mut aux = Matrix::zeros(taus.len(), 2 * self.n_segments);
-        for (r, &tau) in taus.iter().enumerate() {
-            t.row_mut(r).copy_from_slice(&tau_features(tau, self.tau_scale));
-            aux.row_mut(r)
-                .copy_from_slice(&crate::gl::aux_features(xc.row(r), &self.radii, tau));
-        }
-        let probs = self.net.forward(&[xq, &t, &aux]);
+    pub fn select_batch(&self, xq: &Matrix, taus: &[f32], xc: &Matrix) -> Vec<Vec<bool>> {
+        let probs = self.probabilities_batch(xq, taus, xc);
         (0..probs.rows())
             .map(|r| probs.row(r).iter().map(|&p| p > self.sigma).collect())
             .collect()
@@ -187,7 +214,7 @@ impl GlobalModel {
 /// that falls in segments the global model did **not** select, averaged
 /// over samples with non-zero cardinality.
 pub fn missing_rate(
-    global: &mut GlobalModel,
+    global: &GlobalModel,
     training: &TrainingSet<'_>,
     labels: &SegmentLabels,
     xq_cache: &[Vec<f32>],
@@ -268,7 +295,10 @@ mod tests {
         let training = TrainingSet::new(&f.w.queries, &f.w.train);
         let cfg = GlobalConfig {
             penalty,
-            train: TrainConfig { epochs: 30, ..Default::default() },
+            train: TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
             ..GlobalConfig::new(QueryEmbed::Mlp { hidden: 24 })
         };
         GlobalModel::train(&training, &f.labels, &f.xq, &f.xc, &cfg, seed).0
@@ -277,9 +307,9 @@ mod tests {
     #[test]
     fn trained_global_model_beats_select_all_precision_with_low_missing() {
         let f = fixture(91);
-        let mut g = train_with(&f, true, 91);
+        let g = train_with(&f, true, 91);
         let training = TrainingSet::new(&f.w.queries, &f.w.train);
-        let miss = missing_rate(&mut g, &training, &f.labels, &f.xq, &f.xc);
+        let miss = missing_rate(&g, &training, &f.labels, &f.xq, &f.xc);
         assert!(miss < 0.5, "missing rate {miss} too high");
         // The selection must actually prune something on average.
         let mut selected = 0usize;
@@ -289,13 +319,16 @@ mod tests {
             selected += sel.iter().filter(|&&b| b).count();
             total += sel.len();
         }
-        assert!(selected < total, "global model selects every segment for every query");
+        assert!(
+            selected < total,
+            "global model selects every segment for every query"
+        );
     }
 
     #[test]
     fn probabilities_are_valid_and_batch_matches_single() {
         let f = fixture(92);
-        let mut g = train_with(&f, true, 92);
+        let g = train_with(&f, true, 92);
         let s = &f.w.train[3];
         let probs = g.probabilities(&f.xq[s.query], s.tau, &f.xc[s.query]);
         assert_eq!(probs.len(), g.n_segments());
@@ -314,11 +347,11 @@ mod tests {
         // over the training queries this should hold at our scale too;
         // allow equality for robustness on a tiny fixture.
         let f = fixture(93);
-        let mut with = train_with(&f, true, 93);
-        let mut without = train_with(&f, false, 93);
+        let with = train_with(&f, true, 93);
+        let without = train_with(&f, false, 93);
         let training = TrainingSet::new(&f.w.queries, &f.w.train);
-        let m_with = missing_rate(&mut with, &training, &f.labels, &f.xq, &f.xc);
-        let m_without = missing_rate(&mut without, &training, &f.labels, &f.xq, &f.xc);
+        let m_with = missing_rate(&with, &training, &f.labels, &f.xq, &f.xc);
+        let m_without = missing_rate(&without, &training, &f.labels, &f.xq, &f.xc);
         assert!(
             m_with <= m_without * 1.2 + 0.02,
             "penalty should not hurt missing rate: with={m_with} without={m_without}"

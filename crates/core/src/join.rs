@@ -127,7 +127,10 @@ impl JoinEstimator {
         let mut est = match cfg.variant.base_variant() {
             Some(_) => {
                 let gl = GlEstimator::train(data, metric, training, table, &cfg.base);
-                JoinEstimator { variant: cfg.variant, backend: JoinBackend::GlobalLocal(gl) }
+                JoinEstimator {
+                    variant: cfg.variant,
+                    backend: JoinBackend::GlobalLocal(gl),
+                }
             }
             None => {
                 let (qes, _) = QesEstimator::train(data, metric, training, &cfg.qes, cfg.seed);
@@ -173,8 +176,9 @@ impl JoinEstimator {
                 // One optimizer per local model keeps Adam state aligned
                 // even though each join set touches a different segment
                 // subset.
-                let mut opts: Vec<Adam> =
-                    (0..gl.n_segments()).map(|_| Adam::new(cfg.finetune_lr)).collect();
+                let mut opts: Vec<Adam> = (0..gl.n_segments())
+                    .map(|_| Adam::new(cfg.finetune_lr))
+                    .collect();
                 for _ in 0..cfg.finetune_epochs {
                     for idx in BatchIter::new(&mut rng, join_train.len(), 1) {
                         let set = &join_train[idx[0]];
@@ -190,7 +194,9 @@ impl JoinEstimator {
                     for idx in BatchIter::new(&mut rng, join_train.len(), 1) {
                         let set = &join_train[idx[0]];
                         if let JoinBackend::Single(qes, data, metric) = &mut self.backend {
-                            finetune_single_step(qes, *metric, data, queries, set, &loss_fn, &mut opt);
+                            finetune_single_step(
+                                qes, *metric, data, queries, set, &loss_fn, &mut opt,
+                            );
                         }
                     }
                 }
@@ -199,17 +205,18 @@ impl JoinEstimator {
     }
 
     /// Batched join estimate: one sum-pooled head evaluation per (selected)
-    /// segment, as in Fig. 6.
+    /// segment, as in Fig. 6. Immutable — runs on the pooled inference path
+    /// so a trained join model can be shared across serving threads.
     pub fn estimate_join_batched(
-        &mut self,
+        &self,
         queries: &VectorData,
         member_ids: &[usize],
         tau: f32,
     ) -> f32 {
-        match &mut self.backend {
-            JoinBackend::GlobalLocal(gl) => gl_join_forward(gl, queries, member_ids, tau).0,
+        match &self.backend {
+            JoinBackend::GlobalLocal(gl) => gl_join_infer(gl, queries, member_ids, tau),
             JoinBackend::Single(qes, data, metric) => {
-                single_join_forward(qes, *metric, data, queries, member_ids, tau).0
+                single_join_infer(qes, *metric, data, queries, member_ids, tau)
             }
         }
     }
@@ -229,14 +236,21 @@ impl CardinalityEstimator for JoinEstimator {
     }
 
     /// Point estimates fall back to a singleton join set.
-    fn estimate(&mut self, q: cardest_data::vector::VectorView<'_>, tau: f32) -> f32 {
-        match &mut self.backend {
+    fn estimate(&self, q: cardest_data::vector::VectorView<'_>, tau: f32) -> f32 {
+        match &self.backend {
             JoinBackend::GlobalLocal(gl) => gl.estimate(q, tau),
             JoinBackend::Single(qes, _, _) => qes.estimate(q, tau),
         }
     }
 
-    fn estimate_join(&mut self, queries: &VectorData, member_ids: &[usize], tau: f32) -> f32 {
+    fn estimate_batch(&self, queries: &[(cardest_data::vector::VectorView<'_>, f32)]) -> Vec<f32> {
+        match &self.backend {
+            JoinBackend::GlobalLocal(gl) => gl.estimate_batch(queries),
+            JoinBackend::Single(qes, _, _) => qes.estimate_batch(queries),
+        }
+    }
+
+    fn estimate_join(&self, queries: &VectorData, member_ids: &[usize], tau: f32) -> f32 {
         self.estimate_join_batched(queries, member_ids, tau)
     }
 
@@ -248,22 +262,19 @@ impl CardinalityEstimator for JoinEstimator {
     }
 }
 
-/// Forward pass of the global-local join model. Returns the total
-/// estimate plus, per segment, the routed member rows and the head output
-/// (`ln card`), so the fine-tuning step can backprop through the same
-/// pass.
-fn gl_join_forward(
-    gl: &mut GlEstimator,
+/// Member feature matrices `x_q` / aux and the indicating matrix `M`
+/// (mask-based routing) for one join set — shared by the inference and
+/// fine-tuning passes. Without a global model every query routes to every
+/// segment.
+fn join_features(
+    segmentation: &cardest_cluster::segmentation::Segmentation,
+    global: Option<&crate::global::GlobalModel>,
     queries: &VectorData,
     member_ids: &[usize],
     tau: f32,
-) -> (f32, Vec<(usize, Vec<usize>, f32, f32)>) {
-    let tau_scale = gl.tau_scale();
-    let (locals, global, segmentation) = gl.parts_mut();
-    let n_segments = locals.len();
+) -> (Matrix, Matrix, Vec<Vec<bool>>) {
+    let n_segments = segmentation.n_segments();
     let dim = queries.dim();
-
-    // Member feature matrices.
     let radii: Vec<f32> = (0..n_segments).map(|i| segmentation.radius(i)).collect();
     let mut xq = Matrix::zeros(member_ids.len(), dim);
     let mut xc = Matrix::zeros(member_ids.len(), n_segments);
@@ -278,21 +289,143 @@ fn gl_join_forward(
             .copy_from_slice(&crate::gl::aux_features(&dists, &radii, tau));
         xc.row_mut(r).copy_from_slice(&dists);
     }
-
-    // Indicating matrix M (mask-based routing); without a global model
-    // every query routes to every segment.
     let taus = vec![tau; member_ids.len()];
     let mask: Vec<Vec<bool>> = match global {
         Some(g) => g.select_batch(&xq, &taus, &xc),
         None => vec![vec![true; n_segments]; member_ids.len()],
     };
+    (xq, aux, mask)
+}
+
+/// Immutable forward pass of the global-local join model (Fig. 6) on the
+/// pooled inference path. Mirrors [`gl_join_forward`] without touching the
+/// training caches.
+fn gl_join_infer(gl: &GlEstimator, queries: &VectorData, member_ids: &[usize], tau: f32) -> f32 {
+    let tau_scale = gl.tau_scale();
+    let segmentation = gl.segmentation();
+    let (xq, aux, mask) = join_features(segmentation, gl.global(), queries, member_ids, tau);
+    cardest_nn::scratch::with_thread_scratch(|scratch| {
+        let mut total = 0.0f32;
+        for (seg, local) in gl.locals().iter().enumerate() {
+            let routed: Vec<usize> = (0..member_ids.len()).filter(|&r| mask[r][seg]).collect();
+            if routed.is_empty() {
+                continue;
+            }
+            let o = pooled_head_infer(local, &xq, &aux, &routed, tau, tau_scale, scratch);
+            let cap = (segmentation.members(seg).len() * routed.len()) as f32;
+            total += o.clamp(-20.0, 20.0).exp().min(cap);
+        }
+        total
+    })
+}
+
+/// Immutable counterpart of [`pooled_head_forward`]: sum-pooled embeddings
+/// for the routed rows, one head evaluation, no cache writes.
+#[allow(clippy::too_many_arguments)]
+fn pooled_head_infer(
+    local: &BranchNet,
+    xq: &Matrix,
+    aux: &Matrix,
+    routed: &[usize],
+    tau: f32,
+    tau_scale: f32,
+    scratch: &mut cardest_nn::Scratch,
+) -> f32 {
+    let xq_routed = xq.gather_rows(routed);
+    let xc_routed = aux.gather_rows(routed);
+    let eq = local.infer_branch(0, &xq_routed, scratch);
+    let zq = eq.sum_rows();
+    scratch.recycle(eq);
+    let xt = Matrix::from_row(&tau_features(tau, tau_scale));
+    let zt = local.infer_branch(1, &xt, scratch);
+    let ec = local.infer_branch(2, &xc_routed, scratch);
+    let zc = ec.sum_rows();
+    scratch.recycle(ec);
+    let concat = Matrix::hconcat(&[&zq, &zt, &zc]);
+    let out = local.infer_head(&concat, scratch);
+    let o = out.get(0, 0);
+    scratch.recycle(zt);
+    scratch.recycle(out);
+    o
+}
+
+/// Immutable forward pass of the CNNJoin model: sum-pool query and
+/// sample-distance embeddings over all members, one head evaluation.
+fn single_join_infer(
+    qes: &QesEstimator,
+    metric: Metric,
+    data: &VectorData,
+    queries: &VectorData,
+    member_ids: &[usize],
+    tau: f32,
+) -> f32 {
+    let (xq, xd) = single_join_features(qes, metric, queries, member_ids);
+    let net = qes.net();
+    cardest_nn::scratch::with_thread_scratch(|scratch| {
+        let eq = net.infer_branch(0, &xq, scratch);
+        let zq = eq.sum_rows();
+        scratch.recycle(eq);
+        let zt = net.infer_branch(1, &Matrix::from_row(&[tau]), scratch);
+        let ed = net.infer_branch(2, &xd, scratch);
+        let zd = ed.sum_rows();
+        scratch.recycle(ed);
+        let concat = Matrix::hconcat(&[&zq, &zt, &zd]);
+        let out = net.infer_head(&concat, scratch);
+        let o = out.get(0, 0);
+        scratch.recycle(zt);
+        scratch.recycle(out);
+        // Cap at the trivial bound |Q|·|D|.
+        let cap = (member_ids.len() * data.len()) as f32;
+        o.clamp(-20.0, 20.0).exp().min(cap)
+    })
+}
+
+/// Member query matrix `x_q` and sample-distance matrix `x_D` for CNNJoin.
+fn single_join_features(
+    qes: &QesEstimator,
+    metric: Metric,
+    queries: &VectorData,
+    member_ids: &[usize],
+) -> (Matrix, Matrix) {
+    let dim = queries.dim();
+    let mut xq = Matrix::zeros(member_ids.len(), dim);
+    let mut buf = Vec::with_capacity(dim);
+    let k = qes.samples().len();
+    let mut xd = Matrix::zeros(member_ids.len(), k);
+    for (r, &qid) in member_ids.iter().enumerate() {
+        let view = queries.view(qid);
+        view.write_dense(&mut buf);
+        xq.row_mut(r).copy_from_slice(&buf);
+        for i in 0..k {
+            xd.set(r, i, metric.distance(view, qes.samples().view(i)));
+        }
+    }
+    (xq, xd)
+}
+
+/// Forward pass of the global-local join model. Returns the total
+/// estimate plus, per segment, the routed member rows and the head output
+/// (`ln card`), so the fine-tuning step can backprop through the same
+/// pass.
+/// Per-segment record of a training-time join forward pass:
+/// `(segment, routed member rows, raw prediction, capped contribution)`.
+type SegmentForward = (usize, Vec<usize>, f32, f32);
+
+fn gl_join_forward(
+    gl: &mut GlEstimator,
+    queries: &VectorData,
+    member_ids: &[usize],
+    tau: f32,
+) -> (f32, Vec<SegmentForward>) {
+    let tau_scale = gl.tau_scale();
+    let (xq, aux, mask) = join_features(gl.segmentation(), gl.global(), queries, member_ids, tau);
+    let (locals, _, segmentation) = gl.parts_mut();
 
     let mut total = 0.0f32;
     let mut per_segment = Vec::new();
     for (seg, local) in locals.iter_mut().enumerate() {
         // Mᵀ row: members routed to this segment.
-        let routed: Vec<usize> =
-            (0..member_ids.len()).filter(|&r| mask[r][seg]).collect();
+        let routed: Vec<usize> = (0..member_ids.len()).filter(|&r| mask[r][seg]).collect();
         if routed.is_empty() {
             continue;
         }
@@ -393,19 +526,7 @@ fn single_join_forward(
     member_ids: &[usize],
     tau: f32,
 ) -> (f32, usize) {
-    let dim = queries.dim();
-    let mut xq = Matrix::zeros(member_ids.len(), dim);
-    let mut buf = Vec::with_capacity(dim);
-    let k = qes.samples().len();
-    let mut xd = Matrix::zeros(member_ids.len(), k);
-    for (r, &qid) in member_ids.iter().enumerate() {
-        let view = queries.view(qid);
-        view.write_dense(&mut buf);
-        xq.row_mut(r).copy_from_slice(&buf);
-        for i in 0..k {
-            xd.set(r, i, metric.distance(view, qes.samples().view(i)));
-        }
-    }
+    let (xq, xd) = single_join_features(qes, metric, queries, member_ids);
     let net = qes.net_mut();
     let zq = net.forward_branch(0, &xq).sum_rows();
     let zt = net.forward_branch(1, &Matrix::from_row(&[tau]));
@@ -476,18 +597,34 @@ mod tests {
     fn fast_join_cfg(variant: JoinVariant) -> JoinConfig {
         let mut cfg = JoinConfig::for_variant(variant);
         cfg.base.n_segments = 6;
-        cfg.base.local_train = TrainConfig { epochs: 10, batch_size: 64, ..Default::default() };
-        cfg.base.global_train = TrainConfig { epochs: 12, batch_size: 64, ..Default::default() };
+        cfg.base.local_train = TrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            ..Default::default()
+        };
+        cfg.base.global_train = TrainConfig {
+            epochs: 12,
+            batch_size: 64,
+            ..Default::default()
+        };
         cfg.base.tuning = crate::tuning::TuningConfig::fast();
         cfg.base.tuning_segments = 1;
-        cfg.qes.train = TrainConfig { epochs: 10, ..Default::default() };
+        cfg.qes.train = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         cfg
     }
 
-    fn join_mean_qerr(est: &mut JoinEstimator, w: &SearchWorkload, j: &JoinWorkload) -> f32 {
+    fn join_mean_qerr(est: &JoinEstimator, w: &SearchWorkload, j: &JoinWorkload) -> f32 {
         let pairs: Vec<(f32, f32)> = j.test_buckets[0]
             .iter()
-            .map(|s| (est.estimate_join_batched(&w.queries, &s.query_ids, s.tau), s.card))
+            .map(|s| {
+                (
+                    est.estimate_join_batched(&w.queries, &s.query_ids, s.tau),
+                    s.card,
+                )
+            })
             .collect();
         ErrorSummary::from_q_errors(&pairs).mean
     }
@@ -496,7 +633,7 @@ mod tests {
     fn gljoin_trains_and_estimates_finite_totals() {
         let (data, w, j, spec) = tiny(121);
         let training = TrainingSet::new(&w.queries, &w.train);
-        let mut est = JoinEstimator::train(
+        let est = JoinEstimator::train(
             &data,
             spec.metric,
             &training,
@@ -504,11 +641,10 @@ mod tests {
             &j.train,
             &fast_join_cfg(JoinVariant::GlJoin),
         );
-        let err = join_mean_qerr(&mut est, &w, &j);
+        let err = join_mean_qerr(&est, &w, &j);
         assert!(err.is_finite() && err >= 1.0);
         // Join estimates should beat trivially answering 0.
-        let zero: Vec<(f32, f32)> =
-            j.test_buckets[0].iter().map(|s| (0.0, s.card)).collect();
+        let zero: Vec<(f32, f32)> = j.test_buckets[0].iter().map(|s| (0.0, s.card)).collect();
         assert!(err < ErrorSummary::from_q_errors(&zero).mean);
     }
 
@@ -516,7 +652,7 @@ mod tests {
     fn cnnjoin_pools_and_estimates() {
         let (data, w, j, spec) = tiny(122);
         let training = TrainingSet::new(&w.queries, &w.train);
-        let mut est = JoinEstimator::train(
+        let est = JoinEstimator::train(
             &data,
             spec.metric,
             &training,
@@ -538,7 +674,7 @@ mod tests {
         // pooled estimate — unlike mean pooling, which would be invariant.
         let (data, w, j, spec) = tiny(123);
         let training = TrainingSet::new(&w.queries, &w.train);
-        let mut est = JoinEstimator::train(
+        let est = JoinEstimator::train(
             &data,
             spec.metric,
             &training,

@@ -29,12 +29,8 @@ impl SegmentLabels {
         let n_segments = segmentation.n_segments();
         let mut cards = Vec::with_capacity(samples.len() * n_segments);
         for s in samples {
-            let seg_cards = table.segment_cardinalities(
-                s.query,
-                s.tau,
-                segmentation.assignment(),
-                n_segments,
-            );
+            let seg_cards =
+                table.segment_cardinalities(s.query, s.tau, segmentation.assignment(), n_segments);
             debug_assert_eq!(
                 seg_cards.iter().sum::<u32>() as f32,
                 s.card,
@@ -140,8 +136,8 @@ mod tests {
             let spread = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
                 - row.iter().cloned().fold(f32::INFINITY, f32::min);
             if spread > 0.0 {
-                assert!(ws.iter().any(|&w| w == 1.0), "max-cardinality segment gets weight 1");
-                assert!(ws.iter().any(|&w| w == 0.0));
+                assert!(ws.contains(&1.0), "max-cardinality segment gets weight 1");
+                assert!(ws.contains(&0.0));
             }
         }
     }

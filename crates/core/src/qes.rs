@@ -14,14 +14,14 @@
 //! data segment.
 
 use crate::arch::{
-    build_aux_branch, build_monotonic_head, build_query_branch, build_threshold_branch,
-    build_regressor, ModelDims, QueryEmbed,
+    build_aux_branch, build_monotonic_head, build_query_branch, build_regressor,
+    build_threshold_branch, ModelDims, QueryEmbed,
 };
-use cardest_nn::net::Sequential;
 use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
 use cardest_data::metric::Metric;
 use cardest_data::vector::{VectorData, VectorView};
 use cardest_nn::net::BranchNet;
+use cardest_nn::net::Sequential;
 use cardest_nn::trainer::{train_branch_regression, TrainConfig, TrainReport};
 use cardest_nn::Matrix;
 use rand::rngs::StdRng;
@@ -60,7 +60,9 @@ impl Default for QesConfig {
     }
 }
 
-/// The trained QES estimator.
+/// The trained QES estimator. Inference is immutable (`&self`) and
+/// batchable: the CNN embedding and head run on true `B×d` batches with
+/// temporaries drawn from a thread-local scratch pool.
 pub struct QesEstimator {
     net: BranchNet,
     samples: VectorData,
@@ -68,7 +70,6 @@ pub struct QesEstimator {
     /// Dataset size at training time; estimates are capped here (a search
     /// cardinality cannot exceed the dataset).
     n_data: usize,
-    buf: Vec<f32>,
 }
 
 impl QesEstimator {
@@ -104,11 +105,7 @@ impl QesEstimator {
                 cfg.dims.hidden,
                 (cfg.dims.embed_q, cfg.dims.embed_t),
             );
-            cardest_nn::net::BranchNet::new(
-                vec![bq, bt, ba],
-                vec![dim, 1, samples.len()],
-                head,
-            )
+            cardest_nn::net::BranchNet::new(vec![bq, bt, ba], vec![dim, 1, samples.len()], head)
         } else {
             build_regressor(&mut rng, dim, 1, samples.len(), &embed, &cfg.dims)
         };
@@ -117,7 +114,6 @@ impl QesEstimator {
             samples,
             metric,
             n_data: data.len(),
-            buf: Vec::with_capacity(dim),
         };
 
         // Cache per-query features once.
@@ -179,13 +175,44 @@ impl CardinalityEstimator for QesEstimator {
         "QES"
     }
 
-    fn estimate(&mut self, q: VectorView<'_>, tau: f32) -> f32 {
-        q.write_dense(&mut self.buf);
-        let xq = Matrix::from_row(&self.buf);
-        let xt = Matrix::from_row(&[tau]);
-        let xd = Matrix::from_row(&self.distance_vector(q));
-        let pred = self.net.forward(&[&xq, &xt, &xd]);
-        pred.get(0, 0).clamp(-20.0, 20.0).exp().min(self.n_data as f32)
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
+        self.estimate_batch(&[(q, tau)])[0]
+    }
+
+    fn estimate_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Vec<f32> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let b = queries.len();
+        let dim = self.net.in_dims()[0];
+        let k = self.samples.len();
+        cardest_nn::scratch::with_thread_scratch(|scratch| {
+            let mut xq = scratch.take(b, dim);
+            let mut xt = scratch.take(b, 1);
+            let mut xd = scratch.take(b, k);
+            let mut qbuf: Vec<f32> = Vec::with_capacity(dim);
+            for (r, &(q, tau)) in queries.iter().enumerate() {
+                q.write_dense(&mut qbuf);
+                xq.row_mut(r).copy_from_slice(&qbuf);
+                xt.set(r, 0, tau);
+                for (d, i) in xd.row_mut(r).iter_mut().zip(0..k) {
+                    *d = self.metric.distance(q, self.samples.view(i));
+                }
+            }
+            let pred = self.net.infer(&[&xq, &xt, &xd], scratch);
+            let out = (0..b)
+                .map(|r| {
+                    pred.get(r, 0)
+                        .clamp(-20.0, 20.0)
+                        .exp()
+                        .min(self.n_data as f32)
+                })
+                .collect();
+            for m in [xq, xt, xd, pred] {
+                scratch.recycle(m);
+            }
+            out
+        })
     }
 
     fn model_bytes(&self) -> usize {
@@ -212,7 +239,7 @@ mod tests {
         (data, w, spec)
     }
 
-    fn test_error(est: &mut QesEstimator, w: &SearchWorkload) -> f32 {
+    fn test_error(est: &QesEstimator, w: &SearchWorkload) -> f32 {
         let pairs: Vec<(f32, f32)> = w
             .test
             .iter()
@@ -226,13 +253,16 @@ mod tests {
         let (data, w, spec) = tiny(PaperDataset::ImageNet, 81);
         let cfg = QesConfig {
             k_samples: 32,
-            train: TrainConfig { epochs: 25, ..Default::default() },
+            train: TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
-        let (mut est, report) = QesEstimator::train(&data, spec.metric, &training, &cfg, 81);
+        let (est, report) = QesEstimator::train(&data, spec.metric, &training, &cfg, 81);
         assert!(report.final_loss.is_finite());
-        let err = test_error(&mut est, &w);
+        let err = test_error(&est, &w);
         assert!(err < 100.0, "QES mean Q-error {err} unreasonably large");
     }
 
@@ -244,12 +274,19 @@ mod tests {
         let (data, w, spec) = tiny(PaperDataset::ImageNet, 82);
         let cfg = QesConfig {
             k_samples: 16,
-            train: TrainConfig { epochs: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
         let (est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 82);
-        assert!(est.model_bytes() < 256 * 1024, "model is {} bytes", est.model_bytes());
+        assert!(
+            est.model_bytes() < 256 * 1024,
+            "model is {} bytes",
+            est.model_bytes()
+        );
     }
 
     #[test]
@@ -258,11 +295,14 @@ mod tests {
         let cfg = QesConfig {
             k_samples: 16,
             strict_monotonic: true,
-            train: TrainConfig { epochs: 8, ..Default::default() },
+            train: TrainConfig {
+                epochs: 8,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
-        let (mut est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 84);
+        let (est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 84);
         for q in 0..5 {
             let mut prev = f32::NEG_INFINITY;
             for i in 0..=10 {
@@ -293,11 +333,14 @@ mod tests {
                 }],
             }),
             k_samples: 8,
-            train: TrainConfig { epochs: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let training = TrainingSet::new(&w.queries, &w.train);
-        let (mut est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 83);
+        let (est, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 83);
         // Just exercise the forward path.
         let e = est.estimate(w.queries.view(0), 0.1);
         assert!(e.is_finite() && e >= 0.0);

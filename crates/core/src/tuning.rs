@@ -58,7 +58,11 @@ impl Default for TuningConfig {
             max_layers: 3,
             rel_improvement: 0.02,
             max_evals: 30,
-            trial_train: TrainConfig { epochs: 8, batch_size: 64, ..Default::default() },
+            trial_train: TrainConfig {
+                epochs: 8,
+                batch_size: 64,
+                ..Default::default()
+            },
             dims: ModelDims::default(),
         }
     }
@@ -73,7 +77,11 @@ impl TuningConfig {
             init_configs: 2,
             max_layers: 2,
             max_evals: 8,
-            trial_train: TrainConfig { epochs: 3, batch_size: 64, ..Default::default() },
+            trial_train: TrainConfig {
+                epochs: 3,
+                batch_size: 64,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -111,7 +119,9 @@ fn candidate_specs(rng: &mut StdRng, in_len: usize) -> Option<ConvSpec> {
         stride,
         padding: *[0usize, kernel / 2].choose(rng).expect("non-empty"),
         pool_size: *[1usize, 2, 4].choose(rng).expect("non-empty"),
-        pool: *[PoolOp::Max, PoolOp::Avg, PoolOp::Sum].choose(rng).expect("non-empty"),
+        pool: *[PoolOp::Max, PoolOp::Avg, PoolOp::Sum]
+            .choose(rng)
+            .expect("non-empty"),
     };
     Conv1d::spec_fits(in_len, &spec).then_some(spec)
 }
@@ -127,7 +137,10 @@ fn field_candidates(field: usize, current: &ConvSpec, in_len: usize) -> Vec<Conv
     match field {
         0 => {
             for ch in [2usize, 4, 8, 16] {
-                push(ConvSpec { out_channels: ch, ..*current });
+                push(ConvSpec {
+                    out_channels: ch,
+                    ..*current
+                });
             }
         }
         1 => {
@@ -137,27 +150,43 @@ fn field_candidates(field: usize, current: &ConvSpec, in_len: usize) -> Vec<Conv
                 current.kernel * 2,
                 (current.kernel / 2).max(1),
             ] {
-                push(ConvSpec { kernel: k, stride: current.stride.min(k), ..*current });
+                push(ConvSpec {
+                    kernel: k,
+                    stride: current.stride.min(k),
+                    ..*current
+                });
             }
         }
         2 => {
             for s in [1usize, (current.kernel / 2).max(1), current.kernel] {
-                push(ConvSpec { stride: s, ..*current });
+                push(ConvSpec {
+                    stride: s,
+                    ..*current
+                });
             }
         }
         3 => {
             for p in [0usize, current.kernel / 2, current.kernel.saturating_sub(1)] {
-                push(ConvSpec { padding: p, ..*current });
+                push(ConvSpec {
+                    padding: p,
+                    ..*current
+                });
             }
         }
         4 => {
             for ps in [1usize, 2, 4] {
-                push(ConvSpec { pool_size: ps, ..*current });
+                push(ConvSpec {
+                    pool_size: ps,
+                    ..*current
+                });
             }
         }
         _ => {
             for op in [PoolOp::Max, PoolOp::Avg, PoolOp::Sum] {
-                push(ConvSpec { pool: op, ..*current });
+                push(ConvSpec {
+                    pool: op,
+                    ..*current
+                });
             }
         }
     }
@@ -187,7 +216,9 @@ fn evaluate_stack(
         .map(|s| s.tau)
         .fold(0.0f32, f32::max)
         .max(1e-6);
-    let embed = QueryEmbed::Cnn { layers: layers.to_vec() };
+    let embed = QueryEmbed::Cnn {
+        layers: layers.to_vec(),
+    };
     let mut net = build_regressor(&mut rng, dim, TAU_DIM, aux_dim, &embed, &cfg.dims);
     let samples = training.samples;
     let mut build = |idx: &[usize]| {
@@ -200,7 +231,8 @@ fn evaluate_stack(
             let j = train_idx[ti];
             let s = &samples[j];
             xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
-            xt.row_mut(r).copy_from_slice(&tau_features(s.tau, tau_scale));
+            xt.row_mut(r)
+                .copy_from_slice(&tau_features(s.tau, tau_scale));
             xc.row_mut(r).copy_from_slice(&xc_cache[s.query]);
             cards.push(targets[j]);
         }
@@ -217,7 +249,11 @@ fn evaluate_stack(
         let xq = Matrix::from_row(&xq_cache[s.query]);
         let xt = Matrix::from_row(&tau_features(s.tau, tau_scale));
         let xc = Matrix::from_row(&xc_cache[s.query]);
-        let pred = net.forward(&[&xq, &xt, &xc]).get(0, 0).clamp(-20.0, 20.0).exp();
+        let pred = net
+            .forward(&[&xq, &xt, &xc])
+            .get(0, 0)
+            .clamp(-20.0, 20.0)
+            .exp();
         total += q_error(pred, targets[j]) as f64;
     }
     (total / val_idx.len().max(1) as f64) as f32
@@ -237,7 +273,11 @@ pub fn tune_query_embedding(
     cfg: &TuningConfig,
     seed: u64,
 ) -> (QueryEmbed, f32) {
-    assert_eq!(targets.len(), training.samples.len(), "one target per training sample");
+    assert_eq!(
+        targets.len(),
+        training.samples.len(),
+        "one target per training sample"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x704E);
     // Lines 1–2: random trial subsets.
     let mut all: Vec<usize> = (0..training.samples.len()).collect();
@@ -251,7 +291,15 @@ pub fn tune_query_embedding(
     let eval = |layers: &[ConvSpec]| {
         eval_counter.set(eval_counter.get() + 1);
         evaluate_stack(
-            dim, layers, training, targets, xq_cache, xc_cache, train_idx, val_idx, cfg,
+            dim,
+            layers,
+            training,
+            targets,
+            xq_cache,
+            xc_cache,
+            train_idx,
+            val_idx,
+            cfg,
             seed.wrapping_add(eval_counter.get()),
         )
     };
@@ -270,7 +318,9 @@ pub fn tune_query_embedding(
         // Lines 3–6: cold-start candidates for this layer.
         let mut best: Option<(ConvSpec, f32)> = None;
         for _ in 0..cfg.init_configs.max(1) {
-            let Some(spec) = candidate_specs(&mut rng, in_len) else { continue };
+            let Some(spec) = candidate_specs(&mut rng, in_len) else {
+                continue;
+            };
             let mut trial = model.clone();
             trial.push(spec);
             let e = eval(&trial);
@@ -278,7 +328,9 @@ pub fn tune_query_embedding(
                 best = Some((spec, e));
             }
         }
-        let Some((mut theta, mut theta_err)) = best else { break };
+        let Some((mut theta, mut theta_err)) = best else {
+            break;
+        };
         // Lines 9–11: coordinate descent over the 6 hyperparameters.
         loop {
             let before = theta_err;
@@ -319,7 +371,11 @@ pub fn tune_query_embedding(
     if model.is_empty() {
         // Fall back to the default segmentation CNN.
         let embed = QueryEmbed::default_cnn(dim, 8);
-        let e = if let QueryEmbed::Cnn { layers } = &embed { eval(layers) } else { error };
+        let e = if let QueryEmbed::Cnn { layers } = &embed {
+            eval(layers)
+        } else {
+            error
+        };
         return (embed, e);
     }
     (QueryEmbed::Cnn { layers: model }, error)

@@ -34,7 +34,12 @@ pub struct UpdateConfig {
 
 impl Default for UpdateConfig {
     fn default() -> Self {
-        UpdateConfig { local_epochs: 2, global_epochs: 2, learning_rate: 3e-4, batch_size: 128 }
+        UpdateConfig {
+            local_epochs: 2,
+            global_epochs: 2,
+            learning_rate: 3e-4,
+            batch_size: 128,
+        }
     }
 }
 
@@ -76,7 +81,12 @@ impl UpdatableGl {
             .iter()
             .map(|s| {
                 table
-                    .segment_cardinalities(s.query, s.tau, gl.segmentation().assignment(), n_segments)
+                    .segment_cardinalities(
+                        s.query,
+                        s.tau,
+                        gl.segmentation().assignment(),
+                        n_segments,
+                    )
                     .into_iter()
                     .map(|c| c as f32)
                     .collect()
@@ -130,7 +140,11 @@ impl UpdatableGl {
     /// the affected local models and the global model. Returns the set of
     /// affected segments.
     pub fn insert(&mut self, points: &VectorData, finetune: bool) -> Vec<usize> {
-        assert_eq!(points.dim(), self.data.dim(), "inserted points have wrong dimension");
+        assert_eq!(
+            points.dim(),
+            self.data.dim(),
+            "inserted points have wrong dimension"
+        );
         let mut affected: BTreeSet<usize> = BTreeSet::new();
         for i in 0..points.len() {
             let view = points.view(i);
@@ -215,12 +229,14 @@ impl UpdatableGl {
         let dim = self.queries.dim();
         let tau_scale = self.gl.tau_scale();
         let n_segments = self.gl.segmentation().n_segments();
-        let radii: Vec<f32> =
-            (0..n_segments).map(|i| self.gl.segmentation().radius(i)).collect();
+        let radii: Vec<f32> = (0..n_segments)
+            .map(|i| self.gl.segmentation().radius(i))
+            .collect();
         for &seg in affected {
             // Samples with mass in this segment plus a slice of zeros.
-            let mut chosen: Vec<usize> =
-                (0..self.train.len()).filter(|&j| self.seg_cards[j][seg] > 0.0).collect();
+            let mut chosen: Vec<usize> = (0..self.train.len())
+                .filter(|&j| self.seg_cards[j][seg] > 0.0)
+                .collect();
             let zeros: Vec<usize> = (0..self.train.len())
                 .filter(|&j| self.seg_cards[j][seg] == 0.0)
                 .take(chosen.len().max(16))
@@ -243,7 +259,8 @@ impl UpdatableGl {
                     let j = chosen[ci];
                     let s = &train[j];
                     xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
-                    xt.row_mut(r).copy_from_slice(&tau_features(s.tau, tau_scale));
+                    xt.row_mut(r)
+                        .copy_from_slice(&tau_features(s.tau, tau_scale));
                     xc.row_mut(r).copy_from_slice(&crate::gl::aux_features(
                         &xc_cache[s.query],
                         &radii,
@@ -270,8 +287,9 @@ impl UpdatableGl {
         let dim = self.queries.dim();
         let tau_scale = self.gl.tau_scale();
         let n_segments = self.gl.segmentation().n_segments();
-        let radii: Vec<f32> =
-            (0..n_segments).map(|i| self.gl.segmentation().radius(i)).collect();
+        let radii: Vec<f32> = (0..n_segments)
+            .map(|i| self.gl.segmentation().radius(i))
+            .collect();
         let train = &self.train;
         let seg_cards = &self.seg_cards;
         let xq_cache = &self.xq_cache;
@@ -286,7 +304,8 @@ impl UpdatableGl {
             for (r, &j) in idx.iter().enumerate() {
                 let s = &train[j];
                 xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
-                xt.row_mut(r).copy_from_slice(&tau_features(s.tau, tau_scale));
+                xt.row_mut(r)
+                    .copy_from_slice(&tau_features(s.tau, tau_scale));
                 xc.row_mut(r).copy_from_slice(&crate::gl::aux_features(
                     &xc_cache[s.query],
                     &radii,
@@ -346,8 +365,16 @@ mod tests {
         let cfg = GlConfig {
             variant: GlVariant::GlCnn,
             n_segments: 6,
-            local_train: TrainConfig { epochs: 8, batch_size: 64, ..Default::default() },
-            global_train: TrainConfig { epochs: 10, batch_size: 64, ..Default::default() },
+            local_train: TrainConfig {
+                epochs: 8,
+                batch_size: 64,
+                ..Default::default()
+            },
+            global_train: TrainConfig {
+                epochs: 10,
+                batch_size: 64,
+                ..Default::default()
+            },
             tuning: TuningConfig::fast(),
             tuning_segments: 1,
             ..Default::default()
@@ -381,7 +408,9 @@ mod tests {
         for (j, s) in upd.train_samples().iter().enumerate() {
             let expected_gain = (0..3)
                 .filter(|&i| {
-                    spec.metric.distance(upd.queries.view(s.query), new_points.view(i)) <= s.tau
+                    spec.metric
+                        .distance(upd.queries.view(s.query), new_points.view(i))
+                        <= s.tau
                 })
                 .count() as f32;
             assert_eq!(s.card - before[j], expected_gain, "sample {j}");

@@ -55,7 +55,10 @@ pub fn load_or_generate(dir: &Path, spec: &DatasetSpec, seed: u64) -> VectorData
     }
     let data = spec.generate(seed);
     if std::fs::create_dir_all(dir).is_ok() {
-        let cached = CachedDataset { fingerprint: fp, data: data.clone() };
+        let cached = CachedDataset {
+            fingerprint: fp,
+            data: data.clone(),
+        };
         if let Ok(json) = serde_json::to_vec(&cached) {
             let _ = std::fs::write(&path, json);
         }
@@ -69,7 +72,8 @@ mod tests {
     use crate::paper::PaperDataset;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("cardest-cache-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("cardest-cache-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -77,9 +81,15 @@ mod tests {
     #[test]
     fn cache_roundtrip_returns_identical_data() {
         let dir = tmpdir("roundtrip");
-        let spec = DatasetSpec { n_data: 120, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 120,
+            ..PaperDataset::ImageNet.spec()
+        };
         let first = load_or_generate(&dir, &spec, 5);
-        assert!(cache_path(&dir, &spec, 5).exists(), "cache file must be written");
+        assert!(
+            cache_path(&dir, &spec, 5).exists(),
+            "cache file must be written"
+        );
         let second = load_or_generate(&dir, &spec, 5);
         assert_eq!(first, second);
         let _ = std::fs::remove_dir_all(&dir);
@@ -88,7 +98,10 @@ mod tests {
     #[test]
     fn different_seeds_use_different_files() {
         let dir = tmpdir("seeds");
-        let spec = DatasetSpec { n_data: 60, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 60,
+            ..PaperDataset::ImageNet.spec()
+        };
         let a = load_or_generate(&dir, &spec, 1);
         let b = load_or_generate(&dir, &spec, 2);
         assert_ne!(a, b);
@@ -99,7 +112,10 @@ mod tests {
     #[test]
     fn stale_fingerprint_is_regenerated() {
         let dir = tmpdir("stale");
-        let spec = DatasetSpec { n_data: 60, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 60,
+            ..PaperDataset::ImageNet.spec()
+        };
         let fresh = load_or_generate(&dir, &spec, 9);
         // Corrupt the fingerprint on disk.
         let path = cache_path(&dir, &spec, 9);
@@ -109,13 +125,19 @@ mod tests {
         cached.fingerprint = "stale".into();
         std::fs::write(&path, serde_json::to_vec(&cached).expect("serialize")).expect("write");
         let reloaded = load_or_generate(&dir, &spec, 9);
-        assert_eq!(fresh, reloaded, "stale cache must be regenerated, not trusted");
+        assert_eq!(
+            fresh, reloaded,
+            "stale cache must be regenerated, not trusted"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn unreadable_dir_falls_back_to_generation() {
-        let spec = DatasetSpec { n_data: 50, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 50,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = load_or_generate(Path::new("/nonexistent-root/cache"), &spec, 3);
         assert_eq!(data.len(), 50);
     }

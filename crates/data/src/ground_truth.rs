@@ -28,10 +28,10 @@ impl DistanceTable {
         let mut dists = vec![0.0f32; n_queries * n_data];
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         let chunk = n_queries.div_ceil(threads.max(1)).max(1);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (t, slice) in dists.chunks_mut(chunk * n_data).enumerate() {
                 let q0 = t * chunk;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (dq, q) in slice.chunks_mut(n_data).zip(q0..) {
                         let qv = queries.view(q);
                         for (d, p) in dq.iter_mut().zip(0..n_data) {
@@ -40,9 +40,12 @@ impl DistanceTable {
                     }
                 });
             }
-        })
-        .expect("ground-truth worker panicked");
-        DistanceTable { n_queries, n_data, dists }
+        });
+        DistanceTable {
+            n_queries,
+            n_data,
+            dists,
+        }
     }
 
     pub fn n_queries(&self) -> usize {
@@ -73,7 +76,11 @@ impl DistanceTable {
         seg_of: &[usize],
         n_segments: usize,
     ) -> Vec<u32> {
-        assert_eq!(seg_of.len(), self.n_data, "segment assignment length mismatch");
+        assert_eq!(
+            seg_of.len(),
+            self.n_data,
+            "segment assignment length mismatch"
+        );
         let mut counts = vec![0u32; n_segments];
         for (&d, &s) in self.row(q).iter().zip(seg_of) {
             if d <= tau {
@@ -113,7 +120,11 @@ pub struct GroundTruth {
 
 impl GroundTruth {
     pub fn compute(queries: &VectorData, data: &VectorData, metric: Metric, tau_max: f32) -> Self {
-        GroundTruth { table: DistanceTable::compute(queries, data, metric), metric, tau_max }
+        GroundTruth {
+            table: DistanceTable::compute(queries, data, metric),
+            metric,
+            tau_max,
+        }
     }
 }
 
@@ -125,7 +136,10 @@ mod tests {
     fn line_dataset() -> VectorData {
         // Points at 0.0, 0.1, …, 0.9 on a line (1-d, L1 == |a−b| since the
         // L1 metric normalizes by dim = 1).
-        VectorData::Dense(DenseData::from_flat(1, (0..10).map(|i| i as f32 / 10.0).collect()))
+        VectorData::Dense(DenseData::from_flat(
+            1,
+            (0..10).map(|i| i as f32 / 10.0).collect(),
+        ))
     }
 
     #[test]

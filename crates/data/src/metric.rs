@@ -51,7 +51,11 @@ impl Metric {
     /// # Panics
     /// Panics (in debug builds) if the dimensions differ.
     pub fn distance(self, a: VectorView<'_>, b: VectorView<'_>) -> f32 {
-        debug_assert_eq!(a.dim(), b.dim(), "metric operands must share dimensionality");
+        debug_assert_eq!(
+            a.dim(),
+            b.dim(),
+            "metric operands must share dimensionality"
+        );
         use VectorView::Binary;
         match (self, a, b) {
             // Fast binary-binary paths via popcount.
@@ -182,8 +186,14 @@ mod tests {
     fn hamming_popcount_matches_elementwise() {
         let u = bin(70, &[0, 5, 64, 69]);
         let v = bin(70, &[0, 6, 64]);
-        let uv = VectorView::Binary { words: u.row(0), dim: 70 };
-        let vv = VectorView::Binary { words: v.row(0), dim: 70 };
+        let uv = VectorView::Binary {
+            words: u.row(0),
+            dim: 70,
+        };
+        let vv = VectorView::Binary {
+            words: v.row(0),
+            dim: 70,
+        };
         let fast = Metric::Hamming.distance(uv, vv);
         let slow = super::elementwise(Metric::Hamming, uv, vv);
         assert!((fast - slow).abs() < 1e-7);
@@ -197,15 +207,27 @@ mod tests {
         let u = bin(4, &[0, 1, 2]);
         let v = bin(4, &[0, 1, 3]);
         let d = Metric::Jaccard.distance(
-            VectorView::Binary { words: u.row(0), dim: 4 },
-            VectorView::Binary { words: v.row(0), dim: 4 },
+            VectorView::Binary {
+                words: u.row(0),
+                dim: 4,
+            },
+            VectorView::Binary {
+                words: v.row(0),
+                dim: 4,
+            },
         );
         assert!((d - 0.5).abs() < 1e-6);
         // And the paper's equivalent Hamming on the one-hot encodings is
         // also 0.5 (2 differing bits out of 4).
         let h = Metric::Hamming.distance(
-            VectorView::Binary { words: u.row(0), dim: 4 },
-            VectorView::Binary { words: v.row(0), dim: 4 },
+            VectorView::Binary {
+                words: u.row(0),
+                dim: 4,
+            },
+            VectorView::Binary {
+                words: v.row(0),
+                dim: 4,
+            },
         );
         assert!((h - 0.5).abs() < 1e-6);
     }
@@ -215,7 +237,10 @@ mod tests {
         let a = [1.0f32, 0.0];
         let b = [0.0f32, 1.0];
         let d = Metric::Angular.distance(VectorView::Dense(&a), VectorView::Dense(&b));
-        assert!((d - 0.5).abs() < 1e-6, "orthogonal vectors are at angular distance 0.5");
+        assert!(
+            (d - 0.5).abs() < 1e-6,
+            "orthogonal vectors are at angular distance 0.5"
+        );
         let d2 = Metric::Angular.distance(VectorView::Dense(&a), VectorView::Dense(&a));
         assert!(d2.abs() < 1e-3);
     }
@@ -246,8 +271,13 @@ mod tests {
     fn hamming_to_fractional_centroid_is_mean_abs_diff() {
         let u = bin(4, &[0, 1]);
         let c = vec![0.5f32, 1.0, 0.0, 0.25];
-        let d = Metric::Hamming
-            .distance_to_centroid(VectorView::Binary { words: u.row(0), dim: 4 }, &c);
+        let d = Metric::Hamming.distance_to_centroid(
+            VectorView::Binary {
+                words: u.row(0),
+                dim: 4,
+            },
+            &c,
+        );
         // |1-0.5| + |1-1| + |0-0| + |0-0.25| = 0.75 → /4
         assert!((d - 0.1875).abs() < 1e-6);
     }
@@ -257,8 +287,14 @@ mod tests {
         let u = bin(8, &[]);
         let v = bin(8, &[]);
         let d = Metric::Jaccard.distance(
-            VectorView::Binary { words: u.row(0), dim: 8 },
-            VectorView::Binary { words: v.row(0), dim: 8 },
+            VectorView::Binary {
+                words: u.row(0),
+                dim: 8,
+            },
+            VectorView::Binary {
+                words: v.row(0),
+                dim: 8,
+            },
         );
         assert_eq!(d, 0.0);
     }
@@ -276,7 +312,11 @@ mod tests {
         norm(&mut v);
         let cos = Metric::Cosine.distance(VectorView::Dense(&u), VectorView::Dense(&v));
         let l2 = Metric::L2.distance(VectorView::Dense(&u), VectorView::Dense(&v));
-        assert!((cos - l2 * l2 / 2.0).abs() < 1e-5, "cos={cos} l2²/2={}", l2 * l2 / 2.0);
+        assert!(
+            (cos - l2 * l2 / 2.0).abs() < 1e-5,
+            "cos={cos} l2²/2={}",
+            l2 * l2 / 2.0
+        );
         // And angular is arccos(1 − cos)/π.
         let ang = Metric::Angular.distance(VectorView::Dense(&u), VectorView::Dense(&v));
         assert!((ang - (1.0 - cos).acos() / std::f32::consts::PI).abs() < 1e-5);
@@ -285,7 +325,13 @@ mod tests {
     #[test]
     fn cosine_is_not_flagged_as_true_metric() {
         assert!(!Metric::Cosine.is_true_metric());
-        for m in [Metric::L1, Metric::L2, Metric::Angular, Metric::Hamming, Metric::Jaccard] {
+        for m in [
+            Metric::L1,
+            Metric::L2,
+            Metric::Angular,
+            Metric::Hamming,
+            Metric::Jaccard,
+        ] {
             assert!(m.is_true_metric());
         }
     }

@@ -53,7 +53,9 @@ impl PaperDataset {
 
     /// Parses the (case-insensitive) dataset name used on the `exp` CLI.
     pub fn parse(s: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(s))
+        Self::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(s))
     }
 
     /// The scaled specification for this dataset.
@@ -151,26 +153,28 @@ impl DatasetSpec {
     pub fn generate_labeled(&self, seed: u64) -> synth::Labeled {
         // Offset the seed by the dataset so "seed 0 for every dataset"
         // doesn't correlate their randomness.
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(
-            PaperDataset::ALL.iter().position(|d| *d == self.dataset).expect("known dataset")
-                as u64,
-        ));
-        match self.dataset {
-            PaperDataset::Bms => synth::sparse_binary_baskets(
-                &mut rng, self.n_data, self.dim, 24, 9.0, 1.05,
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(
+                PaperDataset::ALL
+                    .iter()
+                    .position(|d| *d == self.dataset)
+                    .expect("known dataset") as u64,
             ),
+        );
+        match self.dataset {
+            PaperDataset::Bms => {
+                synth::sparse_binary_baskets(&mut rng, self.n_data, self.dim, 24, 9.0, 1.05)
+            }
             PaperDataset::GloVe300 => {
                 synth::gaussian_mixture_sphere(&mut rng, self.n_data, self.dim, 40, 0.25)
             }
-            PaperDataset::ImageNet => {
-                synth::hash_codes(&mut rng, self.n_data, self.dim, 48, 0.10)
-            }
+            PaperDataset::ImageNet => synth::hash_codes(&mut rng, self.n_data, self.dim, 48, 0.10),
             PaperDataset::Aminer => {
                 synth::token_titles(&mut rng, self.n_data, self.dim, 32, 12.0, 0.85)
             }
-            PaperDataset::YouTube => synth::low_rank_mixture(
-                &mut rng, self.n_data, self.dim, 24, 6, 0.06, 0.01,
-            ),
+            PaperDataset::YouTube => {
+                synth::low_rank_mixture(&mut rng, self.n_data, self.dim, 24, 6, 0.06, 0.01)
+            }
             PaperDataset::Dblp => {
                 synth::token_titles(&mut rng, self.n_data, self.dim, 40, 14.0, 0.85)
             }
@@ -225,7 +229,10 @@ mod tests {
     fn binary_datasets_are_binary_dense_are_dense() {
         for spec in paper_datasets() {
             // Generate a small clone of the spec to keep the test fast.
-            let small = DatasetSpec { n_data: 100, ..spec };
+            let small = DatasetSpec {
+                n_data: 100,
+                ..spec
+            };
             let data = small.generate(7);
             match spec.metric {
                 Metric::Hamming | Metric::Jaccard => {
@@ -239,7 +246,10 @@ mod tests {
     #[test]
     fn parse_accepts_case_insensitive_names() {
         assert_eq!(PaperDataset::parse("bms"), Some(PaperDataset::Bms));
-        assert_eq!(PaperDataset::parse("GLOVE300"), Some(PaperDataset::GloVe300));
+        assert_eq!(
+            PaperDataset::parse("GLOVE300"),
+            Some(PaperDataset::GloVe300)
+        );
         assert_eq!(PaperDataset::parse("nope"), None);
     }
 }

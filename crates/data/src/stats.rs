@@ -35,8 +35,7 @@ impl SelectivityStats {
                 count: 0,
             };
         }
-        let mut sels: Vec<f32> =
-            samples.iter().map(|s| s.card / n_data as f32).collect();
+        let mut sels: Vec<f32> = samples.iter().map(|s| s.card / n_data as f32).collect();
         sels.sort_by(|a, b| a.total_cmp(b));
         let n = sels.len();
         let pick = |q: f32| sels[(((n as f32) * q).ceil() as usize).clamp(1, n) - 1];
@@ -62,7 +61,10 @@ impl Histogram {
     /// Builds a histogram with `bins` buckets over `[0, max]`; values above
     /// `max` land in the last bucket.
     pub fn build(values: impl IntoIterator<Item = f32>, max: f32, bins: usize) -> Self {
-        assert!(bins > 0 && max > 0.0, "histogram needs positive bins and range");
+        assert!(
+            bins > 0 && max > 0.0,
+            "histogram needs positive bins and range"
+        );
         let mut counts = vec![0u32; bins];
         for v in values {
             let b = ((v / max * bins as f32).floor() as usize).min(bins - 1);
@@ -138,7 +140,11 @@ mod tests {
         let r = WorkloadReport::from_workload(&w, n);
         // Mean selectivity is at the ~1% scale (ties and ceil-ranks can
         // nudge single queries slightly above the cap).
-        assert!(r.train.mean <= 0.03, "train mean selectivity {}", r.train.mean);
+        assert!(
+            r.train.mean <= 0.03,
+            "train mean selectivity {}",
+            r.train.mean
+        );
         assert!(r.test.mean <= 0.03, "test mean selectivity {}", r.test.mean);
         assert_eq!(r.train.count, w.train.len());
     }
@@ -169,7 +175,10 @@ mod tests {
         assert_eq!(h.total(), 4);
         assert_eq!(h.counts[0], 1);
         assert_eq!(h.counts[1], 1);
-        assert_eq!(h.counts[9], 2, "out-of-range values clamp to the last bucket");
+        assert_eq!(
+            h.counts[9], 2,
+            "out-of-range values clamp to the last bucket"
+        );
     }
 
     #[test]

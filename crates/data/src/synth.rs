@@ -33,12 +33,17 @@ pub fn gaussian_mixture_sphere<R: Rng>(
     for _ in 0..n {
         let c = rng.gen_range(0..k);
         cluster.push(c);
-        let mut v: Vec<f32> =
-            centers[c].iter().map(|&m| m + spread * gauss(rng)).collect();
+        let mut v: Vec<f32> = centers[c]
+            .iter()
+            .map(|&m| m + spread * gauss(rng))
+            .collect();
         normalize(&mut v);
         values.extend_from_slice(&v);
     }
-    Labeled { data: VectorData::Dense(DenseData::from_flat(dim, values)), cluster }
+    Labeled {
+        data: VectorData::Dense(DenseData::from_flat(dim, values)),
+        cluster,
+    }
 }
 
 /// Dense mixture with per-cluster low-rank covariance — the YouTube Faces
@@ -75,28 +80,25 @@ pub fn low_rank_mixture<R: Rng>(
             .iter()
             .enumerate()
             .map(|(j, &mu)| {
-                let lowrank: f32 =
-                    coeffs.iter().zip(&m.factors).map(|(a, f)| a * f[j]).sum();
+                let lowrank: f32 = coeffs.iter().zip(&m.factors).map(|(a, f)| a * f[j]).sum();
                 mu + lowrank + noise * gauss(rng)
             })
             .collect();
         normalize(&mut v);
         values.extend_from_slice(&v);
     }
-    Labeled { data: VectorData::Dense(DenseData::from_flat(dim, values)), cluster }
+    Labeled {
+        data: VectorData::Dense(DenseData::from_flat(dim, values)),
+        cluster,
+    }
 }
 
 /// Binary hash codes — the ImageNET stand-in: HashNet-style codes cluster
 /// around per-class prototype codes with independent bit flips.
-pub fn hash_codes<R: Rng>(
-    rng: &mut R,
-    n: usize,
-    bits: usize,
-    k: usize,
-    flip_prob: f64,
-) -> Labeled {
-    let prototypes: Vec<Vec<bool>> =
-        (0..k).map(|_| (0..bits).map(|_| rng.gen_bool(0.5)).collect()).collect();
+pub fn hash_codes<R: Rng>(rng: &mut R, n: usize, bits: usize, k: usize, flip_prob: f64) -> Labeled {
+    let prototypes: Vec<Vec<bool>> = (0..k)
+        .map(|_| (0..bits).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
     let mut data = BinaryData::new(bits);
     let mut cluster = Vec::with_capacity(n);
     let mut row = vec![false; bits];
@@ -108,7 +110,10 @@ pub fn hash_codes<R: Rng>(
         }
         data.push_bools(&row);
     }
-    Labeled { data: VectorData::Binary(data), cluster }
+    Labeled {
+        data: VectorData::Binary(data),
+        cluster,
+    }
 }
 
 /// Sparse binary baskets — the BMS stand-in: each cluster is a "shopping
@@ -140,7 +145,10 @@ pub fn sparse_binary_baskets<R: Rng>(
         data.push_indices(&on);
         // (duplicate indices are idempotent under push_indices)
     }
-    Labeled { data: VectorData::Binary(data), cluster }
+    Labeled {
+        data: VectorData::Binary(data),
+        cluster,
+    }
 }
 
 /// Sparse binary token vectors — the Aminer/DBLP stand-in: publication
@@ -177,7 +185,10 @@ pub fn token_titles<R: Rng>(
         }
         data.push_indices(&on);
     }
-    Labeled { data: VectorData::Binary(data), cluster }
+    Labeled {
+        data: VectorData::Binary(data),
+        cluster,
+    }
 }
 
 /// Zipf sampler over ranks `0..n` with exponent `s`, via inverse-CDF lookup
@@ -205,7 +216,10 @@ impl ZipfSampler {
     /// Samples a rank in `0..n` (0 = most popular).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

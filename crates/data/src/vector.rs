@@ -17,7 +17,10 @@ pub struct DenseData {
 
 impl DenseData {
     pub fn new(dim: usize) -> Self {
-        DenseData { dim, values: Vec::new() }
+        DenseData {
+            dim,
+            values: Vec::new(),
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -64,15 +67,18 @@ pub struct BinaryData {
 impl BinaryData {
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        BinaryData { dim, words_per_vec: dim.div_ceil(64), words: Vec::new() }
+        BinaryData {
+            dim,
+            words_per_vec: dim.div_ceil(64),
+            words: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        if self.words_per_vec == 0 {
-            0
-        } else {
-            self.words.len() / self.words_per_vec
-        }
+        self.words
+            .len()
+            .checked_div(self.words_per_vec)
+            .unwrap_or(0)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -94,7 +100,11 @@ impl BinaryData {
         let start = self.words.len();
         self.words.resize(start + self.words_per_vec, 0);
         for &i in on {
-            assert!(i < self.dim, "bit index {i} out of range for dim {}", self.dim);
+            assert!(
+                i < self.dim,
+                "bit index {i} out of range for dim {}",
+                self.dim
+            );
             self.words[start + i / 64] |= 1u64 << (i % 64);
         }
     }
@@ -129,7 +139,10 @@ pub enum VectorView<'a> {
     Dense(&'a [f32]),
     /// Bit-packed words plus the true bit dimension (the last word may be
     /// partially used).
-    Binary { words: &'a [u64], dim: usize },
+    Binary {
+        words: &'a [u64],
+        dim: usize,
+    },
 }
 
 impl<'a> VectorView<'a> {
@@ -189,7 +202,10 @@ impl VectorData {
     pub fn view(&self, i: usize) -> VectorView<'_> {
         match self {
             VectorData::Dense(d) => VectorView::Dense(d.row(i)),
-            VectorData::Binary(b) => VectorView::Binary { words: b.row(i), dim: b.dim() },
+            VectorData::Binary(b) => VectorView::Binary {
+                words: b.row(i),
+                dim: b.dim(),
+            },
         }
     }
 

@@ -83,7 +83,11 @@ impl SearchWorkload {
                 };
                 let tau = DistanceTable::tau_at_selectivity(&sorted, sel).min(spec.tau_max);
                 let card = table.cardinality(q, tau) as f32;
-                let sample = SearchSample { query: q, tau, card };
+                let sample = SearchSample {
+                    query: q,
+                    tau,
+                    card,
+                };
                 if is_train {
                     train.push(sample);
                 } else {
@@ -119,7 +123,10 @@ impl SearchWorkload {
             })
             .collect();
         taus.sort_by(|a, b| a.total_cmp(b));
-        taus.get(taus.len() / 2).copied().unwrap_or(self.tau_max).min(self.tau_max)
+        taus.get(taus.len() / 2)
+            .copied()
+            .unwrap_or(self.tau_max)
+            .min(self.tau_max)
     }
 }
 
@@ -162,7 +169,10 @@ impl JoinWorkload {
         let tau_cap = search.tau_selectivity_cap();
         let n_train_q = search.n_train_queries;
         let n_test_q = search.table.n_queries() - n_train_q;
-        assert!(n_train_q > 0 && n_test_q > 0, "need both train and test queries for joins");
+        assert!(
+            n_train_q > 0 && n_test_q > 0,
+            "need both train and test queries for joins"
+        );
 
         fn make_set(
             rng: &mut StdRng,
@@ -172,21 +182,25 @@ impl JoinWorkload {
             size: usize,
             tau: f32,
         ) -> JoinSet {
-            let query_ids: Vec<usize> =
-                (0..size).map(|_| pool_start + rng.gen_range(0..pool_len)).collect();
+            let query_ids: Vec<usize> = (0..size)
+                .map(|_| pool_start + rng.gen_range(0..pool_len))
+                .collect();
             let card: f32 = query_ids
                 .iter()
                 .map(|&q| search.table.cardinality(q, tau) as f32)
                 .sum();
-            JoinSet { query_ids, tau, card }
+            JoinSet {
+                query_ids,
+                tau,
+                card,
+            }
         }
 
         let mut train = Vec::with_capacity(n_train_sets);
         for i in 0..n_train_sets {
             let size = rng.gen_range(1..100usize);
             // 10 evenly spaced thresholds over (0, τ_cap], cycled per set.
-            let step = (i % THRESHOLDS_PER_QUERY + 1) as f32
-                / THRESHOLDS_PER_QUERY as f32;
+            let step = (i % THRESHOLDS_PER_QUERY + 1) as f32 / THRESHOLDS_PER_QUERY as f32;
             let tau = tau_cap * step;
             train.push(make_set(&mut rng, search, 0, n_train_q, size, tau));
         }
@@ -199,7 +213,10 @@ impl JoinWorkload {
                 test_buckets[b].push(make_set(&mut rng, search, n_train_q, n_test_q, size, tau));
             }
         }
-        JoinWorkload { train, test_buckets }
+        JoinWorkload {
+            train,
+            test_buckets,
+        }
     }
 }
 

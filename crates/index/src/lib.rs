@@ -93,7 +93,11 @@ impl PivotIndex {
                     .collect();
                 members.sort_by(|a, b| a.1.total_cmp(&b.1));
                 let radius = members.last().map_or(0.0, |m| m.1);
-                PivotGroup { pivot, members, radius }
+                PivotGroup {
+                    pivot,
+                    members,
+                    radius,
+                }
             })
             .collect();
         PivotIndex { metric, groups }
@@ -129,16 +133,15 @@ impl PivotIndex {
                 continue;
             }
             // Members are sorted by pivot distance; only those with
-            // pivot-distance in [dq − τ, dq + τ] can match.
+            // pivot-distance in [dq − τ, dq + τ] can match. Both window
+            // edges are found by binary search, so the members outside the
+            // window are pruned in O(log n) without iterating them.
             let lo = dq - tau;
             let hi = dq + tau;
             let start = g.members.partition_point(|&(_, d)| d < lo);
-            stats.members_pruned += start;
-            for &(i, dp) in &g.members[start..] {
-                if dp > hi {
-                    stats.members_pruned += 1;
-                    continue;
-                }
+            let end = g.members.partition_point(|&(_, d)| d <= hi);
+            stats.members_pruned += start + (g.members.len() - end);
+            for &(i, _) in &g.members[start..end] {
                 stats.distance_evals += 1;
                 if self.metric.distance(q, data.view(i)) <= tau {
                     count += 1;
@@ -165,10 +168,8 @@ impl PivotIndex {
             let lo = dq - tau;
             let hi = dq + tau;
             let start = g.members.partition_point(|&(_, d)| d < lo);
-            for &(i, dp) in &g.members[start..] {
-                if dp > hi {
-                    continue;
-                }
+            let end = g.members.partition_point(|&(_, d)| d <= hi);
+            for &(i, _) in &g.members[start..end] {
                 if self.metric.distance(q, data.view(i)) <= tau {
                     out.push(i);
                 }
@@ -192,7 +193,10 @@ mod tests {
     use cardest_data::paper::{DatasetSpec, PaperDataset};
 
     fn check_exact(ds: PaperDataset, seed: u64) {
-        let spec = DatasetSpec { n_data: 600, ..ds.spec() };
+        let spec = DatasetSpec {
+            n_data: 600,
+            ..ds.spec()
+        };
         let data = spec.generate(seed);
         let index = PivotIndex::build(&data, spec.metric, 12, seed);
         // Compare against brute force for sampled queries and thresholds.
@@ -229,7 +233,10 @@ mod tests {
 
     #[test]
     fn pruning_actually_happens_for_small_thresholds() {
-        let spec = DatasetSpec { n_data: 1000, ..PaperDataset::ImageNet.spec() };
+        let spec = DatasetSpec {
+            n_data: 1000,
+            ..PaperDataset::ImageNet.spec()
+        };
         let data = spec.generate(25);
         let index = PivotIndex::build(&data, spec.metric, 16, 25);
         let (_, stats) = index.range_count_with_stats(&data, data.view(0), 0.05);
@@ -247,8 +254,57 @@ mod tests {
     }
 
     #[test]
+    fn distance_evals_equal_the_in_window_member_count_exactly() {
+        // Regression test for the member-window scan: members are sorted by
+        // pivot distance, so everything above `dq + τ` must be pruned by
+        // binary search, never iterated. The exact distance evaluations are
+        // therefore one per inspected group (the pivot) plus exactly the
+        // members whose pivot distance lies inside [dq − τ, dq + τ] for
+        // partially-scanned groups — no more.
+        let spec = DatasetSpec {
+            n_data: 800,
+            ..PaperDataset::YouTube.spec()
+        };
+        let data = spec.generate(27);
+        let index = PivotIndex::build(&data, spec.metric, 10, 27);
+        for q in (0..data.len()).step_by(97) {
+            for tau in [spec.tau_max * 0.1, spec.tau_max * 0.3, spec.tau_max * 0.8] {
+                let view = data.view(q);
+                let mut expected_evals = 0usize;
+                let mut expected_pruned = 0usize;
+                for g in &index.groups {
+                    let dq = spec.metric.distance(view, data.view(g.pivot));
+                    expected_evals += 1; // the pivot itself
+                    if dq - g.radius > tau || dq + g.radius <= tau {
+                        continue; // pruned or swallowed: no member scan
+                    }
+                    let in_window = g
+                        .members
+                        .iter()
+                        .filter(|&&(_, d)| d >= dq - tau && d <= dq + tau)
+                        .count();
+                    expected_evals += in_window;
+                    expected_pruned += g.members.len() - in_window;
+                }
+                let (_, stats) = index.range_count_with_stats(&data, view, tau);
+                assert_eq!(
+                    stats.distance_evals, expected_evals,
+                    "q={q} tau={tau}: scanned members outside the window"
+                );
+                assert_eq!(
+                    stats.members_pruned, expected_pruned,
+                    "q={q} tau={tau}: pruned-member accounting is off"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn range_search_returns_the_matching_ids() {
-        let spec = DatasetSpec { n_data: 400, ..PaperDataset::GloVe300.spec() };
+        let spec = DatasetSpec {
+            n_data: 400,
+            ..PaperDataset::GloVe300.spec()
+        };
         let data = spec.generate(26);
         let index = PivotIndex::build(&data, spec.metric, 8, 26);
         let tau = spec.tau_max * 0.3;

@@ -101,8 +101,12 @@ mod tests {
 
     #[test]
     fn derivatives_match_finite_differences() {
-        for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh, Activation::Identity]
-        {
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
             for &x in &[-0.9f32, -0.3, 0.4, 1.2] {
                 let h = 1e-3f32;
                 let mut lo = [x - h];

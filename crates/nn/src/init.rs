@@ -48,7 +48,9 @@ mod tests {
     #[test]
     fn nonneg_init_is_nonneg() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(nonneg_uniform(&mut rng, 8, 8, 500).iter().all(|x| *x >= 0.0));
+        assert!(nonneg_uniform(&mut rng, 8, 8, 500)
+            .iter()
+            .all(|x| *x >= 0.0));
     }
 
     #[test]

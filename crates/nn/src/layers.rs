@@ -16,7 +16,8 @@
 
 use crate::activation::Activation;
 use crate::init;
-use crate::tensor::Matrix;
+use crate::scratch::Scratch;
+use crate::tensor::{axpy, dot, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +155,18 @@ impl Dense {
         y
     }
 
+    /// Immutable forward pass: same math as [`Dense::forward`] (any batch
+    /// size), but no caches are written, so the layer can be shared across
+    /// threads. Temporaries come from the caller's [`Scratch`].
+    fn infer(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
+        let mut y = scratch.take(x.rows(), self.out_dim);
+        x.matmul_nt_into(&self.w, &mut y);
+        y.add_bias(&self.b);
+        self.activation.apply(y.as_mut_slice());
+        y
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cache_input.as_ref().expect("backward before forward");
         let y = self.cache_output.as_ref().expect("backward before forward");
@@ -253,7 +266,10 @@ impl Conv1d {
         activation: Activation,
     ) -> Self {
         let conv_len = Self::conv_len_for(in_len, &spec);
-        assert!(conv_len >= 1, "conv configuration {spec:?} yields empty output for len {in_len}");
+        assert!(
+            conv_len >= 1,
+            "conv configuration {spec:?} yields empty output for len {in_len}"
+        );
         let fan_in = in_channels * spec.kernel;
         let n = spec.out_channels * in_channels * spec.kernel;
         let w = match activation {
@@ -329,27 +345,62 @@ impl Conv1d {
         self.w[(oc * self.in_channels + ic) * self.kernel + k]
     }
 
-    fn forward(&mut self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim(), "conv input width mismatch");
+    /// Convolution + activation into `conv` (`[batch, out_c × conv_len]`).
+    ///
+    /// The kernel window is clipped to the valid input range once per tap,
+    /// so the inner product runs over contiguous slices with no per-element
+    /// boundary branch.
+    fn conv_into(&self, x: &Matrix, conv: &mut Matrix) {
         let batch = x.rows();
         let conv_len = self.conv_len();
-        let pool_len = self.pool_len();
-        let mut conv = Matrix::zeros(batch, self.out_channels * conv_len);
-        // Convolution + activation.
+        if self.stride == 1 {
+            // Unit stride: for each weight tap the valid outputs form one
+            // contiguous run (`t + k − padding ∈ [0, in_len)`), so the
+            // whole tap is a single `axpy` over the output row — much
+            // faster than per-output dots when the kernel is short.
+            for s in 0..batch {
+                let xin = x.row(s);
+                let orow = conv.row_mut(s);
+                for oc in 0..self.out_channels {
+                    let seg = &mut orow[oc * conv_len..(oc + 1) * conv_len];
+                    seg.fill(self.b[oc]);
+                    for ic in 0..self.in_channels {
+                        let xrow = &xin[ic * self.in_len..(ic + 1) * self.in_len];
+                        for k in 0..self.kernel {
+                            let t_lo = self.padding.saturating_sub(k);
+                            let t_hi = (self.in_len + self.padding).saturating_sub(k).min(conv_len);
+                            if t_lo < t_hi {
+                                let x0 = t_lo + k - self.padding;
+                                axpy(
+                                    self.w_at(oc, ic, k),
+                                    &xrow[x0..x0 + (t_hi - t_lo)],
+                                    &mut seg[t_lo..t_hi],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            self.activation.apply(conv.as_mut_slice());
+            return;
+        }
+        let in_len = self.in_len as isize;
         for s in 0..batch {
             let xin = x.row(s);
             let orow = conv.row_mut(s);
             for oc in 0..self.out_channels {
+                let wb = oc * self.in_channels * self.kernel;
                 for t in 0..conv_len {
                     let start = (t * self.stride) as isize - self.padding as isize;
+                    let k_lo = (-start).max(0) as usize;
+                    let k_hi = (in_len - start).clamp(0, self.kernel as isize) as usize;
                     let mut acc = self.b[oc];
-                    for ic in 0..self.in_channels {
-                        let base = ic * self.in_len;
-                        for k in 0..self.kernel {
-                            let pos = start + k as isize;
-                            if pos >= 0 && (pos as usize) < self.in_len {
-                                acc += self.w_at(oc, ic, k) * xin[base + pos as usize];
-                            }
+                    if k_hi > k_lo {
+                        let x0 = (start + k_lo as isize) as usize;
+                        for ic in 0..self.in_channels {
+                            let xs = &xin[ic * self.in_len + x0..][..k_hi - k_lo];
+                            let ws = &self.w[wb + ic * self.kernel + k_lo..][..k_hi - k_lo];
+                            acc += dot(ws, xs);
                         }
                     }
                     orow[oc * conv_len + t] = acc;
@@ -357,9 +408,15 @@ impl Conv1d {
             }
         }
         self.activation.apply(conv.as_mut_slice());
-        // Pooling.
-        let mut out = Matrix::zeros(batch, self.out_channels * pool_len);
-        let mut argmax = vec![0usize; batch * self.out_channels * pool_len];
+    }
+
+    /// Pooling into `out` (`[batch, out_c × pool_len]`); `argmax`, when
+    /// provided, records the winning position per max-pool window for
+    /// backward. Inference passes `None` and skips the bookkeeping.
+    fn pool_into(&self, conv: &Matrix, out: &mut Matrix, mut argmax: Option<&mut [usize]>) {
+        let batch = conv.rows();
+        let conv_len = self.conv_len();
+        let pool_len = self.pool_len();
         for s in 0..batch {
             let crow = conv.row(s);
             let orow = out.row_mut(s);
@@ -371,18 +428,20 @@ impl Conv1d {
                     let oi = oc * pool_len + p;
                     match self.pool {
                         PoolOp::Max => {
-                            let (ami, amv) = window
-                                .iter()
-                                .enumerate()
-                                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                            let (ami, amv) = window.iter().enumerate().fold(
+                                (0usize, f32::NEG_INFINITY),
+                                |(bi, bv), (i, &v)| {
                                     if v > bv {
                                         (i, v)
                                     } else {
                                         (bi, bv)
                                     }
-                                });
+                                },
+                            );
                             orow[oi] = amv;
-                            argmax[(s * self.out_channels + oc) * pool_len + p] = lo + ami;
+                            if let Some(am) = argmax.as_deref_mut() {
+                                am[(s * self.out_channels + oc) * pool_len + p] = lo + ami;
+                            }
                         }
                         PoolOp::Avg => {
                             orow[oi] = window.iter().sum::<f32>() / window.len() as f32;
@@ -394,9 +453,33 @@ impl Conv1d {
                 }
             }
         }
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "conv input width mismatch");
+        let batch = x.rows();
+        let mut conv = Matrix::zeros(batch, self.out_channels * self.conv_len());
+        self.conv_into(x, &mut conv);
+        let mut out = Matrix::zeros(batch, self.out_channels * self.pool_len());
+        let mut argmax = vec![0usize; batch * self.out_channels * self.pool_len()];
+        self.pool_into(&conv, &mut out, Some(&mut argmax));
         self.cache_input = Some(x.clone());
         self.cache_conv = Some(conv);
         self.cache_argmax = Some(argmax);
+        out
+    }
+
+    /// Immutable forward pass over a full batch: identical math to
+    /// [`Conv1d::forward`] but no caches (max-pool argmax bookkeeping is
+    /// skipped — it only feeds backward).
+    fn infer(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "conv input width mismatch");
+        let batch = x.rows();
+        let mut conv = scratch.take(batch, self.out_channels * self.conv_len());
+        self.conv_into(x, &mut conv);
+        let mut out = scratch.take(batch, self.out_channels * self.pool_len());
+        self.pool_into(&conv, &mut out, None);
+        scratch.recycle(conv);
         out
     }
 
@@ -490,7 +573,12 @@ pub struct ShiftSigmoid {
 
 impl ShiftSigmoid {
     pub fn new(dim: usize) -> Self {
-        ShiftSigmoid { dim, t: vec![0.0; dim], gt: vec![0.0; dim], cache_output: None }
+        ShiftSigmoid {
+            dim,
+            t: vec![0.0; dim],
+            gt: vec![0.0; dim],
+            cache_output: None,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -507,6 +595,20 @@ impl ShiftSigmoid {
         }
         Activation::Sigmoid.apply(y.as_mut_slice());
         self.cache_output = Some(y.clone());
+        y
+    }
+
+    /// Immutable forward pass (no cache): `σ(x − t)` element-wise.
+    fn infer(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "shift-sigmoid input width mismatch");
+        let mut y = scratch.take(x.rows(), x.cols());
+        y.as_mut_slice().copy_from_slice(x.as_slice());
+        for r in 0..y.rows() {
+            for (v, t) in y.row_mut(r).iter_mut().zip(&self.t) {
+                *v -= t;
+            }
+        }
+        Activation::Sigmoid.apply(y.as_mut_slice());
         y
     }
 
@@ -546,8 +648,17 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(dim: usize, p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { dim, p, training: false, seed, cache_mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            dim,
+            p,
+            training: false,
+            seed,
+            cache_mask: None,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -571,13 +682,27 @@ impl Dropout {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let scale = 1.0 / (1.0 - self.p);
         let mask: Vec<f32> = (0..x.as_slice().len())
-            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .map(|_| {
+                if rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
             .collect();
         let mut y = x.clone();
         for (v, m) in y.as_mut_slice().iter_mut().zip(&mask) {
             *v *= m;
         }
         self.cache_mask = Some(mask);
+        y
+    }
+
+    /// Immutable forward pass: inference-mode dropout is the identity.
+    fn infer(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "dropout input width mismatch");
+        let mut y = scratch.take(x.rows(), x.cols());
+        y.as_mut_slice().copy_from_slice(x.as_slice());
         y
     }
 
@@ -616,6 +741,19 @@ impl Layer {
         }
     }
 
+    /// Runs the layer on a batch without mutating it: the shared-model
+    /// inference path. Identical math to [`Layer::forward`] (dropout is the
+    /// identity at inference either way); temporaries are drawn from the
+    /// caller's [`Scratch`].
+    pub fn infer(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        match self {
+            Layer::Dense(l) => l.infer(x, scratch),
+            Layer::Conv1d(l) => l.infer(x, scratch),
+            Layer::ShiftSigmoid(l) => l.infer(x, scratch),
+            Layer::Dropout(l) => l.infer(x, scratch),
+        }
+    }
+
     /// Back-propagates `grad_out`, accumulating parameter gradients and
     /// returning the gradient w.r.t. the layer input.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -651,15 +789,30 @@ impl Layer {
     pub fn params_mut(&mut self) -> Vec<ParamSlice<'_>> {
         match self {
             Layer::Dense(l) => vec![
-                ParamSlice { values: l.w.as_mut_slice(), grads: l.gw.as_mut_slice() },
-                ParamSlice { values: &mut l.b, grads: &mut l.gb },
+                ParamSlice {
+                    values: l.w.as_mut_slice(),
+                    grads: l.gw.as_mut_slice(),
+                },
+                ParamSlice {
+                    values: &mut l.b,
+                    grads: &mut l.gb,
+                },
             ],
             Layer::Conv1d(l) => vec![
-                ParamSlice { values: &mut l.w, grads: &mut l.gw },
-                ParamSlice { values: &mut l.b, grads: &mut l.gb },
+                ParamSlice {
+                    values: &mut l.w,
+                    grads: &mut l.gw,
+                },
+                ParamSlice {
+                    values: &mut l.b,
+                    grads: &mut l.gb,
+                },
             ],
             Layer::ShiftSigmoid(l) => {
-                vec![ParamSlice { values: &mut l.t, grads: &mut l.gt }]
+                vec![ParamSlice {
+                    values: &mut l.t,
+                    grads: &mut l.gt,
+                }]
             }
             Layer::Dropout(_) => Vec::new(),
         }
@@ -699,12 +852,15 @@ mod tests {
         // Analytic gradients.
         let y = layer.forward(x);
         let gx = layer.backward(&y);
-        let analytic: Vec<Vec<f32>> =
-            layer.params_mut().iter().map(|p| p.grads.to_vec()).collect();
+        let analytic: Vec<Vec<f32>> = layer
+            .params_mut()
+            .iter()
+            .map(|p| p.grads.to_vec())
+            .collect();
         // Numeric parameter gradients.
         let h = 2e-3f32;
         for (pi, grads) in analytic.iter().enumerate() {
-            for wi in 0..grads.len() {
+            for (wi, &an) in grads.iter().enumerate() {
                 let orig = layer.params_mut()[pi].values[wi];
                 layer.params_mut()[pi].values[wi] = orig + h;
                 let lp = loss(layer, x);
@@ -712,7 +868,6 @@ mod tests {
                 let lm = loss(layer, x);
                 layer.params_mut()[pi].values[wi] = orig;
                 let fd = (lp - lm) / (2.0 * h);
-                let an = grads[wi];
                 let denom = fd.abs().max(an.abs()).max(1.0);
                 assert!(
                     (fd - an).abs() / denom < tol,
@@ -732,13 +887,20 @@ mod tests {
             let fd = (lp - lm) / (2.0 * h);
             let an = gx.as_slice()[i];
             let denom = fd.abs().max(an.abs()).max(1.0);
-            assert!((fd - an).abs() / denom < tol, "input[{i}]: fd={fd} analytic={an}");
+            assert!(
+                (fd - an).abs() / denom < tol,
+                "input[{i}]: fd={fd} analytic={an}"
+            );
         }
     }
 
     fn batch(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
         use rand::Rng;
-        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
     }
 
     #[test]
@@ -845,9 +1007,16 @@ mod tests {
         let x = Matrix::from_vec(4, 64, vec![1.0; 256]);
         let y = l.forward(&x);
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let twos = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let twos = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + twos, 256, "survivors must be scaled by 1/(1-p)");
-        assert!(zeros > 64 && zeros < 192, "~half the units should drop, got {zeros}");
+        assert!(
+            zeros > 64 && zeros < 192,
+            "~half the units should drop, got {zeros}"
+        );
         // Expectation is preserved: mean stays ≈ 1.
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 256.0;
         assert!((mean - 1.0).abs() < 0.25, "mean {mean}");
@@ -863,6 +1032,37 @@ mod tests {
         // Gradient is zero exactly where the activation was dropped.
         for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
             assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward_for_every_layer_kind() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = ConvSpec {
+            out_channels: 2,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            pool_size: 2,
+            pool: PoolOp::Max,
+        };
+        let mut layers = vec![
+            Layer::Dense(Dense::new(&mut rng, 6, 4, Activation::Tanh)),
+            Layer::Conv1d(Conv1d::new(&mut rng, 2, 3, spec, Activation::Relu)),
+            Layer::ShiftSigmoid(ShiftSigmoid::new(6)),
+            Layer::Dropout(Dropout::new(6, 0.5, 1)),
+        ];
+        let mut scratch = Scratch::new();
+        for layer in &mut layers {
+            let x = batch(&mut rng, 5, layer.in_dim());
+            let y_train = layer.forward(&x);
+            let y_infer = layer.infer(&x, &mut scratch);
+            assert_eq!(
+                y_train.as_slice(),
+                y_infer.as_slice(),
+                "infer must be bitwise identical to forward"
+            );
+            scratch.recycle(y_infer);
         }
     }
 

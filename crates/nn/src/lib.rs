@@ -65,6 +65,7 @@ pub mod loss;
 pub mod metrics;
 pub mod net;
 pub mod optim;
+pub mod scratch;
 pub mod tensor;
 pub mod trainer;
 
@@ -74,5 +75,6 @@ pub use loss::{hybrid_loss, weighted_bce_loss, HybridLoss};
 pub use metrics::{mape, q_error, ErrorSummary};
 pub use net::{BranchNet, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use trainer::{train_branch_regression, train_global_classifier, TrainConfig, TrainReport};
+pub use scratch::Scratch;
 pub use tensor::Matrix;
+pub use trainer::{train_branch_regression, train_global_classifier, TrainConfig, TrainReport};

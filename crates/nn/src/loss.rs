@@ -28,7 +28,10 @@ pub struct HybridLoss {
 
 impl Default for HybridLoss {
     fn default() -> Self {
-        HybridLoss { lambda: 0.5, grad_clip: 10.0 }
+        HybridLoss {
+            lambda: 0.5,
+            grad_clip: 10.0,
+        }
     }
 }
 
@@ -39,7 +42,11 @@ impl HybridLoss {
     /// `card[i]` the true cardinality. Returns the mean loss and the
     /// gradient w.r.t. each `pred_log[i]` (already averaged over the batch).
     pub fn eval(&self, pred_log: &[f32], card: &[f32]) -> (f32, Vec<f32>) {
-        assert_eq!(pred_log.len(), card.len(), "prediction/target length mismatch");
+        assert_eq!(
+            pred_log.len(),
+            card.len(),
+            "prediction/target length mismatch"
+        );
         let n = pred_log.len().max(1) as f32;
         let mut grads = Vec::with_capacity(pred_log.len());
         let mut total = 0.0f64;
@@ -76,7 +83,11 @@ impl HybridLoss {
 
 /// Convenience wrapper: hybrid loss with the given λ and default clipping.
 pub fn hybrid_loss(pred_log: &[f32], card: &[f32], lambda: f32) -> (f32, Vec<f32>) {
-    HybridLoss { lambda, ..HybridLoss::default() }.eval(pred_log, card)
+    HybridLoss {
+        lambda,
+        ..HybridLoss::default()
+    }
+    .eval(pred_log, card)
 }
 
 /// Cardinality-weighted binary cross-entropy for the global model (§3.3).
@@ -89,11 +100,7 @@ pub fn hybrid_loss(pred_log: &[f32], card: &[f32], lambda: f32) -> (f32, Vec<f32
 ///   to recover plain BCE; this is the "no penalty" ablation of Exp-6).
 ///
 /// Returns the mean loss and the gradient w.r.t. the *probabilities*.
-pub fn weighted_bce_loss(
-    probs: &[f32],
-    labels: &[f32],
-    weights: &[f32],
-) -> (f32, Vec<f32>) {
+pub fn weighted_bce_loss(probs: &[f32], labels: &[f32], weights: &[f32]) -> (f32, Vec<f32>) {
     assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
     assert_eq!(probs.len(), weights.len(), "probs/weights length mismatch");
     let n = probs.len().max(1) as f32;
@@ -136,7 +143,10 @@ mod tests {
         // At ĉ = c the loss is 1·λ (Q-error = 1) + 0 (MAPE).
         let c = 50.0f32;
         let (loss, _) = hybrid_loss(&[c.ln()], &[c], 0.5);
-        assert!((loss - 0.5).abs() < 1e-3, "loss at perfect prediction should be λ, got {loss}");
+        assert!(
+            (loss - 0.5).abs() < 1e-3,
+            "loss at perfect prediction should be λ, got {loss}"
+        );
     }
 
     #[test]
@@ -161,12 +171,18 @@ mod tests {
         // card = 0 exercises the Q-error floor; must stay finite.
         let (loss, g) = hybrid_loss(&[2.0], &[0.0], 0.5);
         assert!(loss.is_finite() && g[0].is_finite());
-        assert!(g[0] > 0.0, "overestimating zero cardinality must push the estimate down");
+        assert!(
+            g[0] > 0.0,
+            "overestimating zero cardinality must push the estimate down"
+        );
     }
 
     #[test]
     fn hybrid_gradient_is_clipped() {
-        let l = HybridLoss { lambda: 1.0, grad_clip: 5.0 };
+        let l = HybridLoss {
+            lambda: 1.0,
+            grad_clip: 5.0,
+        };
         let (_, g) = l.eval(&[15.0], &[1.0]); // wildly overestimated
         assert!(g[0] <= 5.0 + 1e-6);
     }
@@ -179,7 +195,10 @@ mod tests {
         let labels = [1.0f32, 1.0];
         let weights = [0.0f32, 1.0];
         let (_, g) = weighted_bce_loss(&probs, &labels, &weights);
-        assert!(g[1] < g[0], "heavy segment should get the stronger (more negative) gradient");
+        assert!(
+            g[1] < g[0],
+            "heavy segment should get the stronger (more negative) gradient"
+        );
         assert!(g[0] < 0.0 && g[1] < 0.0);
     }
 
@@ -197,7 +216,11 @@ mod tests {
             pp[i] -= 2.0 * h;
             let (lm, _) = weighted_bce_loss(&pp, &labels, &weights);
             let fd = (lp - lm) / (2.0 * h);
-            assert!((fd - g[i]).abs() / fd.abs().max(1.0) < 1e-2, "i={i}: fd={fd} an={}", g[i]);
+            assert!(
+                (fd - g[i]).abs() / fd.abs().max(1.0) < 1e-2,
+                "i={i}: fd={fd} an={}",
+                g[i]
+            );
         }
     }
 

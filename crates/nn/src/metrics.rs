@@ -36,7 +36,15 @@ impl ErrorSummary {
     /// Computes the summary. Returns a zeroed summary for an empty input.
     pub fn from_errors(errors: &[f32]) -> Self {
         if errors.is_empty() {
-            return ErrorSummary { mean: 0.0, median: 0.0, p90: 0.0, p95: 0.0, p99: 0.0, max: 0.0, count: 0 };
+            return ErrorSummary {
+                mean: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                count: 0,
+            };
         }
         let mut sorted = errors.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));

@@ -3,6 +3,7 @@
 //! feeding an output module `F` or `G`, Figs. 2/5/7).
 
 use crate::layers::{Layer, ParamSlice};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -34,7 +35,11 @@ impl Sequential {
 
     pub fn push(&mut self, layer: Layer) {
         if let Some(last) = self.layers.last() {
-            assert_eq!(last.out_dim(), layer.in_dim(), "pushed layer width mismatch");
+            assert_eq!(
+                last.out_dim(),
+                layer.in_dim(),
+                "pushed layer width mismatch"
+            );
         }
         self.layers.push(layer);
     }
@@ -61,6 +66,26 @@ impl Sequential {
         cur
     }
 
+    /// Runs the stack without mutating it (no backward caches), recycling
+    /// intermediate activations through the caller's [`Scratch`]. Any batch
+    /// size; identical math to [`Sequential::forward`].
+    pub fn infer(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let Some((first, rest)) = self.layers.split_first() else {
+            // Identity stack: hand back a scratch-owned copy so callers can
+            // recycle the result uniformly.
+            let mut y = scratch.take(x.rows(), x.cols());
+            y.as_mut_slice().copy_from_slice(x.as_slice());
+            return y;
+        };
+        let mut cur = first.infer(x, scratch);
+        for l in rest {
+            let next = l.infer(&cur, scratch);
+            scratch.recycle(cur);
+            cur = next;
+        }
+        cur
+    }
+
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mut g = grad_out.clone();
         for l in self.layers.iter_mut().rev() {
@@ -70,7 +95,10 @@ impl Sequential {
     }
 
     pub fn params_mut(&mut self) -> Vec<ParamSlice<'_>> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     pub fn param_count(&self) -> usize {
@@ -105,9 +133,16 @@ impl BranchNet {
     /// Builds a branch net. `in_dims[i]` is the feature width entering
     /// branch `i`; the head must accept the sum of branch output widths.
     pub fn new(branches: Vec<Sequential>, in_dims: Vec<usize>, head: Sequential) -> Self {
-        assert_eq!(branches.len(), in_dims.len(), "one input width per branch required");
-        let branch_out_dims: Vec<usize> =
-            branches.iter().zip(&in_dims).map(|(b, &d)| b.out_dim_for(d)).collect();
+        assert_eq!(
+            branches.len(),
+            in_dims.len(),
+            "one input width per branch required"
+        );
+        let branch_out_dims: Vec<usize> = branches
+            .iter()
+            .zip(&in_dims)
+            .map(|(b, &d)| b.out_dim_for(d))
+            .collect();
         let concat: usize = branch_out_dims.iter().sum();
         if let Some(first) = head.layers().first() {
             assert_eq!(
@@ -118,7 +153,12 @@ impl BranchNet {
                 concat
             );
         }
-        BranchNet { branches, head, in_dims, branch_out_dims }
+        BranchNet {
+            branches,
+            head,
+            in_dims,
+            branch_out_dims,
+        }
     }
 
     pub fn num_branches(&self) -> usize {
@@ -160,6 +200,42 @@ impl BranchNet {
     /// Runs the head on an externally assembled concatenated embedding.
     pub fn forward_head(&mut self, concat: &Matrix) -> Matrix {
         self.head.forward(concat)
+    }
+
+    /// Immutable full forward pass over a batch: every branch, the
+    /// concatenation, and the head run without touching the model, so a
+    /// shared `&BranchNet` can serve many threads (one [`Scratch`] each).
+    /// Identical math to [`BranchNet::forward`].
+    pub fn infer(&self, inputs: &[&Matrix], scratch: &mut Scratch) -> Matrix {
+        assert_eq!(inputs.len(), self.branches.len(), "input count mismatch");
+        let embs: Vec<Matrix> = self
+            .branches
+            .iter()
+            .zip(inputs)
+            .map(|(b, x)| b.infer(x, scratch))
+            .collect();
+        let rows = embs.first().map_or(0, |m| m.rows());
+        let mut concat = scratch.take(rows, self.concat_dim());
+        {
+            let refs: Vec<&Matrix> = embs.iter().collect();
+            Matrix::hconcat_into(&refs, &mut concat);
+        }
+        for e in embs {
+            scratch.recycle(e);
+        }
+        let y = self.head.infer(&concat, scratch);
+        scratch.recycle(concat);
+        y
+    }
+
+    /// Immutable [`BranchNet::forward_branch`].
+    pub fn infer_branch(&self, i: usize, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        self.branches[i].infer(x, scratch)
+    }
+
+    /// Immutable [`BranchNet::forward_head`].
+    pub fn infer_head(&self, concat: &Matrix, scratch: &mut Scratch) -> Matrix {
+        self.head.infer(concat, scratch)
     }
 
     /// Back-propagates through head and branches, returning per-branch input
@@ -248,10 +324,19 @@ mod tests {
     #[test]
     fn branchnet_forward_shape_and_identity_branch() {
         let mut rng = StdRng::seed_from_u64(2);
-        let b1 = Sequential::new(vec![Layer::Dense(Dense::new(&mut rng, 6, 4, Activation::Relu))]);
+        let b1 = Sequential::new(vec![Layer::Dense(Dense::new(
+            &mut rng,
+            6,
+            4,
+            Activation::Relu,
+        ))]);
         let b2 = Sequential::identity(); // raw 1-d threshold straight through
-        let head =
-            Sequential::new(vec![Layer::Dense(Dense::new(&mut rng, 5, 1, Activation::Identity))]);
+        let head = Sequential::new(vec![Layer::Dense(Dense::new(
+            &mut rng,
+            5,
+            1,
+            Activation::Identity,
+        ))]);
         let mut net = BranchNet::new(vec![b1, b2], vec![6, 1], head);
         assert_eq!(net.concat_dim(), 5);
         let xq = rand_matrix(&mut rng, 3, 6);
@@ -264,10 +349,13 @@ mod tests {
     fn branchnet_end_to_end_gradient_check() {
         let mut rng = StdRng::seed_from_u64(3);
         let make = |rng: &mut StdRng| {
-            let b1 =
-                Sequential::new(vec![Layer::Dense(Dense::new(rng, 4, 3, Activation::Tanh))]);
-            let b2 =
-                Sequential::new(vec![Layer::Dense(Dense::new(rng, 2, 2, Activation::Sigmoid))]);
+            let b1 = Sequential::new(vec![Layer::Dense(Dense::new(rng, 4, 3, Activation::Tanh))]);
+            let b2 = Sequential::new(vec![Layer::Dense(Dense::new(
+                rng,
+                2,
+                2,
+                Activation::Sigmoid,
+            ))]);
             let head = Sequential::new(vec![
                 Layer::Dense(Dense::new(rng, 5, 4, Activation::Tanh)),
                 Layer::Dense(Dense::new(rng, 4, 1, Activation::Identity)),
@@ -286,14 +374,25 @@ mod tests {
         let gs = net.backward(&y);
         // Finite-difference check on the two inputs.
         let h = 2e-3f32;
-        for (xi, (x, g)) in [(x1.clone(), &gs[0]), (x2.clone(), &gs[1])].iter().enumerate() {
+        for (xi, (x, g)) in [(x1.clone(), &gs[0]), (x2.clone(), &gs[1])]
+            .iter()
+            .enumerate()
+        {
             let mut xp = x.clone();
             for i in 0..xp.as_slice().len() {
                 let orig = xp.as_slice()[i];
                 xp.as_mut_slice()[i] = orig + h;
-                let lp = if xi == 0 { loss(&mut net, &xp, &x2) } else { loss(&mut net, &x1, &xp) };
+                let lp = if xi == 0 {
+                    loss(&mut net, &xp, &x2)
+                } else {
+                    loss(&mut net, &x1, &xp)
+                };
                 xp.as_mut_slice()[i] = orig - h;
-                let lm = if xi == 0 { loss(&mut net, &xp, &x2) } else { loss(&mut net, &x1, &xp) };
+                let lm = if xi == 0 {
+                    loss(&mut net, &xp, &x2)
+                } else {
+                    loss(&mut net, &x1, &xp)
+                };
                 xp.as_mut_slice()[i] = orig;
                 let fd = (lp - lm) / (2.0 * h);
                 let an = g.as_slice()[i];
@@ -314,19 +413,62 @@ mod tests {
             Layer::Dropout(Dropout::new(8, 0.5, 5)),
             Layer::Dense(Dense::new(&mut rng, 8, 2, Activation::Identity)),
         ]);
-        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2, "dropout adds no parameters");
+        assert_eq!(
+            net.param_count(),
+            4 * 8 + 8 + 8 * 2 + 2,
+            "dropout adds no parameters"
+        );
         let x = rand_matrix(&mut rng, 3, 4);
         let a = net.forward(&x);
         let b = net.forward(&x);
-        assert_eq!(a, b, "inference must be deterministic with dropout disabled");
+        assert_eq!(
+            a, b,
+            "inference must be deterministic with dropout disabled"
+        );
+    }
+
+    #[test]
+    fn branchnet_infer_matches_forward_bitwise() {
+        use crate::layers::Dropout;
+        let mut rng = StdRng::seed_from_u64(6);
+        let b1 = Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut rng, 5, 6, Activation::Relu)),
+            Layer::Dropout(Dropout::new(6, 0.3, 7)),
+            Layer::Dense(Dense::new(&mut rng, 6, 3, Activation::Tanh)),
+        ]);
+        let b2 = Sequential::identity();
+        let head = Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut rng, 4, 4, Activation::Sigmoid)),
+            Layer::Dense(Dense::new(&mut rng, 4, 1, Activation::Identity)),
+        ]);
+        let mut net = BranchNet::new(vec![b1, b2], vec![5, 1], head);
+        let x1 = rand_matrix(&mut rng, 7, 5);
+        let x2 = rand_matrix(&mut rng, 7, 1);
+        let y_train = net.forward(&[&x1, &x2]);
+        let mut scratch = Scratch::new();
+        // Two infer calls through the same scratch: parity and buffer reuse.
+        for _ in 0..2 {
+            let y_infer = net.infer(&[&x1, &x2], &mut scratch);
+            assert_eq!(y_train.as_slice(), y_infer.as_slice());
+            scratch.recycle(y_infer);
+        }
     }
 
     #[test]
     fn param_bytes_counts_all_tensors() {
         let mut rng = StdRng::seed_from_u64(4);
-        let b = Sequential::new(vec![Layer::Dense(Dense::new(&mut rng, 3, 2, Activation::Relu))]);
-        let head =
-            Sequential::new(vec![Layer::Dense(Dense::new(&mut rng, 2, 1, Activation::Identity))]);
+        let b = Sequential::new(vec![Layer::Dense(Dense::new(
+            &mut rng,
+            3,
+            2,
+            Activation::Relu,
+        ))]);
+        let head = Sequential::new(vec![Layer::Dense(Dense::new(
+            &mut rng,
+            2,
+            1,
+            Activation::Identity,
+        ))]);
         let net = BranchNet::new(vec![b], vec![3], head);
         // (3*2 + 2) + (2*1 + 1) = 11 parameters.
         assert_eq!(net.param_count(), 11);

@@ -35,7 +35,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -52,7 +60,11 @@ impl Optimizer for Adam {
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for (pi, p) in params.iter_mut().enumerate() {
-            debug_assert_eq!(self.m[pi].len(), p.values.len(), "optimizer state shape drifted");
+            debug_assert_eq!(
+                self.m[pi].len(),
+                p.values.len(),
+                "optimizer state shape drifted"
+            );
             let (m, v) = (&mut self.m[pi], &mut self.v[pi]);
             for i in 0..p.values.len() {
                 let g = p.grads[i];
@@ -85,7 +97,11 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -96,10 +112,14 @@ impl Optimizer for Sgd {
         }
         for (pi, p) in params.iter_mut().enumerate() {
             let vel = &mut self.velocity[pi];
-            for i in 0..p.values.len() {
-                vel[i] = self.momentum * vel[i] + p.grads[i];
-                p.values[i] -= self.lr * vel[i];
-                p.grads[i] = 0.0;
+            for ((v, val), g) in vel
+                .iter_mut()
+                .zip(p.values.iter_mut())
+                .zip(p.grads.iter_mut())
+            {
+                *v = self.momentum * *v + *g;
+                *val -= self.lr * *v;
+                *g = 0.0;
             }
         }
     }
@@ -130,7 +150,10 @@ mod tests {
         for _ in 0..500 {
             let grad = quad_grad(&x);
             g.copy_from_slice(&grad);
-            let mut params = vec![ParamSlice { values: &mut x, grads: &mut g }];
+            let mut params = vec![ParamSlice {
+                values: &mut x,
+                grads: &mut g,
+            }];
             opt.step(&mut params);
         }
         assert!(x.iter().all(|v| (v - 3.0).abs() < 1e-2), "x = {x:?}");
@@ -144,7 +167,10 @@ mod tests {
         for _ in 0..400 {
             let grad = quad_grad(&x);
             g.copy_from_slice(&grad);
-            let mut params = vec![ParamSlice { values: &mut x, grads: &mut g }];
+            let mut params = vec![ParamSlice {
+                values: &mut x,
+                grads: &mut g,
+            }];
             opt.step(&mut params);
         }
         assert!(x.iter().all(|v| (v - 3.0).abs() < 1e-2), "x = {x:?}");
@@ -155,7 +181,10 @@ mod tests {
         let mut x = vec![1.0f32];
         let mut g = vec![5.0f32];
         let mut opt = Adam::new(0.01);
-        opt.step(&mut [ParamSlice { values: &mut x, grads: &mut g }]);
+        opt.step(&mut [ParamSlice {
+            values: &mut x,
+            grads: &mut g,
+        }]);
         assert_eq!(g[0], 0.0);
     }
 

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from an existing buffer.
@@ -39,7 +43,11 @@ impl Matrix {
 
     /// A `1 × d` row matrix wrapping one feature vector.
     pub fn from_row(row: &[f32]) -> Self {
-        Matrix { rows: 1, cols: row.len(), data: row.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: row.len(),
+            data: row.to_vec(),
+        }
     }
 
     /// Builds a `rows × cols` matrix by stacking equal-length rows.
@@ -53,7 +61,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows passed to from_rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -94,13 +106,34 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Consumes the matrix, returning its backing buffer (used by
+    /// [`crate::scratch::Scratch`] to recycle allocations).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// `self · otherᵀ` where `other` is `n × cols`: the core kernel for a
     /// dense layer whose weight matrix stores one output unit per row.
     ///
     /// Result is `rows × n`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "inner dimensions differ in matmul_nt");
         let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-owned output matrix
+    /// (shape `rows × other.rows`) — the allocation-free inference kernel.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "inner dimensions differ in matmul_nt"
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_nt output shape mismatch"
+        );
         for r in 0..self.rows {
             let a = self.row(r);
             let o = out.row_mut(r);
@@ -108,13 +141,15 @@ impl Matrix {
                 o[j] = dot(a, b);
             }
         }
-        out
     }
 
     /// `selfᵀ · other`, producing `cols × other.cols`. Used for weight
     /// gradients: `dW = dYᵀ · X` arranged as `[out, in]`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "outer dimensions differ in matmul_tn");
+        assert_eq!(
+            self.rows, other.rows,
+            "outer dimensions differ in matmul_tn"
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for r in 0..self.rows {
             let a = self.row(r);
@@ -133,7 +168,10 @@ impl Matrix {
     /// Plain `self · other` (`rows × other.cols`). Used for input gradients:
     /// `dX = dY · W` with `W` stored `[out, in]`.
     pub fn matmul_nn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "inner dimensions differ in matmul_nn");
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions differ in matmul_nn"
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for r in 0..self.rows {
             let a = self.row(r);
@@ -159,27 +197,70 @@ impl Matrix {
     }
 
     /// Concatenates matrices with equal row counts along the column axis.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty (the row count would be unknowable) or if
+    /// the parts disagree on row count — including when some parts have
+    /// zero rows. Zero-row inputs are otherwise valid and produce a
+    /// `0 × Σcols` result that preserves the column shape.
     pub fn hconcat(parts: &[&Matrix]) -> Matrix {
-        let rows = parts.first().map_or(0, |m| m.rows);
-        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let (rows, cols) = Self::hconcat_shape(parts);
         let mut out = Matrix::zeros(rows, cols);
+        Self::hconcat_into(parts, &mut out);
+        out
+    }
+
+    /// Validated output shape of [`Matrix::hconcat`]; shared with the
+    /// scratch-buffer variant so both check ragged inputs up front.
+    fn hconcat_shape(parts: &[&Matrix]) -> (usize, usize) {
+        let rows = parts
+            .first()
+            .unwrap_or_else(|| panic!("hconcat of zero matrices has no defined shape"))
+            .rows;
+        for m in parts {
+            assert_eq!(m.rows, rows, "hconcat requires equal row counts");
+        }
+        (rows, parts.iter().map(|m| m.cols).sum())
+    }
+
+    /// [`Matrix::hconcat`] writing into a caller-owned output matrix of
+    /// shape `rows × Σcols` (the batch hot path reuses scratch buffers).
+    pub fn hconcat_into(parts: &[&Matrix], out: &mut Matrix) {
+        let (rows, cols) = Self::hconcat_shape(parts);
+        assert_eq!(
+            (out.rows, out.cols),
+            (rows, cols),
+            "hconcat output shape mismatch"
+        );
         for r in 0..rows {
             let mut off = 0;
             let orow = out.row_mut(r);
             for m in parts {
-                assert_eq!(m.rows, rows, "hconcat requires equal row counts");
                 orow[off..off + m.cols].copy_from_slice(m.row(r));
                 off += m.cols;
             }
         }
-        out
     }
 
     /// Splits columns back into widths `widths` (inverse of [`Matrix::hconcat`]).
+    ///
+    /// # Panics
+    /// Panics if `widths` is empty or does not sum to the column count.
+    /// Zero-row matrices split into zero-row parts of the requested widths.
     pub fn hsplit(&self, widths: &[usize]) -> Vec<Matrix> {
-        assert_eq!(widths.iter().sum::<usize>(), self.cols, "hsplit widths mismatch");
-        let mut out: Vec<Matrix> =
-            widths.iter().map(|&w| Matrix::zeros(self.rows, w)).collect();
+        assert!(
+            !widths.is_empty(),
+            "hsplit into zero parts has no defined shape"
+        );
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.cols,
+            "hsplit widths mismatch"
+        );
+        let mut out: Vec<Matrix> = widths
+            .iter()
+            .map(|&w| Matrix::zeros(self.rows, w))
+            .collect();
         for r in 0..self.rows {
             let mut off = 0;
             let row = self.row(r);
@@ -231,7 +312,25 @@ impl Matrix {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    // Eight independent accumulators break the sequential FP dependency
+    // chain so the loop vectorizes; the tail is folded in scalar order.
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for i in 0..chunks {
+        let (xa, xb) = (
+            &a[i * LANES..(i + 1) * LANES],
+            &b[i * LANES..(i + 1) * LANES],
+        );
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+    for (x, y) in a[chunks * LANES..].iter().zip(&b[chunks * LANES..]) {
+        s += x * y;
+    }
+    s
 }
 
 /// `y += alpha * x` over equal-length slices.
@@ -272,6 +371,63 @@ mod tests {
         // aᵀ·b = [[1*1+3*2+5*0, 1*1+3*0+5*3],[2*1+4*2+6*0, 2*1+4*0+6*3]]
         let c = a.matmul_tn(&b);
         assert_eq!(c.as_slice(), &[7.0, 16.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero matrices")]
+    fn hconcat_empty_input_panics() {
+        let _ = Matrix::hconcat(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal row counts")]
+    fn hconcat_ragged_rows_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 1);
+        let _ = Matrix::hconcat(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal row counts")]
+    fn hconcat_zero_row_ragged_panics_before_writing() {
+        // A 0-row part mixed with non-empty parts is ragged, not "empty";
+        // the shape check must reject it up front.
+        let a = Matrix::zeros(0, 2);
+        let b = Matrix::zeros(4, 2);
+        let _ = Matrix::hconcat(&[&a, &b]);
+    }
+
+    #[test]
+    fn hconcat_of_zero_row_parts_keeps_column_shape() {
+        let a = Matrix::zeros(0, 2);
+        let b = Matrix::zeros(0, 5);
+        let c = Matrix::hconcat(&[&a, &b]);
+        assert_eq!((c.rows(), c.cols()), (0, 7));
+        let parts = c.hsplit(&[2, 5]);
+        assert_eq!((parts[0].rows(), parts[0].cols()), (0, 2));
+        assert_eq!((parts[1].rows(), parts[1].cols()), (0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn hconcat_into_wrong_output_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 4);
+        Matrix::hconcat_into(&[&a], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn hsplit_empty_widths_panics() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.hsplit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths mismatch")]
+    fn hsplit_mismatched_widths_panic() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.hsplit(&[2, 2]);
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl BatchIter {
     pub fn new<R: Rng>(rng: &mut R, n: usize, batch_size: usize) -> Self {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(rng);
-        BatchIter { order, batch_size: batch_size.max(1), cursor: 0 }
+        BatchIter {
+            order,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
     }
 
     /// Number of batches in the epoch.
@@ -64,7 +68,12 @@ pub struct EarlyStopper {
 
 impl EarlyStopper {
     pub fn new(patience: usize, min_rel_improvement: f32) -> Self {
-        EarlyStopper { best: f32::INFINITY, stale: 0, patience, min_rel_improvement }
+        EarlyStopper {
+            best: f32::INFINITY,
+            stale: 0,
+            patience,
+            min_rel_improvement,
+        }
     }
 
     /// Records a validation error; returns `true` when training should stop.
@@ -134,16 +143,27 @@ pub struct TrainReport {
 /// of §3.1 (Algorithm 1). The network's single output is interpreted as
 /// `ln card`.
 ///
+/// One regression mini-batch: per-branch input matrices plus the true
+/// cardinalities.
+pub type RegressionBatch = (Vec<Matrix>, Vec<f32>);
+
+/// One classifier mini-batch: per-branch inputs plus the `B × n_segments`
+/// 0/1 label matrix `R` and min-max weight matrix `ε`.
+pub type ClassifierBatch = (Vec<Matrix>, Matrix, Matrix);
+
 /// `build_batch` maps a shuffled index mini-batch to the per-branch input
 /// matrices and the true cardinalities; the caller owns all feature
 /// construction (distance vectors, thresholds, …).
 pub fn train_branch_regression(
     net: &mut BranchNet,
     n_samples: usize,
-    build_batch: &mut dyn FnMut(&[usize]) -> (Vec<Matrix>, Vec<f32>),
+    build_batch: &mut dyn FnMut(&[usize]) -> RegressionBatch,
     cfg: &TrainConfig,
 ) -> TrainReport {
-    let loss_fn = HybridLoss { lambda: cfg.lambda, ..HybridLoss::default() };
+    let loss_fn = HybridLoss {
+        lambda: cfg.lambda,
+        ..HybridLoss::default()
+    };
     let mut opt = Adam::new(cfg.learning_rate);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7EA1_0001);
     let mut stopper = EarlyStopper::new(cfg.patience, 0.02);
@@ -172,7 +192,10 @@ pub fn train_branch_regression(
             break;
         }
     }
-    TrainReport { epochs_run, final_loss: epoch_loss }
+    TrainReport {
+        epochs_run,
+        final_loss: epoch_loss,
+    }
 }
 
 /// Trains the global discriminative model (Algorithm 2): the network's
@@ -184,7 +207,7 @@ pub fn train_branch_regression(
 pub fn train_global_classifier(
     net: &mut BranchNet,
     n_samples: usize,
-    build_batch: &mut dyn FnMut(&[usize]) -> (Vec<Matrix>, Matrix, Matrix),
+    build_batch: &mut dyn FnMut(&[usize]) -> ClassifierBatch,
     cfg: &TrainConfig,
 ) -> TrainReport {
     let mut opt = Adam::new(cfg.learning_rate);
@@ -216,7 +239,10 @@ pub fn train_global_classifier(
             break;
         }
     }
-    TrainReport { epochs_run, final_loss: epoch_loss }
+    TrainReport {
+        epochs_run,
+        final_loss: epoch_loss,
+    }
 }
 
 #[cfg(test)]
@@ -275,11 +301,19 @@ mod tests {
             .map(|_| [rng.gen_range(0.0..1.5f32), rng.gen_range(0.0..1.5f32)])
             .collect();
         let taus: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0f32)).collect();
-        let cards: Vec<f32> =
-            xs.iter().zip(&taus).map(|(x, t)| (2.0 * x[0] + t).exp().round().max(1.0)).collect();
+        let cards: Vec<f32> = xs
+            .iter()
+            .zip(&taus)
+            .map(|(x, t)| (2.0 * x[0] + t).exp().round().max(1.0))
+            .collect();
 
         let mut init = StdRng::seed_from_u64(1);
-        let bq = Sequential::new(vec![Layer::Dense(Dense::new(&mut init, 2, 8, Activation::Relu))]);
+        let bq = Sequential::new(vec![Layer::Dense(Dense::new(
+            &mut init,
+            2,
+            8,
+            Activation::Relu,
+        ))]);
         let bt = Sequential::new(vec![Layer::Dense(Dense::new_nonneg(
             &mut init,
             1,
@@ -298,7 +332,12 @@ mod tests {
             let c: Vec<f32> = idx.iter().map(|&i| cards[i]).collect();
             (vec![xq, xt], c)
         };
-        let cfg = TrainConfig { epochs: 80, batch_size: 32, learning_rate: 5e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 80,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            ..Default::default()
+        };
         let report = train_branch_regression(&mut net, n, &mut build, &cfg);
         assert!(report.final_loss.is_finite());
 
@@ -329,7 +368,12 @@ mod tests {
             .map(|_| std::array::from_fn(|_| rng.gen_range(-1.0..1.0f32)))
             .collect();
         let mut init = StdRng::seed_from_u64(2);
-        let b = Sequential::new(vec![Layer::Dense(Dense::new(&mut init, 4, 8, Activation::Tanh))]);
+        let b = Sequential::new(vec![Layer::Dense(Dense::new(
+            &mut init,
+            4,
+            8,
+            Activation::Tanh,
+        ))]);
         let head = Sequential::new(vec![
             Layer::Dense(Dense::new(&mut init, 8, n_segs, Activation::Identity)),
             Layer::ShiftSigmoid(ShiftSigmoid::new(n_segs)),
@@ -340,14 +384,19 @@ mod tests {
             let x = Matrix::from_rows(&idx.iter().map(|&i| &xs[i][..]).collect::<Vec<_>>());
             let mut labels = Matrix::zeros(idx.len(), n_segs);
             for (r, &i) in idx.iter().enumerate() {
-                for s in 0..n_segs {
-                    labels.set(r, s, if xs[i][s] > 0.0 { 1.0 } else { 0.0 });
+                for (s, &v) in xs[i][..n_segs].iter().enumerate() {
+                    labels.set(r, s, if v > 0.0 { 1.0 } else { 0.0 });
                 }
             }
             let weights = Matrix::zeros(idx.len(), n_segs);
             (vec![x], labels, weights)
         };
-        let cfg = TrainConfig { epochs: 120, batch_size: 32, learning_rate: 1e-2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 120,
+            batch_size: 32,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         train_global_classifier(&mut net, n, &mut build, &cfg);
 
         // Accuracy at the 0.5 cut must be high.

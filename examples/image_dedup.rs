@@ -36,7 +36,7 @@ fn main() {
     cfg.base.global_train.epochs = 25;
     cfg.base.global_train.learning_rate = 2e-3;
     let training = TrainingSet::new(&workload.queries, &workload.train);
-    let mut model = JoinEstimator::train(
+    let model = JoinEstimator::train(
         &data,
         spec.metric,
         &training,

@@ -40,7 +40,7 @@ fn main() {
     let mut qes_cfg = QesConfig::default();
     qes_cfg.train.epochs = 25;
     let training = TrainingSet::new(&workload.queries, &workload.train);
-    let (mut estimator, _) = QesEstimator::train(&data, spec.metric, &training, &qes_cfg, 7);
+    let (estimator, _) = QesEstimator::train(&data, spec.metric, &training, &qes_cfg, 7);
 
     // The exact index both serves as the "index scan" plan and gives us
     // the oracle cardinalities.
@@ -78,6 +78,10 @@ fn main() {
         "example predicate: tau={:.3}, estimated {est:.0} matches (true {:.0}) → {}",
         sample.tau,
         sample.card,
-        if prefer_index(est, data.len()) { "index scan" } else { "full scan" }
+        if prefer_index(est, data.len()) {
+            "index scan"
+        } else {
+            "full scan"
+        }
     );
 }

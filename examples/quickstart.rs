@@ -17,7 +17,12 @@ fn main() {
         ..PaperDataset::ImageNet.spec()
     };
     let data = spec.generate(42);
-    println!("dataset: {} vectors, {} dims, {:?}", data.len(), data.dim(), spec.metric);
+    println!(
+        "dataset: {} vectors, {} dims, {:?}",
+        data.len(),
+        data.dim(),
+        spec.metric
+    );
 
     // 2. Build the labelled workload: random data points as queries, 10
     //    thresholds per query chosen by selectivity, exact cardinalities.
@@ -37,7 +42,7 @@ fn main() {
     cfg.global_train.epochs = 30;
     cfg.global_train.learning_rate = 2e-3;
     let training = TrainingSet::new(&workload.queries, &workload.train);
-    let mut model = GlEstimator::train(&data, spec.metric, &training, &workload.table, &cfg);
+    let model = GlEstimator::train(&data, spec.metric, &training, &workload.table, &cfg);
     println!(
         "model: {} segments, {:.1} KB of parameters",
         model.n_segments(),

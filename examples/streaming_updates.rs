@@ -48,7 +48,10 @@ fn main() {
         UpdateConfig::default(),
     );
 
-    println!("before updates: mean test Q-error {:.2}", live.mean_test_q_error());
+    println!(
+        "before updates: mean test Q-error {:.2}",
+        live.mean_test_q_error()
+    );
 
     // Stream 10 insert operations of 10 records each (new points resemble
     // catalogue entries, as in Exp-11's GloVe insertions).

@@ -1,0 +1,210 @@
+//! Minimal vendored `criterion` for offline builds: same surface API
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`, `black_box`) with
+//! a simple adaptive timer instead of the full statistical machinery.
+//!
+//! Each benchmark warms up once, then runs batches until ~200 ms or
+//! `sample_size` iterations have elapsed (whichever comes last/first for
+//! slow/fast bodies), and prints the mean iteration time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark names built from parameters (`BenchmarkId::from_parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, p: P) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), p))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runs closures and accumulates timing for one benchmark.
+pub struct Bencher {
+    target_time: Duration,
+    min_iters: u64,
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    mean: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_time && iters >= self.min_iters.min(4) {
+                self.mean = elapsed.as_secs_f64() / iters as f64;
+                self.iters = iters;
+                break;
+            }
+            if iters >= 100_000 {
+                self.mean = start.elapsed().as_secs_f64() / iters as f64;
+                self.iters = iters;
+                break;
+            }
+        }
+    }
+}
+
+/// Per-iteration work declared with [`BenchmarkGroup::throughput`]; the
+/// report then includes elements (or bytes) per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.target_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            target_time: self.criterion.target_time,
+            min_iters: self.sample_size,
+            mean: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<S: std::fmt::Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let t = b.mean;
+    let human = if t >= 1.0 {
+        format!("{t:.3} s")
+    } else if t >= 1e-3 {
+        format!("{:.3} ms", t * 1e3)
+    } else if t >= 1e-6 {
+        format!("{:.3} µs", t * 1e6)
+    } else {
+        format!("{:.1} ns", t * 1e9)
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if t > 0.0 => {
+            format!(", {:.0} elem/s", n as f64 / t)
+        }
+        Some(Throughput::Bytes(n)) if t > 0.0 => {
+            format!(", {:.0} B/s", n as f64 / t)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {group}/{name}: {human}/iter ({} iters{thrpt})",
+        b.iters
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== benchmark group `{name}` ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            target_time: self.target_time,
+            min_iters: 10,
+            mean: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report("bench", &id.to_string(), &b, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,403 @@
+//! Minimal vendored `proptest` for offline builds.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config]`), range and collection
+//! strategies, `any::<bool>()`, tuple strategies, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, and a `TestRunner` with `run`.
+//!
+//! Unlike upstream there is no shrinking: failures report the generated
+//! case via the panic message (cases are deterministic per test name, so
+//! failures reproduce exactly).
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use std::ops::Range;
+
+/// A source of random test cases.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn gen_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+}
+
+/// Generates values of `Self::Value` for a test case.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+/// Strategy for "any value of T" (only the types the workspace asks for).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.0.gen::<f32>()
+    }
+}
+
+impl Strategy for Any<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen::<usize>()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Element count for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.0.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// A failed property run.
+    #[derive(Debug, Clone)]
+    pub struct TestError(pub String);
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Drives a strategy through `cases` generated inputs.
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::from_seed(0x70_72_6f_70),
+            }
+        }
+
+        pub fn new_seeded(config: Config, seed: u64) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::from_seed(seed),
+            }
+        }
+
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), TestError> {
+            let mut ran = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = self.config.cases.saturating_mul(16).max(256);
+            while ran < self.config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    return Err(TestError(format!(
+                        "too many rejected cases ({ran} accepted of {attempts} attempts)"
+                    )));
+                }
+                let value = strategy.generate(&mut self.rng);
+                match test(value) {
+                    Ok(()) => ran += 1,
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError(format!("case #{ran} failed: {msg}")))
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(Config::default())
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::Strategy;
+}
+
+/// `prop::...` namespace, as exposed by the upstream prelude.
+pub mod prop {
+    pub use super::collection;
+}
+
+pub mod prelude {
+    pub use super::prop;
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use super::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Runs one property function body over `cases` generated inputs.
+/// Used by the `proptest!` macro; panics (with the case number) on the
+/// first failing case so the standard test harness reports it.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: test_runner::Config,
+    strategy: S,
+    mut body: impl FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+) {
+    let seed = name.bytes().fold(0x6b76_2fae_u64, |h, b| {
+        h.wrapping_mul(131).wrapping_add(b as u64)
+    });
+    let mut runner = test_runner::TestRunner::new_seeded(config, seed);
+    if let Err(e) = runner.run(&strategy, &mut body) {
+        panic!("property `{name}` failed: {}", e.0);
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_property(
+                stringify!($name),
+                $cfg,
+                ($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+    )*};
+    // With a leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    // Without: use the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_vecs_respect_bounds(v in prop::collection::vec(0.0f32..1.0, 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_filters_cases(x in -5i32..5) {
+            prop_assume!(x != 0);
+            prop_assert!(x != 0);
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let r = runner.run(&(0usize..10), |x| {
+            if x < 100 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+}

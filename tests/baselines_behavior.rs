@@ -6,7 +6,10 @@ use cardest::baselines::HistogramEstimator;
 use cardest::prelude::*;
 
 fn dataset(seed: u64) -> (DatasetSpec, VectorData) {
-    let spec = DatasetSpec { n_data: 600, ..PaperDataset::ImageNet.spec() };
+    let spec = DatasetSpec {
+        n_data: 600,
+        ..PaperDataset::ImageNet.spec()
+    };
     (spec, spec.generate(seed))
 }
 
@@ -15,8 +18,7 @@ fn dataset(seed: u64) -> (DatasetSpec, VectorData) {
 fn exact_paths_agree() {
     let (spec, data) = dataset(501);
     let index = PivotIndex::build(&data, spec.metric, 10, 501);
-    let mut full =
-        SamplingEstimator::with_ratio(&data, spec.metric, 1.0, 501, "Sampling (100%)");
+    let full = SamplingEstimator::with_ratio(&data, spec.metric, 1.0, 501, "Sampling (100%)");
     for q in (0..data.len()).step_by(89) {
         for tau in [0.1f32, 0.25, 0.4] {
             let brute = (0..data.len())
@@ -57,7 +59,10 @@ fn query_awareness_beats_global_histogram() {
     };
     let h = err(&mut hist);
     let q = err(&mut qes);
-    assert!(q < h, "query-aware QES ({q}) must beat the global histogram ({h})");
+    assert!(
+        q < h,
+        "query-aware QES ({q}) must beat the global histogram ({h})"
+    );
 }
 
 /// Kernel estimates dominate plain same-size sampling near the 0-tuple
@@ -65,9 +70,8 @@ fn query_awareness_beats_global_histogram() {
 #[test]
 fn kernel_never_returns_hard_zero_where_sampling_does() {
     let (spec, data) = dataset(503);
-    let mut kernel = KernelEstimator::new(&data, spec.metric, 0.03, 503);
-    let mut sampling =
-        SamplingEstimator::with_ratio(&data, spec.metric, 0.03, 503, "Sampling (3%)");
+    let kernel = KernelEstimator::new(&data, spec.metric, 0.03, 503);
+    let sampling = SamplingEstimator::with_ratio(&data, spec.metric, 0.03, 503, "Sampling (3%)");
     let mut zero_sampling = 0usize;
     let mut zero_kernel = 0usize;
     for q in (0..data.len()).step_by(23) {

@@ -20,11 +20,22 @@ fn setup(seed: u64) -> (DatasetSpec, VectorData, SearchWorkload, JoinWorkload) {
 fn fast_join(variant: JoinVariant) -> JoinConfig {
     let mut cfg = JoinConfig::for_variant(variant);
     cfg.base.n_segments = 6;
-    cfg.base.local_train = TrainConfig { epochs: 8, batch_size: 64, ..Default::default() };
-    cfg.base.global_train = TrainConfig { epochs: 10, batch_size: 64, ..Default::default() };
+    cfg.base.local_train = TrainConfig {
+        epochs: 8,
+        batch_size: 64,
+        ..Default::default()
+    };
+    cfg.base.global_train = TrainConfig {
+        epochs: 10,
+        batch_size: 64,
+        ..Default::default()
+    };
     cfg.base.tuning = cardest::core::tuning::TuningConfig::fast();
     cfg.base.tuning_segments = 1;
-    cfg.qes.train = TrainConfig { epochs: 8, ..Default::default() };
+    cfg.qes.train = TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
     cfg
 }
 
@@ -35,12 +46,14 @@ fn join_variants_beat_zero_baseline() {
     let (spec, data, w, j) = setup(301);
     let training = TrainingSet::new(&w.queries, &w.train);
     let zero_err = {
-        let errs: Vec<f32> =
-            j.test_buckets[0].iter().map(|s| q_error(0.0, s.card)).collect();
+        let errs: Vec<f32> = j.test_buckets[0]
+            .iter()
+            .map(|s| q_error(0.0, s.card))
+            .collect();
         ErrorSummary::from_errors(&errs).mean
     };
     for variant in [JoinVariant::GlJoin, JoinVariant::CnnJoin] {
-        let mut est = JoinEstimator::train(
+        let est = JoinEstimator::train(
             &data,
             spec.metric,
             &training,
@@ -51,7 +64,10 @@ fn join_variants_beat_zero_baseline() {
         let errs: Vec<f32> = j.test_buckets[0]
             .iter()
             .map(|s| {
-                q_error(est.estimate_join_batched(&w.queries, &s.query_ids, s.tau), s.card)
+                q_error(
+                    est.estimate_join_batched(&w.queries, &s.query_ids, s.tau),
+                    s.card,
+                )
             })
             .collect();
         let err = ErrorSummary::from_errors(&errs).mean;
@@ -74,7 +90,7 @@ fn search_model_transfers_to_join_setting() {
     gl_cfg.local_train.epochs = 8;
     gl_cfg.global_train.epochs = 10;
     let gl = GlEstimator::train(&data, spec.metric, &training, &w.table, &gl_cfg);
-    let mut join = JoinEstimator::from_search_model(
+    let join = JoinEstimator::from_search_model(
         gl,
         &w.queries,
         &j.train,
@@ -92,7 +108,7 @@ fn search_model_transfers_to_join_setting() {
 fn empty_join_set_estimates_zero() {
     let (spec, data, w, j) = setup(303);
     let training = TrainingSet::new(&w.queries, &w.train);
-    let mut est = JoinEstimator::train(
+    let est = JoinEstimator::train(
         &data,
         spec.metric,
         &training,
@@ -111,12 +127,15 @@ fn empty_join_set_estimates_zero() {
 fn per_query_join_baseline_is_a_sum() {
     let (spec, data, w, _) = setup(304);
     let training = TrainingSet::new(&w.queries, &w.train);
-    let (mut qes, _) = QesEstimator::train(
+    let (qes, _) = QesEstimator::train(
         &data,
         spec.metric,
         &training,
         &QesConfig {
-            train: TrainConfig { epochs: 3, ..Default::default() },
+            train: TrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
             ..Default::default()
         },
         304,
@@ -124,6 +143,9 @@ fn per_query_join_baseline_is_a_sum() {
     let ids = [0usize, 3, 5];
     let tau = 0.2;
     let joint = qes.estimate_join(&w.queries, &ids, tau);
-    let manual: f32 = ids.iter().map(|&i| qes.estimate(w.queries.view(i), tau)).sum();
+    let manual: f32 = ids
+        .iter()
+        .map(|&i| qes.estimate(w.queries.view(i), tau))
+        .sum();
     assert!((joint - manual).abs() <= 1e-3 * manual.abs().max(1.0));
 }

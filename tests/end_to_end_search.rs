@@ -20,8 +20,16 @@ fn small_spec(dataset: PaperDataset, seed: u64) -> (DatasetSpec, VectorData, Sea
 fn fast_gl(variant: GlVariant) -> GlConfig {
     let mut cfg = GlConfig::for_variant(variant);
     cfg.n_segments = 6;
-    cfg.local_train = TrainConfig { epochs: 10, batch_size: 64, ..Default::default() };
-    cfg.global_train = TrainConfig { epochs: 12, batch_size: 64, ..Default::default() };
+    cfg.local_train = TrainConfig {
+        epochs: 10,
+        batch_size: 64,
+        ..Default::default()
+    };
+    cfg.global_train = TrainConfig {
+        epochs: 12,
+        batch_size: 64,
+        ..Default::default()
+    };
     cfg.tuning = cardest::core::tuning::TuningConfig::fast();
     cfg.tuning_segments = 1;
     cfg
@@ -42,8 +50,13 @@ fn mean_q<E: CardinalityEstimator>(est: &mut E, w: &SearchWorkload) -> f32 {
 fn gl_beats_equal_size_sampling_on_clustered_data() {
     let (spec, data, w) = small_spec(PaperDataset::ImageNet, 201);
     let training = TrainingSet::new(&w.queries, &w.train);
-    let mut gl =
-        GlEstimator::train(&data, spec.metric, &training, &w.table, &fast_gl(GlVariant::GlCnn));
+    let mut gl = GlEstimator::train(
+        &data,
+        spec.metric,
+        &training,
+        &w.table,
+        &fast_gl(GlVariant::GlCnn),
+    );
     let mut sampling =
         SamplingEstimator::with_count(&data, spec.metric, 20, 201, "Sampling (tiny)");
     let gl_err = mean_q(&mut gl, &w);
@@ -59,14 +72,17 @@ fn gl_beats_equal_size_sampling_on_clustered_data() {
 #[test]
 fn all_estimators_are_finite_on_all_modalities() {
     for (dataset, seed) in [
-        (PaperDataset::Bms, 211u64),      // Jaccard / sparse binary
-        (PaperDataset::GloVe300, 212),    // Angular / dense
-        (PaperDataset::YouTube, 213),     // L2 / dense
-        (PaperDataset::ImageNet, 214),    // Hamming / binary
+        (PaperDataset::Bms, 211u64),   // Jaccard / sparse binary
+        (PaperDataset::GloVe300, 212), // Angular / dense
+        (PaperDataset::YouTube, 213),  // L2 / dense
+        (PaperDataset::ImageNet, 214), // Hamming / binary
     ] {
         let (spec, data, w) = small_spec(dataset, seed);
         let training = TrainingSet::new(&w.queries, &w.train);
-        let quick = TrainConfig { epochs: 3, ..Default::default() };
+        let quick = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
 
         let mut estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
             Box::new(
@@ -74,7 +90,10 @@ fn all_estimators_are_finite_on_all_modalities() {
                     &data,
                     spec.metric,
                     &training,
-                    &QesConfig { train: quick, ..Default::default() },
+                    &QesConfig {
+                        train: quick,
+                        ..Default::default()
+                    },
                     seed,
                 )
                 .0,
@@ -84,7 +103,10 @@ fn all_estimators_are_finite_on_all_modalities() {
                     &data,
                     spec.metric,
                     &training,
-                    &MlpConfig { train: quick, ..Default::default() },
+                    &MlpConfig {
+                        train: quick,
+                        ..Default::default()
+                    },
                     seed,
                 )
                 .0,
@@ -93,12 +115,21 @@ fn all_estimators_are_finite_on_all_modalities() {
                 CardNet::train(
                     &training,
                     spec.tau_max,
-                    &CardNetConfig { train: quick, ..Default::default() },
+                    &CardNetConfig {
+                        train: quick,
+                        ..Default::default()
+                    },
                     seed,
                 )
                 .0,
             ),
-            Box::new(SamplingEstimator::with_ratio(&data, spec.metric, 0.1, seed, "S10")),
+            Box::new(SamplingEstimator::with_ratio(
+                &data,
+                spec.metric,
+                0.1,
+                seed,
+                "S10",
+            )),
             Box::new(KernelEstimator::new(&data, spec.metric, 0.05, seed)),
         ];
         for est in &mut estimators {
@@ -120,12 +151,15 @@ fn all_estimators_are_finite_on_all_modalities() {
 fn estimates_grow_with_threshold_on_average() {
     let (spec, data, w) = small_spec(PaperDataset::ImageNet, 221);
     let training = TrainingSet::new(&w.queries, &w.train);
-    let (mut qes, _) = QesEstimator::train(
+    let (qes, _) = QesEstimator::train(
         &data,
         spec.metric,
         &training,
         &QesConfig {
-            train: TrainConfig { epochs: 15, ..Default::default() },
+            train: TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
             ..Default::default()
         },
         221,
@@ -147,11 +181,14 @@ fn training_is_deterministic_per_seed() {
     let (spec, data, w) = small_spec(PaperDataset::ImageNet, 231);
     let training = TrainingSet::new(&w.queries, &w.train);
     let cfg = QesConfig {
-        train: TrainConfig { epochs: 4, ..Default::default() },
+        train: TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
-    let (mut a, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 231);
-    let (mut b, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 231);
+    let (a, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 231);
+    let (b, _) = QesEstimator::train(&data, spec.metric, &training, &cfg, 231);
     for s in w.test.iter().take(10) {
         let ea = a.estimate(w.queries.view(s.query), s.tau);
         let eb = b.estimate(w.queries.view(s.query), s.tau);
@@ -169,9 +206,9 @@ fn gl_model_roundtrips_through_json() {
     let mut cfg = fast_gl(GlVariant::GlCnn);
     cfg.local_train.epochs = 4;
     cfg.global_train.epochs = 4;
-    let mut original = GlEstimator::train(&data, spec.metric, &training, &w.table, &cfg);
+    let original = GlEstimator::train(&data, spec.metric, &training, &w.table, &cfg);
     let json = original.to_json().expect("serialize");
-    let mut restored = GlEstimator::from_json(&json).expect("deserialize");
+    let restored = GlEstimator::from_json(&json).expect("deserialize");
     for s in w.test.iter().take(15) {
         let a = original.estimate(w.queries.view(s.query), s.tau);
         let b = restored.estimate(w.queries.view(s.query), s.tau);
@@ -187,6 +224,10 @@ fn pivot_index_agrees_with_ground_truth_labels() {
     let index = PivotIndex::build(&data, spec.metric, 10, 241);
     for s in w.test.iter().take(40) {
         let exact = index.range_count(&data, w.queries.view(s.query), s.tau);
-        assert_eq!(exact as f32, s.card, "index disagrees with labels at tau={}", s.tau);
+        assert_eq!(
+            exact as f32, s.card,
+            "index disagrees with labels at tau={}",
+            s.tau
+        );
     }
 }

@@ -166,6 +166,141 @@ proptest! {
     }
 }
 
+// ---------- batched inference parity ----------
+
+/// A tiny workload plus one trained estimator of every batch-capable kind,
+/// shared (immutably — inference is `&self`) by the parity properties.
+struct BatchedModels {
+    w: SearchWorkload,
+    tau_max: f32,
+    mlp: MlpEstimator,
+    cardnet: CardNet,
+    gl_cnn: GlEstimator,
+    gl_plus: GlEstimator,
+}
+
+fn batched_models() -> &'static BatchedModels {
+    static MODELS: OnceLock<BatchedModels> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let spec = DatasetSpec {
+            n_data: 500,
+            n_train_queries: 40,
+            n_test_queries: 10,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let data = spec.generate(31);
+        let w = SearchWorkload::build(&data, &spec, 31);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let mut mlp_cfg = MlpConfig {
+            k_samples: 16,
+            ..Default::default()
+        };
+        mlp_cfg.train.epochs = 3;
+        let (mlp, _) = MlpEstimator::train(&data, spec.metric, &training, &mlp_cfg, 31);
+        let mut cn_cfg = CardNetConfig::default();
+        cn_cfg.train.epochs = 3;
+        let (cardnet, _) = CardNet::train(&training, spec.tau_max, &cn_cfg, 31);
+        let gl = |variant| {
+            let mut cfg = GlConfig::for_variant(variant);
+            cfg.n_segments = 5;
+            cfg.local_train.epochs = 4;
+            cfg.global_train.epochs = 4;
+            cfg.tuning = cardest::core::tuning::TuningConfig::fast();
+            cfg.tuning_segments = 1;
+            GlEstimator::train(&data, spec.metric, &training, &w.table, &cfg)
+        };
+        let gl_cnn = gl(GlVariant::GlCnn);
+        let gl_plus = gl(GlVariant::GlPlus);
+        BatchedModels {
+            w,
+            tau_max: spec.tau_max,
+            mlp,
+            cardnet,
+            gl_cnn,
+            gl_plus,
+        }
+    })
+}
+
+/// The `estimate_batch` contract: batched and one-at-a-time estimates
+/// agree within 1e-5 relative error for any batch composition.
+fn assert_batch_parity(
+    est: &dyn CardinalityEstimator,
+    w: &SearchWorkload,
+    picks: &[(usize, f32)],
+) -> Result<(), TestCaseError> {
+    let queries: Vec<(VectorView<'_>, f32)> = picks
+        .iter()
+        .map(|&(q, tau)| (w.queries.view(q), tau))
+        .collect();
+    let batched = est.estimate_batch(&queries);
+    prop_assert_eq!(batched.len(), picks.len());
+    for (b, &(q, tau)) in batched.iter().zip(picks) {
+        let seq = est.estimate(w.queries.view(q), tau);
+        let tol = 1e-5 * seq.abs().max(1.0);
+        prop_assert!(
+            (b - seq).abs() <= tol,
+            "{}: batch={} sequential={} at q={} tau={}",
+            est.name(),
+            b,
+            seq,
+            q,
+            tau
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched == sequential for every batch-capable estimator, on random
+    /// batches mixing duplicate queries and arbitrary thresholds.
+    #[test]
+    fn estimate_batch_matches_sequential(
+        picks in prop::collection::vec((0usize..50, 0.02f32..1.0), 1..24)
+    ) {
+        let m = batched_models();
+        let picks: Vec<(usize, f32)> =
+            picks.iter().map(|&(q, t)| (q, t * m.tau_max)).collect();
+        assert_batch_parity(&m.mlp, &m.w, &picks)?;
+        assert_batch_parity(&m.cardnet, &m.w, &picks)?;
+        assert_batch_parity(&m.gl_cnn, &m.w, &picks)?;
+        assert_batch_parity(&m.gl_plus, &m.w, &picks)?;
+    }
+}
+
+/// Inference is `&self`, so a trained estimator is `Sync`: two scoped
+/// threads sharing one model must return identical results (each thread
+/// draws from its own thread-local scratch pool).
+#[test]
+fn shared_estimator_across_threads_returns_identical_results() {
+    fn assert_sync<T: Sync>(_: &T) {}
+    let m = batched_models();
+    assert_sync(&m.gl_plus);
+    assert_sync(&m.mlp);
+    let queries: Vec<(VectorView<'_>, f32)> =
+        m.w.test
+            .iter()
+            .map(|s| (m.w.queries.view(s.query), s.tau))
+            .collect();
+    let est = &m.gl_plus;
+    let (a, b) = std::thread::scope(|s| {
+        let h1 = s.spawn(|| est.estimate_batch(&queries));
+        let h2 = s.spawn(|| est.estimate_batch(&queries));
+        (h1.join().expect("thread 1"), h2.join().expect("thread 2"))
+    });
+    assert_eq!(a, b, "two threads sharing one model disagreed");
+    // And both agree with the main thread's sequential path.
+    for (r, &(q, tau)) in a.iter().zip(&queries) {
+        let seq = est.estimate(q, tau);
+        assert!(
+            (r - seq).abs() <= 1e-5 * seq.abs().max(1.0),
+            "threaded batch {r} vs sequential {seq}"
+        );
+    }
+}
+
 // ---------- learned-model monotonicity ----------
 
 /// CardNet's prefix-sum construction is monotone in τ for *any* query and
@@ -190,19 +325,16 @@ fn cardnet_monotonicity_property() {
     });
     let mut runner = proptest::test_runner::TestRunner::default();
     runner
-        .run(
-            &(0usize..40, 0.0f32..1.0, 0.0f32..1.0),
-            |(q, t1, t2)| {
-                let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
-                let mut net = model.lock().expect("no poisoning");
-                let e_lo = net.estimate(w.queries.view(q), lo * tau_max);
-                let e_hi = net.estimate(w.queries.view(q), hi * tau_max);
-                prop_assert!(
-                    e_hi >= e_lo - 1e-4,
-                    "CardNet not monotone: q={q} {e_lo} @ {lo} vs {e_hi} @ {hi}"
-                );
-                Ok(())
-            },
-        )
+        .run(&(0usize..40, 0.0f32..1.0, 0.0f32..1.0), |(q, t1, t2)| {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let net = model.lock().expect("no poisoning");
+            let e_lo = net.estimate(w.queries.view(q), lo * tau_max);
+            let e_hi = net.estimate(w.queries.view(q), hi * tau_max);
+            prop_assert!(
+                e_hi >= e_lo - 1e-4,
+                "CardNet not monotone: q={q} {e_lo} @ {lo} vs {e_hi} @ {hi}"
+            );
+            Ok(())
+        })
         .expect("monotonicity property holds");
 }

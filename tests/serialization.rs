@@ -8,13 +8,19 @@ use cardest::prelude::*;
 
 #[test]
 fn vector_data_roundtrips_both_layouts() {
-    let spec = DatasetSpec { n_data: 120, ..PaperDataset::ImageNet.spec() };
+    let spec = DatasetSpec {
+        n_data: 120,
+        ..PaperDataset::ImageNet.spec()
+    };
     let binary = spec.generate(1);
     let json = serde_json::to_string(&binary).expect("serialize binary");
     let back: VectorData = serde_json::from_str(&json).expect("deserialize binary");
     assert_eq!(binary, back);
 
-    let spec = DatasetSpec { n_data: 80, ..PaperDataset::GloVe300.spec() };
+    let spec = DatasetSpec {
+        n_data: 80,
+        ..PaperDataset::GloVe300.spec()
+    };
     let dense = spec.generate(2);
     let json = serde_json::to_string(&dense).expect("serialize dense");
     let back: VectorData = serde_json::from_str(&json).expect("deserialize dense");
@@ -43,7 +49,10 @@ fn workload_samples_roundtrip() {
 
 #[test]
 fn segmentation_roundtrip_preserves_routing() {
-    let spec = DatasetSpec { n_data: 400, ..PaperDataset::ImageNet.spec() };
+    let spec = DatasetSpec {
+        n_data: 400,
+        ..PaperDataset::ImageNet.spec()
+    };
     let data = spec.generate(4);
     let seg = Segmentation::fit(
         &data,
@@ -59,7 +68,10 @@ fn segmentation_roundtrip_preserves_routing() {
     let back: Segmentation = serde_json::from_str(&json).expect("deserialize segmentation");
     assert_eq!(seg.assignment(), back.assignment());
     for i in (0..data.len()).step_by(37) {
-        assert_eq!(seg.nearest_segment(data.view(i)), back.nearest_segment(data.view(i)));
+        assert_eq!(
+            seg.nearest_segment(data.view(i)),
+            back.nearest_segment(data.view(i))
+        );
         assert_eq!(
             seg.centroid_distances(data.view(i)),
             back.centroid_distances(data.view(i))

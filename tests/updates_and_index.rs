@@ -15,8 +15,16 @@ fn trained_updatable(seed: u64) -> (UpdatableGl, DatasetSpec) {
     let w = SearchWorkload::build(&data, &spec, seed);
     let mut cfg = GlConfig::for_variant(GlVariant::GlCnn);
     cfg.n_segments = 5;
-    cfg.local_train = TrainConfig { epochs: 6, batch_size: 64, ..Default::default() };
-    cfg.global_train = TrainConfig { epochs: 8, batch_size: 64, ..Default::default() };
+    cfg.local_train = TrainConfig {
+        epochs: 6,
+        batch_size: 64,
+        ..Default::default()
+    };
+    cfg.global_train = TrainConfig {
+        epochs: 8,
+        batch_size: 64,
+        ..Default::default()
+    };
     let training = TrainingSet::new(&w.queries, &w.train);
     let gl = GlEstimator::train(&data, spec.metric, &training, &w.table, &cfg);
     let all: Vec<usize> = (0..w.queries.len()).collect();
@@ -47,7 +55,9 @@ fn patched_labels_match_full_recount() {
         // re-derive the query vector from it.
         let recount = (0..grown.len())
             .filter(|&p| {
-                spec.metric.distance(upd_query(&upd, s.query), grown.view(p)) <= s.tau
+                spec.metric
+                    .distance(upd_query(&upd, s.query), grown.view(p))
+                    <= s.tau
             })
             .count() as f32;
         assert_eq!(s.card, recount, "label drifted for tau={}", s.tau);
@@ -86,7 +96,11 @@ fn deletions_patch_labels_exactly() {
     let before_total = upd.dataset_len();
     let affected = upd.delete(&victims, false);
     assert!(!affected.is_empty());
-    assert_eq!(upd.dataset_len(), before_total, "storage keeps tombstoned rows");
+    assert_eq!(
+        upd.dataset_len(),
+        before_total,
+        "storage keeps tombstoned rows"
+    );
     assert_eq!(upd.live_len(), before_total - victims.len());
     for &v in &victims {
         assert!(upd.is_deleted(v));
@@ -100,10 +114,16 @@ fn deletions_patch_labels_exactly() {
         let recount = (0..grown.len())
             .filter(|&p| !upd.is_deleted(p))
             .filter(|&p| {
-                spec.metric.distance(upd.queries().view(s.query), grown.view(p)) <= s.tau
+                spec.metric
+                    .distance(upd.queries().view(s.query), grown.view(p))
+                    <= s.tau
             })
             .count() as f32;
-        assert_eq!(s.card, recount, "label drifted after delete at tau={}", s.tau);
+        assert_eq!(
+            s.card, recount,
+            "label drifted after delete at tau={}",
+            s.tau
+        );
     }
 }
 
