@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
 # Repository CI gate: formatting, lints, and the full test suite.
 # Usage: ./ci.sh  (add CARGO_FLAGS=--offline for air-gapped machines)
+#
+# Tests run in two tiers:
+#   1. the default suite — fast and deterministic, the per-commit gate;
+#   2. the `--ignored` lane — heavyweight configurations (multi-variant /
+#      multi-dataset trainings) that pin broader behavior but cost minutes.
 set -eu
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
 cargo test --workspace ${CARGO_FLAGS:-} -q
+cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

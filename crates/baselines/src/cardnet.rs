@@ -126,13 +126,31 @@ impl CardNet {
             ..HybridLoss::default()
         };
         let mut opt = Adam::new(cfg.train.learning_rate);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xCA2E);
         let mut stopper = EarlyStopper::new(cfg.train.patience, 0.02);
         let mut qbuf: Vec<f32> = Vec::with_capacity(dim);
         let mut epoch_loss = f32::INFINITY;
         let mut epochs_run = 0;
-        for _ in 0..cfg.train.epochs {
+        // Epoch-level divergence guard: the VAE's exponentials make it the
+        // most explosion-prone model here, so snapshot weights + optimizer
+        // every `checkpoint_every` epochs and roll back (with the LR
+        // halved) when an epoch's loss goes non-finite.
+        let mut recoveries = 0usize;
+        let mut diverged = false;
+        let mut lr_cut = 1.0f32;
+        let ckpt_every = cfg.train.checkpoint_every.max(1);
+        let mut ckpt = (
+            self.encoder.snapshot_params(),
+            self.decoder.snapshot_params(),
+            opt.clone(),
+            0usize,
+        );
+        let mut epoch = 0usize;
+        while epoch < cfg.train.epochs {
             epochs_run += 1;
+            // Per-epoch seeding keeps rollback replays deterministic.
+            let mut rng = StdRng::seed_from_u64(
+                (seed ^ 0xCA2E) ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             let mut total = 0.0f64;
             let mut batches = 0usize;
             for idx in BatchIter::new(&mut rng, n, cfg.train.batch_size) {
@@ -213,14 +231,42 @@ impl CardNet {
                 opt.step(&mut params);
             }
             epoch_loss = (total / batches.max(1) as f64) as f32;
+            if !epoch_loss.is_finite() {
+                recoveries += 1;
+                self.encoder.restore_params(&ckpt.0);
+                self.decoder.restore_params(&ckpt.1);
+                self.encoder.zero_grads();
+                self.decoder.zero_grads();
+                opt = ckpt.2.clone();
+                if recoveries > cfg.train.max_recoveries {
+                    diverged = true;
+                    break;
+                }
+                lr_cut *= 0.5;
+                opt.set_learning_rate(opt.learning_rate() * lr_cut);
+                epoch = ckpt.3;
+                continue;
+            }
             opt.set_learning_rate(opt.learning_rate() * cfg.train.lr_decay);
+            epoch += 1;
             if stopper.should_stop(epoch_loss) {
                 break;
+            }
+            if epoch < cfg.train.epochs && epoch % ckpt_every == 0 {
+                ckpt = (
+                    self.encoder.snapshot_params(),
+                    self.decoder.snapshot_params(),
+                    opt.clone(),
+                    epoch,
+                );
+                lr_cut = 1.0;
             }
         }
         TrainReport {
             epochs_run,
             final_loss: epoch_loss,
+            recoveries,
+            diverged,
         }
     }
 

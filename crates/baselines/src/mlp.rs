@@ -253,8 +253,8 @@ mod tests {
 
     fn tiny_workload() -> (VectorData, SearchWorkload, DatasetSpec) {
         let spec = DatasetSpec {
-            n_data: 800,
-            n_train_queries: 60,
+            n_data: 600,
+            n_train_queries: 50,
             n_test_queries: 20,
             ..PaperDataset::ImageNet.spec()
         };
@@ -269,7 +269,7 @@ mod tests {
         let cfg = MlpConfig {
             k_samples: 32,
             train: TrainConfig {
-                epochs: 30,
+                epochs: 18,
                 ..Default::default()
             },
             ..Default::default()

@@ -1,0 +1,72 @@
+//! Criterion bench for the parallel training pipeline: wall-clock of
+//! GL-MLP training (segment-parallel local models + data-parallel
+//! minibatch sharding) at 1 vs 8 threads on a fig11-style multi-segment
+//! configuration.
+//!
+//! Trained weights are bit-identical for every thread count (see the
+//! determinism tests in `tests/training_pipeline.rs`), so this bench
+//! measures pure throughput. On a single-core container the two points
+//! coincide; on an N-core machine the 8-thread point should show the
+//! segment fan's speedup.
+
+use cardest_baselines::traits::TrainingSet;
+use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
+use cardest_data::paper::{DatasetSpec, PaperDataset};
+use cardest_data::workload::SearchWorkload;
+use cardest_nn::trainer::TrainConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn gl_cfg(threads: usize) -> GlConfig {
+    GlConfig {
+        variant: GlVariant::GlMlp,
+        n_segments: 12,
+        local_train: TrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            threads,
+            ..Default::default()
+        },
+        global_train: TrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            threads,
+            ..Default::default()
+        },
+        max_local_samples: 2000,
+        ..GlConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec {
+        n_data: 2000,
+        n_train_queries: 200,
+        n_test_queries: 20,
+        ..PaperDataset::ImageNet.spec()
+    };
+    let data = spec.generate(42);
+    let w = SearchWorkload::build(&data, &spec, 42);
+    let training = TrainingSet::new(&w.queries, &w.train);
+
+    let mut group = c.benchmark_group("train_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        group.bench_function(format!("gl_mlp train, {threads} thread(s)"), |b| {
+            let cfg = gl_cfg(threads);
+            b.iter(|| {
+                black_box(GlEstimator::train(
+                    &data,
+                    spec.metric,
+                    &training,
+                    &w.table,
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

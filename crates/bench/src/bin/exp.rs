@@ -23,6 +23,9 @@
 //!   --scale full|smoke         workload scale (default: full)
 //!   --seed <n>                 RNG seed (default: 42)
 //!   --out <dir>                also write markdown tables into <dir>
+//!   --train-threads <n>        training thread count (default: one per
+//!                              core; trained models are identical for
+//!                              any value)
 //! ```
 
 use cardest_bench::context::Scale;
@@ -79,6 +82,15 @@ fn parse_args() -> (String, Options) {
                 let v = args.next().unwrap_or_else(|| usage("--out needs a value"));
                 opts.out = Some(PathBuf::from(v));
             }
+            "--train-threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--train-threads needs a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("train-threads must be an integer"));
+                cardest_nn::parallel::set_train_threads(n);
+            }
             other => usage(&format!("unknown option {other}")),
         }
     }
@@ -88,7 +100,7 @@ fn parse_args() -> (String, Options) {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
     eprintln!(
-        "usage: exp <table3|table4|fig8|table5|table6|fig14|search-suite|fig9|fig10|fig11|fig15|table7|fig12|fig13|join-suite|ablations|all> [--dataset <name>] [--scale full|smoke] [--seed <n>] [--out <dir>]"
+        "usage: exp <table3|table4|fig8|table5|table6|fig14|search-suite|fig9|fig10|fig11|fig15|table7|fig12|fig13|join-suite|ablations|all> [--dataset <name>] [--scale full|smoke] [--seed <n>] [--out <dir>] [--train-threads <n>]"
     );
     std::process::exit(2);
 }

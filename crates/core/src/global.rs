@@ -261,8 +261,8 @@ mod tests {
 
     fn fixture(seed: u64) -> Fixture {
         let spec = DatasetSpec {
-            n_data: 900,
-            n_train_queries: 80,
+            n_data: 600,
+            n_train_queries: 60,
             n_test_queries: 20,
             ..PaperDataset::ImageNet.spec()
         };
@@ -296,7 +296,7 @@ mod tests {
         let cfg = GlobalConfig {
             penalty,
             train: TrainConfig {
-                epochs: 30,
+                epochs: 18,
                 ..Default::default()
             },
             ..GlobalConfig::new(QueryEmbed::Mlp { hidden: 24 })

@@ -30,6 +30,7 @@ use cardest_data::workload::JoinSet;
 use cardest_nn::loss::HybridLoss;
 use cardest_nn::net::BranchNet;
 use cardest_nn::optim::{Adam, Optimizer};
+use cardest_nn::parallel::{fan_exclusive, resolve_threads};
 use cardest_nn::trainer::BatchIter;
 use cardest_nn::Matrix;
 use rand::rngs::StdRng;
@@ -171,6 +172,7 @@ impl JoinEstimator {
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70_17);
         let loss_fn = HybridLoss::default();
+        let threads = resolve_threads(cfg.base.local_train.threads);
         match &mut self.backend {
             JoinBackend::GlobalLocal(gl) => {
                 // One optimizer per local model keeps Adam state aligned
@@ -182,7 +184,7 @@ impl JoinEstimator {
                 for _ in 0..cfg.finetune_epochs {
                     for idx in BatchIter::new(&mut rng, join_train.len(), 1) {
                         let set = &join_train[idx[0]];
-                        finetune_gl_step(gl, queries, set, &loss_fn, &mut opts);
+                        finetune_gl_step(gl, queries, set, &loss_fn, &mut opts, threads);
                     }
                 }
             }
@@ -416,20 +418,33 @@ fn gl_join_forward(
     queries: &VectorData,
     member_ids: &[usize],
     tau: f32,
+    threads: usize,
 ) -> (f32, Vec<SegmentForward>) {
     let tau_scale = gl.tau_scale();
     let (xq, aux, mask) = join_features(gl.segmentation(), gl.global(), queries, member_ids, tau);
     let (locals, _, segmentation) = gl.parts_mut();
 
+    // Mᵀ rows per segment; segments with no routed members drop out before
+    // the fan so workers never see empty jobs. The routed count doubles as
+    // the scheduling weight (forward cost is linear in it).
+    let mut jobs = Vec::new();
+    for (seg, local) in locals.iter_mut().enumerate() {
+        let routed: Vec<usize> = (0..member_ids.len()).filter(|&r| mask[r][seg]).collect();
+        if !routed.is_empty() {
+            let weight = routed.len();
+            jobs.push((seg, (local, routed), weight));
+        }
+    }
+    let results = fan_exclusive(jobs, threads, |_seg, (local, routed): (_, Vec<usize>)| {
+        let o = pooled_head_forward(local, &xq, &aux, &routed, tau, tau_scale);
+        (o, routed)
+    });
+
+    // Reduce in ascending segment order so the f32 total is bit-identical
+    // for every thread count (and to the original sequential loop).
     let mut total = 0.0f32;
     let mut per_segment = Vec::new();
-    for (seg, local) in locals.iter_mut().enumerate() {
-        // Mᵀ row: members routed to this segment.
-        let routed: Vec<usize> = (0..member_ids.len()).filter(|&r| mask[r][seg]).collect();
-        if routed.is_empty() {
-            continue;
-        }
-        let o = pooled_head_forward(local, &xq, &aux, &routed, tau, tau_scale);
+    for (seg, (o, routed)) in results {
         // A segment cannot contribute more than |D[seg]| pairs per routed
         // member; the cap guards against log-space extrapolation blowups
         // (same rationale as the search path).
@@ -491,8 +506,9 @@ fn finetune_gl_step(
     set: &JoinSet,
     loss_fn: &HybridLoss,
     opts: &mut [Adam],
+    threads: usize,
 ) {
-    let (total, per_segment) = gl_join_forward(gl, queries, &set.query_ids, set.tau);
+    let (total, per_segment) = gl_join_forward(gl, queries, &set.query_ids, set.tau, threads);
     if per_segment.is_empty() {
         return;
     }
@@ -502,18 +518,33 @@ fn finetune_gl_step(
     // d total / d o_i = exp(o_i) while the cap is inactive (the capped
     // branch has zero derivative); each local's forward caches are still
     // those of gl_join_forward, so its backward sees matching activations.
+    //
+    // Each touched segment owns its net and optimizer, so backward + Adam
+    // step fan out with no cross-segment state; slot-take turns the two
+    // slices into per-job exclusive borrows.
     let locals = gl.locals_mut();
+    let mut slots: Vec<Option<&mut BranchNet>> = locals.iter_mut().map(Some).collect();
+    let mut opt_slots: Vec<Option<&mut Adam>> = opts.iter_mut().map(Some).collect();
+    let mut jobs = Vec::new();
     for &(seg, ref routed, o, contribution) in &per_segment {
         let uncapped = o.clamp(-20.0, 20.0).exp();
         if contribution < uncapped {
             continue; // cap active: no gradient flows
         }
         let g_o = g_total * uncapped;
-        let local = &mut locals[seg];
-        pooled_head_backward(local, routed.len(), g_o);
-        opts[seg].step(&mut local.params_mut());
-        local.apply_constraints();
+        let local = slots[seg].take().expect("segment routed at most once");
+        let opt = opt_slots[seg].take().expect("segment routed at most once");
+        jobs.push((seg, (local, opt, routed.len(), g_o), routed.len()));
     }
+    fan_exclusive(
+        jobs,
+        threads,
+        |_seg, (local, opt, routed_len, g_o): (_, _, _, f32)| {
+            pooled_head_backward(local, routed_len, g_o);
+            opt.step(&mut local.params_mut());
+            local.apply_constraints();
+        },
+    );
 }
 
 /// Forward pass of the CNNJoin model: sum-pool query and sample-distance
@@ -583,14 +614,14 @@ mod tests {
 
     fn tiny(seed: u64) -> (VectorData, SearchWorkload, JoinWorkload, DatasetSpec) {
         let spec = DatasetSpec {
-            n_data: 1000,
-            n_train_queries: 80,
+            n_data: 700,
+            n_train_queries: 60,
             n_test_queries: 20,
             ..PaperDataset::ImageNet.spec()
         };
         let data = spec.generate(seed);
         let w = SearchWorkload::build(&data, &spec, seed);
-        let j = JoinWorkload::build(&w, 40, 6, seed);
+        let j = JoinWorkload::build(&w, 24, 6, seed);
         (data, w, j, spec)
     }
 
@@ -598,19 +629,19 @@ mod tests {
         let mut cfg = JoinConfig::for_variant(variant);
         cfg.base.n_segments = 6;
         cfg.base.local_train = TrainConfig {
-            epochs: 10,
+            epochs: 6,
             batch_size: 64,
             ..Default::default()
         };
         cfg.base.global_train = TrainConfig {
-            epochs: 12,
+            epochs: 8,
             batch_size: 64,
             ..Default::default()
         };
         cfg.base.tuning = crate::tuning::TuningConfig::fast();
         cfg.base.tuning_segments = 1;
         cfg.qes.train = TrainConfig {
-            epochs: 10,
+            epochs: 8,
             ..Default::default()
         };
         cfg
@@ -646,6 +677,23 @@ mod tests {
         // Join estimates should beat trivially answering 0.
         let zero: Vec<(f32, f32)> = j.test_buckets[0].iter().map(|s| (0.0, s.card)).collect();
         assert!(err < ErrorSummary::from_q_errors(&zero).mean);
+
+        // Sum pooling folds the set size into the aggregated embedding
+        // (§4: "it can easily generalize both the size and distribution of
+        // the join query set"), so repeating the members must change the
+        // pooled estimate — unlike mean pooling, which would be invariant.
+        let ids: Vec<usize> = (60..70).collect(); // test-pool queries
+        let tau = j.test_buckets[0][0].tau;
+        let single = est.estimate_join_batched(&w.queries, &ids, tau);
+        let doubled: Vec<usize> = ids.iter().chain(&ids).copied().collect();
+        let double = est.estimate_join_batched(&w.queries, &doubled, tau);
+        assert!(
+            (double - single).abs() > 1e-6,
+            "sum-pooled estimate ignored set size: {single} == {double}"
+        );
+        // And the estimate is deterministic for a fixed set.
+        let again = est.estimate_join_batched(&w.queries, &ids, tau);
+        assert_eq!(single, again);
     }
 
     #[test]
@@ -664,35 +712,5 @@ mod tests {
         let e = est.estimate_join_batched(&w.queries, &set.query_ids, set.tau);
         assert!(e.is_finite() && e >= 0.0);
         assert_eq!(est.name(), "CNNJoin");
-    }
-
-    #[test]
-    fn batched_estimate_is_sensitive_to_set_size() {
-        // Sum pooling folds the set size into the aggregated embedding
-        // (§4: "it can easily generalize both the size and distribution of
-        // the join query set"), so repeating the members must change the
-        // pooled estimate — unlike mean pooling, which would be invariant.
-        let (data, w, j, spec) = tiny(123);
-        let training = TrainingSet::new(&w.queries, &w.train);
-        let est = JoinEstimator::train(
-            &data,
-            spec.metric,
-            &training,
-            &w.table,
-            &j.train,
-            &fast_join_cfg(JoinVariant::GlJoin),
-        );
-        let ids: Vec<usize> = (80..90).collect(); // test-pool queries
-        let tau = j.test_buckets[0][0].tau;
-        let single = est.estimate_join_batched(&w.queries, &ids, tau);
-        let doubled: Vec<usize> = ids.iter().chain(&ids).copied().collect();
-        let double = est.estimate_join_batched(&w.queries, &doubled, tau);
-        assert!(
-            (double - single).abs() > 1e-6,
-            "sum-pooled estimate ignored set size: {single} == {double}"
-        );
-        // And the estimate is deterministic for a fixed set.
-        let again = est.estimate_join_batched(&w.queries, &ids, tau);
-        assert_eq!(single, again);
     }
 }

@@ -16,6 +16,7 @@ use cardest_data::metric::Metric;
 use cardest_data::vector::{VectorData, VectorView};
 use cardest_data::workload::SearchSample;
 use cardest_nn::metrics::{q_error, ErrorSummary};
+use cardest_nn::parallel::{fan_exclusive, train_threads};
 use cardest_nn::trainer::{train_branch_regression, train_global_classifier, TrainConfig};
 use cardest_nn::Matrix;
 use serde::{Deserialize, Serialize};
@@ -224,7 +225,9 @@ impl UpdatableGl {
         }
     }
 
-    /// Short fine-tuning of the local models owning the affected segments.
+    /// Short fine-tuning of the local models owning the affected segments,
+    /// fanned across scoped threads (each affected segment's model and
+    /// sample subset are independent given the patched labels).
     fn finetune_locals(&mut self, affected: &[usize]) {
         let dim = self.queries.dim();
         let tau_scale = self.gl.tau_scale();
@@ -232,6 +235,9 @@ impl UpdatableGl {
         let radii: Vec<f32> = (0..n_segments)
             .map(|i| self.gl.segmentation().radius(i))
             .collect();
+        // Sample selection happens before the fan so job weights (sample
+        // counts) are known and empty segments drop out.
+        let mut seg_chosen: Vec<(usize, Vec<usize>)> = Vec::new();
         for &seg in affected {
             // Samples with mass in this segment plus a slice of zeros.
             let mut chosen: Vec<usize> = (0..self.train.len())
@@ -242,44 +248,72 @@ impl UpdatableGl {
                 .take(chosen.len().max(16))
                 .collect();
             chosen.extend(zeros);
-            if chosen.is_empty() {
-                continue;
+            if !chosen.is_empty() {
+                seg_chosen.push((seg, chosen));
             }
-            let train = &self.train;
-            let seg_cards = &self.seg_cards;
-            let xq_cache = &self.xq_cache;
-            let xc_cache = &self.xc_cache;
-            let mut build = |idx: &[usize]| {
-                let b = idx.len();
-                let mut xq = Matrix::zeros(b, dim);
-                let mut xt = Matrix::zeros(b, TAU_DIM);
-                let mut xc = Matrix::zeros(b, 2 * n_segments);
-                let mut cards = Vec::with_capacity(b);
-                for (r, &ci) in idx.iter().enumerate() {
-                    let j = chosen[ci];
-                    let s = &train[j];
-                    xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
-                    xt.row_mut(r)
-                        .copy_from_slice(&tau_features(s.tau, tau_scale));
-                    xc.row_mut(r).copy_from_slice(&crate::gl::aux_features(
-                        &xc_cache[s.query],
-                        &radii,
-                        s.tau,
-                    ));
-                    cards.push(seg_cards[j][seg]);
-                }
-                (vec![xq, xt, xc], cards)
-            };
-            let tcfg = TrainConfig {
-                epochs: self.cfg.local_epochs,
-                batch_size: self.cfg.batch_size,
-                learning_rate: self.cfg.learning_rate,
-                seed: seg as u64,
-                ..Default::default()
-            };
-            let n = chosen.len();
-            train_branch_regression(&mut self.gl.locals_mut()[seg], n, &mut build, &tcfg);
         }
+        let train = &self.train;
+        let seg_cards = &self.seg_cards;
+        let xq_cache = &self.xq_cache;
+        let xc_cache = &self.xc_cache;
+        let radii = &radii;
+        let (local_epochs, batch_size, learning_rate) = (
+            self.cfg.local_epochs,
+            self.cfg.batch_size,
+            self.cfg.learning_rate,
+        );
+        // `affected` is a de-duplicated segment list (BTreeSet upstream),
+        // so slot-take hands each job a distinct local model.
+        let mut slots: Vec<Option<&mut cardest_nn::net::BranchNet>> =
+            self.gl.locals_mut().iter_mut().map(Some).collect();
+        let jobs: Vec<_> = seg_chosen
+            .into_iter()
+            .map(|(seg, chosen)| {
+                let local = slots[seg].take().expect("affected segments are unique");
+                let weight = chosen.len();
+                (seg, (local, chosen), weight)
+            })
+            .collect();
+        fan_exclusive(
+            jobs,
+            train_threads(),
+            |seg, (local, chosen): (_, Vec<usize>)| {
+                let mut build = |idx: &[usize]| {
+                    let b = idx.len();
+                    let mut xq = Matrix::zeros(b, dim);
+                    let mut xt = Matrix::zeros(b, TAU_DIM);
+                    let mut xc = Matrix::zeros(b, 2 * n_segments);
+                    let mut cards = Vec::with_capacity(b);
+                    for (r, &ci) in idx.iter().enumerate() {
+                        let j = chosen[ci];
+                        let s = &train[j];
+                        xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
+                        xt.row_mut(r)
+                            .copy_from_slice(&tau_features(s.tau, tau_scale));
+                        xc.row_mut(r).copy_from_slice(&crate::gl::aux_features(
+                            &xc_cache[s.query],
+                            radii,
+                            s.tau,
+                        ));
+                        cards.push(seg_cards[j][seg]);
+                    }
+                    (vec![xq, xt, xc], cards)
+                };
+                let tcfg = TrainConfig {
+                    epochs: local_epochs,
+                    batch_size,
+                    learning_rate,
+                    seed: seg as u64,
+                    // The outer fan already owns the cores; sharded
+                    // training is thread-count independent, so forcing the
+                    // inner level sequential changes nothing but contention.
+                    threads: 1,
+                    ..Default::default()
+                };
+                let n = chosen.len();
+                train_branch_regression(local, n, &mut build, &tcfg);
+            },
+        );
     }
 
     /// Short fine-tuning of the global model on the patched labels.
@@ -355,8 +389,8 @@ mod tests {
 
     fn setup(seed: u64) -> (UpdatableGl, DatasetSpec) {
         let spec = DatasetSpec {
-            n_data: 900,
-            n_train_queries: 60,
+            n_data: 500,
+            n_train_queries: 40,
             n_test_queries: 15,
             ..PaperDataset::ImageNet.spec()
         };
@@ -366,12 +400,12 @@ mod tests {
             variant: GlVariant::GlCnn,
             n_segments: 6,
             local_train: TrainConfig {
-                epochs: 8,
+                epochs: 5,
                 batch_size: 64,
                 ..Default::default()
             },
             global_train: TrainConfig {
-                epochs: 10,
+                epochs: 6,
                 batch_size: 64,
                 ..Default::default()
             },
@@ -427,8 +461,8 @@ mod tests {
         let (mut upd, _) = setup(132);
         let before = upd.mean_test_q_error();
         let mut rng_idx = 0usize;
-        for _ in 0..5 {
-            let ids: Vec<usize> = (0..5).map(|k| (rng_idx + k * 37) % 900).collect();
+        for _ in 0..3 {
+            let ids: Vec<usize> = (0..5).map(|k| (rng_idx + k * 37) % 500).collect();
             rng_idx += 11;
             let pts = upd.data.gather(&ids);
             upd.insert(&pts, true);

@@ -818,6 +818,18 @@ impl Layer {
         }
     }
 
+    /// Read-only parameter views in the same order as
+    /// [`params_mut`](Self::params_mut) (used for snapshots and replica
+    /// synchronization in the data-parallel trainer).
+    pub fn param_values(&self) -> Vec<&[f32]> {
+        match self {
+            Layer::Dense(l) => vec![l.w.as_slice(), &l.b],
+            Layer::Conv1d(l) => vec![&l.w, &l.b],
+            Layer::ShiftSigmoid(l) => vec![&l.t],
+            Layer::Dropout(_) => Vec::new(),
+        }
+    }
+
     /// Number of trainable scalars.
     pub fn param_count(&self) -> usize {
         match self {
@@ -901,6 +913,175 @@ mod tests {
             cols,
             (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
         )
+    }
+
+    /// Probe loss L = 0.5·Σ y² accumulated in f64, so finite-difference
+    /// noise comes only from the f32 forward pass (~1e-7 per output) and a
+    /// 1e-3 tolerance has real margin.
+    fn tight_loss(layer: &mut Layer, x: &Matrix) -> f64 {
+        let y = layer.forward(x);
+        0.5 * y
+            .as_slice()
+            .iter()
+            .map(|&v| v as f64 * v as f64)
+            .sum::<f64>()
+    }
+
+    /// Finite-difference gradient check at tolerance 1e-3 over every
+    /// parameter and every input entry. Callers must keep the layer away
+    /// from non-smooth points (ReLU kinks, max-pool ties) by more than `h`
+    /// worth of perturbation — see the margin assertions in the tests.
+    fn grad_check_tight(layer: &mut Layer, x: &Matrix) {
+        const TOL: f64 = 1e-3;
+        const H: f64 = 5e-3;
+        let y = layer.forward(x);
+        let gx = layer.backward(&y);
+        let analytic: Vec<Vec<f32>> = layer
+            .params_mut()
+            .iter()
+            .map(|p| p.grads.to_vec())
+            .collect();
+        for (pi, grads) in analytic.iter().enumerate() {
+            for (wi, &an) in grads.iter().enumerate() {
+                let orig = layer.params_mut()[pi].values[wi];
+                layer.params_mut()[pi].values[wi] = orig + H as f32;
+                let lp = tight_loss(layer, x);
+                layer.params_mut()[pi].values[wi] = orig - H as f32;
+                let lm = tight_loss(layer, x);
+                layer.params_mut()[pi].values[wi] = orig;
+                let fd = (lp - lm) / (2.0 * H);
+                let an = an as f64;
+                let denom = fd.abs().max(an.abs()).max(1.0);
+                assert!(
+                    (fd - an).abs() / denom < TOL,
+                    "param[{pi}][{wi}]: fd={fd} analytic={an}"
+                );
+            }
+        }
+        let mut xm = x.clone();
+        for i in 0..xm.as_slice().len() {
+            let orig = xm.as_slice()[i];
+            xm.as_mut_slice()[i] = orig + H as f32;
+            let lp = tight_loss(layer, &xm);
+            xm.as_mut_slice()[i] = orig - H as f32;
+            let lm = tight_loss(layer, &xm);
+            xm.as_mut_slice()[i] = orig;
+            let fd = (lp - lm) / (2.0 * H);
+            let an = gx.as_slice()[i] as f64;
+            let denom = fd.abs().max(an.abs()).max(1.0);
+            assert!(
+                (fd - an).abs() / denom < TOL,
+                "input[{i}]: fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    /// Smallest absolute pre-activation of a dense layer over a batch —
+    /// the ReLU kink margin the tight checks need.
+    fn dense_preact_margin(seed: u64, x: &Matrix, in_dim: usize, out_dim: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut probe = Dense::new(&mut rng, in_dim, out_dim, Activation::Identity);
+        let z = probe.forward(x);
+        z.as_slice()
+            .iter()
+            .fold(f32::INFINITY, |m, v| m.min(v.abs()))
+    }
+
+    #[test]
+    fn dense_gradients_check_out_at_tight_tolerance_every_activation() {
+        let seed = 31;
+        for act in [
+            Activation::Identity,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Relu,
+        ] {
+            let mut data_rng = StdRng::seed_from_u64(77);
+            let x = batch(&mut data_rng, 3, 5);
+            if act == Activation::Relu {
+                // ±H perturbations move a pre-activation by at most
+                // H·max(|x|, |w|) ≈ 5e-3; a 0.03 margin keeps the central
+                // difference on one side of the kink.
+                let margin = dense_preact_margin(seed, &x, 5, 4);
+                assert!(margin > 0.03, "ReLU kink margin too small: {margin}");
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut l = Layer::Dense(Dense::new(&mut rng, 5, 4, act));
+            grad_check_tight(&mut l, &x);
+        }
+    }
+
+    #[test]
+    fn conv1d_gradients_check_out_at_tight_tolerance_every_pool() {
+        for pool in [PoolOp::Avg, PoolOp::Sum, PoolOp::Max] {
+            let spec = ConvSpec {
+                out_channels: 2,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                pool_size: 2,
+                pool,
+            };
+            let mut data_rng = StdRng::seed_from_u64(88);
+            let x = batch(&mut data_rng, 2, 16);
+            if pool == PoolOp::Max {
+                // Assert every max-pool window has a unique winner with
+                // margin, so ±H perturbations cannot flip the argmax. The
+                // probe re-runs the conv with pool_size 1 (raw activated
+                // conv outputs) from the same weight seed.
+                let probe_spec = ConvSpec {
+                    pool_size: 1,
+                    pool: PoolOp::Avg,
+                    ..spec
+                };
+                let mut probe = Conv1d::new(
+                    &mut StdRng::seed_from_u64(32),
+                    2,
+                    8,
+                    probe_spec,
+                    Activation::Tanh,
+                );
+                let raw = probe.forward(&x);
+                let conv_len = probe.conv_len();
+                let channels = raw.cols() / conv_len;
+                let mut margin = f32::INFINITY;
+                for r in 0..raw.rows() {
+                    for c in 0..channels {
+                        for w0 in (0..conv_len).step_by(spec.pool_size) {
+                            let w1 = (w0 + spec.pool_size).min(conv_len);
+                            let mut vals: Vec<f32> =
+                                (w0..w1).map(|t| raw.get(r, c * conv_len + t)).collect();
+                            vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                            if vals.len() > 1 {
+                                margin = margin.min(vals[0] - vals[1]);
+                            }
+                        }
+                    }
+                }
+                assert!(margin > 0.05, "max-pool tie margin too small: {margin}");
+            }
+            let mut rng = StdRng::seed_from_u64(32);
+            let mut l = Layer::Conv1d(Conv1d::new(&mut rng, 2, 8, spec, Activation::Tanh));
+            grad_check_tight(&mut l, &x);
+        }
+    }
+
+    #[test]
+    fn shift_sigmoid_gradients_check_out_at_tight_tolerance() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut l = Layer::ShiftSigmoid(ShiftSigmoid::new(4));
+        let x = batch(&mut rng, 3, 4);
+        grad_check_tight(&mut l, &x);
+    }
+
+    #[test]
+    fn dropout_gradients_check_out_at_tight_tolerance() {
+        // Inference-mode dropout is the identity; the check still exercises
+        // its backward against finite differences like every other layer.
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut l = Layer::Dropout(Dropout::new(6, 0.5, 9));
+        let x = batch(&mut rng, 3, 6);
+        grad_check_tight(&mut l, &x);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! * [`metrics`] — Q-error / MAPE summaries used throughout the evaluation.
 //!
 //! Determinism: every random choice flows through a caller-provided seeded
-//! RNG, so training runs are bit-reproducible on one thread.
+//! RNG, and the data-parallel trainer reduces per-shard gradients in a
+//! fixed order (see [`parallel`]), so training runs are bit-reproducible
+//! for any thread count.
 //!
 //! ```
 //! use cardest_nn::layers::{Dense, Layer};
@@ -65,6 +67,7 @@ pub mod loss;
 pub mod metrics;
 pub mod net;
 pub mod optim;
+pub mod parallel;
 pub mod scratch;
 pub mod tensor;
 pub mod trainer;
@@ -75,6 +78,9 @@ pub use loss::{hybrid_loss, weighted_bce_loss, HybridLoss};
 pub use metrics::{mape, q_error, ErrorSummary};
 pub use net::{BranchNet, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use parallel::{
+    fan_exclusive, parallel_largest_first, resolve_threads, set_train_threads, train_threads,
+};
 pub use scratch::Scratch;
 pub use tensor::Matrix;
 pub use trainer::{train_branch_regression, train_global_classifier, TrainConfig, TrainReport};

@@ -42,12 +42,26 @@ impl HybridLoss {
     /// `card[i]` the true cardinality. Returns the mean loss and the
     /// gradient w.r.t. each `pred_log[i]` (already averaged over the batch).
     pub fn eval(&self, pred_log: &[f32], card: &[f32]) -> (f32, Vec<f32>) {
+        let (total, grads) = self.eval_partial(pred_log, card, pred_log.len());
+        ((total / pred_log.len().max(1) as f64) as f32, grads)
+    }
+
+    /// Evaluates a *shard* of a batch whose full size is `norm`.
+    ///
+    /// Per-sample gradients are averaged over `norm` (not over the shard),
+    /// so the gradient of each sample is identical to what a whole-batch
+    /// [`eval`](Self::eval) with `norm` samples would produce — the
+    /// data-parallel trainer relies on this to make sharded training
+    /// bit-identical to sequential. Returns the *unnormalized* f64 loss sum
+    /// over the shard (the caller divides by `norm` after accumulating all
+    /// shards in a fixed order) and the per-sample gradients.
+    pub fn eval_partial(&self, pred_log: &[f32], card: &[f32], norm: usize) -> (f64, Vec<f32>) {
         assert_eq!(
             pred_log.len(),
             card.len(),
             "prediction/target length mismatch"
         );
-        let n = pred_log.len().max(1) as f32;
+        let n = norm.max(1) as f32;
         let mut grads = Vec::with_capacity(pred_log.len());
         let mut total = 0.0f64;
         for (&p, &c) in pred_log.iter().zip(card) {
@@ -77,7 +91,7 @@ impl HybridLoss {
             let g = (g_mape + self.lambda * g_q) / n;
             grads.push(g.clamp(-self.grad_clip, self.grad_clip));
         }
-        ((total / n as f64) as f32, grads)
+        (total, grads)
     }
 }
 
@@ -101,9 +115,23 @@ pub fn hybrid_loss(pred_log: &[f32], card: &[f32], lambda: f32) -> (f32, Vec<f32
 ///
 /// Returns the mean loss and the gradient w.r.t. the *probabilities*.
 pub fn weighted_bce_loss(probs: &[f32], labels: &[f32], weights: &[f32]) -> (f32, Vec<f32>) {
+    let (total, grads) = weighted_bce_partial(probs, labels, weights, probs.len());
+    ((total / probs.len().max(1) as f64) as f32, grads)
+}
+
+/// Shard-of-a-batch variant of [`weighted_bce_loss`]: per-element gradients
+/// are averaged over `norm` (the full batch's element count) rather than the
+/// shard length, and the returned loss is the unnormalized f64 sum over the
+/// shard. See [`HybridLoss::eval_partial`] for why.
+pub fn weighted_bce_partial(
+    probs: &[f32],
+    labels: &[f32],
+    weights: &[f32],
+    norm: usize,
+) -> (f64, Vec<f32>) {
     assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
     assert_eq!(probs.len(), weights.len(), "probs/weights length mismatch");
-    let n = probs.len().max(1) as f32;
+    let n = norm.max(1) as f32;
     let mut grads = Vec::with_capacity(probs.len());
     let mut total = 0.0f64;
     const EPS: f32 = 1e-6;
@@ -116,7 +144,7 @@ pub fn weighted_bce_loss(probs: &[f32], labels: &[f32], weights: &[f32]) -> (f32
         let g = (-(r * w_pos / p) + (1.0 - r) / (1.0 - p)) / n;
         grads.push(g.clamp(-1e4, 1e4));
     }
-    ((total / n as f64) as f32, grads)
+    (total, grads)
 }
 
 /// Min-max normalizes one query's per-segment cardinalities into the weights
@@ -222,6 +250,43 @@ mod tests {
                 g[i]
             );
         }
+    }
+
+    #[test]
+    fn partial_eval_shards_reproduce_full_batch_gradients() {
+        // Per-sample gradients must be bit-identical whether the batch is
+        // evaluated whole or in shards normalized by the full batch size —
+        // the data-parallel trainer depends on this.
+        let loss = HybridLoss::default();
+        let preds = [1.0f32, 2.5, 0.3, 4.0, 3.3, 2.2];
+        let cards = [5.0f32, 12.0, 1.0, 60.0, 25.0, 9.0];
+        let (full_loss, full_g) = loss.eval(&preds, &cards);
+        let mut total = 0.0f64;
+        let mut g = Vec::new();
+        for (ps, cs) in preds.chunks(2).zip(cards.chunks(2)) {
+            let (t, gs) = loss.eval_partial(ps, cs, preds.len());
+            total += t;
+            g.extend(gs);
+        }
+        assert_eq!(g, full_g);
+        let sharded_loss = (total / preds.len() as f64) as f32;
+        assert!((sharded_loss - full_loss).abs() <= 1e-6 * full_loss.abs());
+
+        let probs = [0.2f32, 0.8, 0.55, 0.4];
+        let labels = [1.0f32, 0.0, 1.0, 0.0];
+        let weights = [0.5f32, 0.0, 0.9, 0.1];
+        let (_, full_g) = weighted_bce_loss(&probs, &labels, &weights);
+        let mut g = Vec::new();
+        for i in (0..probs.len()).step_by(2) {
+            let (_, gs) = weighted_bce_partial(
+                &probs[i..i + 2],
+                &labels[i..i + 2],
+                &weights[i..i + 2],
+                probs.len(),
+            );
+            g.extend(gs);
+        }
+        assert_eq!(g, full_g);
     }
 
     #[test]

@@ -101,6 +101,37 @@ impl Sequential {
             .collect()
     }
 
+    /// Read-only parameter views in [`params_mut`](Self::params_mut) order.
+    pub fn param_values(&self) -> Vec<&[f32]> {
+        self.layers.iter().flat_map(|l| l.param_values()).collect()
+    }
+
+    /// Copies every parameter tensor into an owned snapshot (used by
+    /// training checkpoints).
+    pub fn snapshot_params(&self) -> Vec<Vec<f32>> {
+        self.param_values()
+            .into_iter()
+            .map(<[f32]>::to_vec)
+            .collect()
+    }
+
+    /// Restores parameters from a [`snapshot_params`](Self::snapshot_params)
+    /// snapshot of the same architecture.
+    pub fn restore_params(&mut self, snapshot: &[Vec<f32>]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), snapshot.len(), "snapshot shape mismatch");
+        for (p, s) in params.iter_mut().zip(snapshot) {
+            p.values.copy_from_slice(s);
+        }
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut().iter_mut() {
+            p.grads.fill(0.0);
+        }
+    }
+
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
@@ -279,6 +310,67 @@ impl BranchNet {
             out.extend(b.params_mut());
         }
         out.extend(self.head.params_mut());
+        out
+    }
+
+    /// Read-only parameter views in [`params_mut`](Self::params_mut) order
+    /// (branches first, then the head).
+    pub fn param_values(&self) -> Vec<&[f32]> {
+        let mut out: Vec<&[f32]> = Vec::new();
+        for b in &self.branches {
+            out.extend(b.param_values());
+        }
+        out.extend(self.head.param_values());
+        out
+    }
+
+    /// Copies every parameter tensor into an owned snapshot (used by
+    /// training checkpoints).
+    pub fn snapshot_params(&self) -> Vec<Vec<f32>> {
+        self.param_values()
+            .into_iter()
+            .map(<[f32]>::to_vec)
+            .collect()
+    }
+
+    /// Restores parameters from a [`snapshot_params`](Self::snapshot_params)
+    /// snapshot of the same architecture. Gradient accumulators are left
+    /// untouched; pair with [`zero_grads`](Self::zero_grads) when rolling
+    /// back mid-step.
+    pub fn restore_params(&mut self, snapshot: &[Vec<f32>]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), snapshot.len(), "snapshot shape mismatch");
+        for (p, s) in params.iter_mut().zip(snapshot) {
+            p.values.copy_from_slice(s);
+        }
+    }
+
+    /// Copies parameter values (not gradients) from an identically shaped
+    /// net — how gradient-shard replicas sync with the master each batch.
+    pub fn copy_params_from(&mut self, other: &Self) {
+        let mut params = self.params_mut();
+        let src = other.param_values();
+        assert_eq!(params.len(), src.len(), "architecture mismatch");
+        for (p, s) in params.iter_mut().zip(src) {
+            p.values.copy_from_slice(s);
+        }
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut().iter_mut() {
+            p.grads.fill(0.0);
+        }
+    }
+
+    /// All parameters flattened into one vector in deterministic
+    /// [`params_mut`](Self::params_mut) order — handy for bit-exact weight
+    /// comparisons in determinism tests.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for v in self.param_values() {
+            out.extend_from_slice(v);
+        }
         out
     }
 

@@ -6,8 +6,8 @@ use cardest_nn::trainer::TrainConfig;
 
 fn trained_updatable(seed: u64) -> (UpdatableGl, DatasetSpec) {
     let spec = DatasetSpec {
-        n_data: 800,
-        n_train_queries: 50,
+        n_data: 450,
+        n_train_queries: 35,
         n_test_queries: 15,
         ..PaperDataset::GloVe300.spec()
     };
@@ -16,12 +16,12 @@ fn trained_updatable(seed: u64) -> (UpdatableGl, DatasetSpec) {
     let mut cfg = GlConfig::for_variant(GlVariant::GlCnn);
     cfg.n_segments = 5;
     cfg.local_train = TrainConfig {
-        epochs: 6,
+        epochs: 5,
         batch_size: 64,
         ..Default::default()
     };
     cfg.global_train = TrainConfig {
-        epochs: 8,
+        epochs: 6,
         batch_size: 64,
         ..Default::default()
     };
@@ -145,7 +145,7 @@ fn mixed_insert_delete_cycles() {
 fn repeated_update_cycles_stay_finite() {
     let (mut upd, _) = trained_updatable(403);
     for i in 0..4 {
-        let ids: Vec<usize> = (0..5).map(|k| (i * 31 + k * 7) % 800).collect();
+        let ids: Vec<usize> = (0..5).map(|k| (i * 31 + k * 7) % 450).collect();
         let pts = upd.data().gather(&ids);
         upd.insert(&pts, true);
         let err = upd.mean_test_q_error();
