@@ -2,13 +2,22 @@
 # Repository CI gate: formatting, lints, and the full test suite.
 # Usage: ./ci.sh  (add CARGO_FLAGS=--offline for air-gapped machines)
 #
-# Tests run in two tiers:
+# Tests run in three tiers:
 #   1. the default suite — fast and deterministic, the per-commit gate;
-#   2. the `--ignored` lane — heavyweight configurations (multi-variant /
+#   2. the fault-injection lane — corrupted artifacts, poisoned weights
+#      and malformed queries must surface as typed errors or recorded
+#      fallbacks, never as panics (run separately so a panic anywhere in
+#      it is unambiguously a robustness regression);
+#   3. the `--ignored` lane — heavyweight configurations (multi-variant /
 #      multi-dataset trainings) that pin broader behavior but cost minutes.
+#
+# Library crates carry `#![warn(clippy::unwrap_used, clippy::expect_used)]`
+# so the clippy step (with -D warnings) rejects new panic paths in
+# non-test library code.
 set -eu
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
 cargo test --workspace ${CARGO_FLAGS:-} -q
+cargo test -p cardest ${CARGO_FLAGS:-} -q --test fault_injection
 cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

@@ -16,8 +16,10 @@
 
 use crate::traits::{CardinalityEstimator, TrainingSet};
 use cardest_data::vector::VectorView;
+use cardest_nn::artifact::ArtifactError;
 use cardest_nn::layers::{Dense, Layer};
 use cardest_nn::loss::HybridLoss;
+use cardest_nn::metrics::decode_log_card;
 use cardest_nn::net::Sequential;
 use cardest_nn::optim::{Adam, Optimizer};
 use cardest_nn::trainer::{BatchIter, EarlyStopper, TrainConfig, TrainReport};
@@ -52,7 +54,14 @@ impl Default for CardNetConfig {
     }
 }
 
+/// Artifact kind tag identifying a serialized [`CardNet`].
+pub const CARDNET_ARTIFACT_KIND: &str = "cardest.cardnet";
+
 /// The trained CardNet-substitute estimator.
+///
+/// Serializable so the artifact machinery (`cardest_nn::artifact`) can
+/// persist the trained model as one checksummed payload.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct CardNet {
     encoder: Sequential,
     decoder: Sequential,
@@ -270,6 +279,21 @@ impl CardNet {
         }
     }
 
+    /// Saves the trained estimator as a versioned, checksummed artifact
+    /// (atomic write; see `cardest_nn::artifact` for the layout).
+    pub fn save_artifact(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+        let json =
+            serde_json::to_string(self).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        cardest_nn::artifact::write_atomic(path, CARDNET_ARTIFACT_KIND, json.as_bytes())
+    }
+
+    /// Loads an artifact written by [`CardNet::save_artifact`], verifying
+    /// magic, format version, kind, and checksum first.
+    pub fn load_artifact(path: &std::path::Path) -> Result<Self, ArtifactError> {
+        let json = cardest_nn::artifact::read_json_payload(path, CARDNET_ARTIFACT_KIND)?;
+        serde_json::from_str(&json).map_err(|e| ArtifactError::Malformed(e.to_string()))
+    }
+
     /// Converts decoder outputs into per-sample `ln card` estimates via the
     /// softplus-increment prefix sum, interpolating inside the bucket that
     /// contains τ. Returns `(pred_log, per-sample (bucket, frac, ĉ))`.
@@ -320,7 +344,7 @@ impl CardNet {
             }
             pred_log
                 .iter()
-                .map(|p| p.exp().min(self.card_cap))
+                .map(|&p| decode_log_card(p, self.card_cap))
                 .collect()
         })
     }
@@ -341,6 +365,16 @@ impl CardinalityEstimator for CardNet {
 
     fn model_bytes(&self) -> usize {
         (self.encoder.param_count() + self.decoder.param_count()) * std::mem::size_of::<f32>()
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.encoder.layers()[0].in_dim())
+    }
+
+    // The bucket grid covers [0, τ_max]; beyond it the prefix sum saturates
+    // at the last bucket, so the trained range ends there.
+    fn tau_bound(&self) -> Option<f32> {
+        Some(self.tau_max)
     }
 }
 

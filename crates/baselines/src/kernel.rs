@@ -75,6 +75,12 @@ impl CardinalityEstimator for KernelEstimator {
     fn model_bytes(&self) -> usize {
         self.sample.heap_bytes()
     }
+
+    // The kernel CDF is defined for any finite τ; only the dimensionality
+    // is constrained.
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.sample.dim())
+    }
 }
 
 /// Standard normal CDF via the Abramowitz–Stegun erf approximation

@@ -1,3 +1,8 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # cardest-baselines
 //!
 //! The competitor estimators of Table 2 (rows 6–9), plus the estimator
@@ -14,9 +19,13 @@
 //! * [`mlp`] — the basic DL model of §3.1 with MLP embeddings for
 //!   `x_q`/`x_τ`/`x_D` (Table 2's "MLP"),
 //! * [`cardnet`] — a substitute for CardNet (SIGMOD 2020 [53]): VAE-style
-//!   query embedding plus a monotone per-threshold-bucket decomposition.
+//!   query embedding plus a monotone per-threshold-bucket decomposition,
+//! * [`guarded`] — the serving wrapper: input validation, `[0, |D|]`
+//!   clamping, optional monotone-in-τ repair, and graceful degradation to
+//!   a cheap fallback with counters.
 
 pub mod cardnet;
+pub mod guarded;
 pub mod histogram;
 pub mod kernel;
 pub mod mlp;
@@ -24,6 +33,7 @@ pub mod sampling;
 pub mod traits;
 
 pub use cardnet::{CardNet, CardNetConfig};
+pub use guarded::{GuardStats, GuardedEstimator};
 pub use histogram::HistogramEstimator;
 pub use kernel::KernelEstimator;
 pub use mlp::{MlpConfig, MlpEstimator};

@@ -15,7 +15,9 @@
 use crate::traits::{CardinalityEstimator, TrainingSet};
 use cardest_data::metric::Metric;
 use cardest_data::vector::{VectorData, VectorView};
+use cardest_nn::artifact::ArtifactError;
 use cardest_nn::layers::{Dense, Layer};
+use cardest_nn::metrics::decode_log_card;
 use cardest_nn::net::{BranchNet, Sequential};
 use cardest_nn::trainer::{train_branch_regression, TrainConfig, TrainReport};
 use cardest_nn::{Activation, Matrix};
@@ -56,15 +58,25 @@ impl Default for MlpConfig {
     }
 }
 
+/// Artifact kind tag identifying a serialized [`MlpEstimator`].
+pub const MLP_ARTIFACT_KIND: &str = "cardest.mlp";
+
 /// The trained basic-MLP estimator. Inference is immutable (`&self`): the
 /// forward pass draws temporaries from a thread-local scratch pool, so one
 /// trained model can be shared across serving threads.
+///
+/// Serializable: the artifact machinery (`cardest_nn::artifact`) persists
+/// the whole estimator — weights, retained samples, metric — as one
+/// checksummed payload.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct MlpEstimator {
     net: BranchNet,
     samples: VectorData,
     metric: Metric,
     /// Dataset size at training time; estimates are capped here.
     n_data: usize,
+    /// Largest threshold seen in training — the serving guard's τ bound.
+    tau_seen: f32,
 }
 
 impl MlpEstimator {
@@ -86,11 +98,18 @@ impl MlpEstimator {
         let samples = data.gather(&ids);
 
         let net = build_net(dim, samples.len(), cfg, &mut rng);
+        let tau_seen = training
+            .samples
+            .iter()
+            .map(|s| s.tau)
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
         let mut est = MlpEstimator {
             net,
             samples,
             metric,
             n_data: data.len(),
+            tau_seen,
         };
 
         // Precompute each training query's distance vector once.
@@ -135,6 +154,21 @@ impl MlpEstimator {
     /// Access to the underlying network (tests, size accounting).
     pub fn net(&self) -> &BranchNet {
         &self.net
+    }
+
+    /// Saves the trained estimator as a versioned, checksummed artifact
+    /// (atomic write; see `cardest_nn::artifact` for the layout).
+    pub fn save_artifact(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+        let json =
+            serde_json::to_string(self).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        cardest_nn::artifact::write_atomic(path, MLP_ARTIFACT_KIND, json.as_bytes())
+    }
+
+    /// Loads an artifact written by [`MlpEstimator::save_artifact`],
+    /// verifying magic, format version, kind, and checksum first.
+    pub fn load_artifact(path: &std::path::Path) -> Result<Self, ArtifactError> {
+        let json = cardest_nn::artifact::read_json_payload(path, MLP_ARTIFACT_KIND)?;
+        serde_json::from_str(&json).map_err(|e| ArtifactError::Malformed(e.to_string()))
     }
 }
 
@@ -224,12 +258,7 @@ impl CardinalityEstimator for MlpEstimator {
             }
             let pred = self.net.infer(&[&xq, &xt, &xd], scratch);
             let out = (0..b)
-                .map(|r| {
-                    pred.get(r, 0)
-                        .clamp(-20.0, 20.0)
-                        .exp()
-                        .min(self.n_data as f32)
-                })
+                .map(|r| decode_log_card(pred.get(r, 0), self.n_data as f32))
                 .collect();
             for m in [xq, xt, xd, pred] {
                 scratch.recycle(m);
@@ -241,6 +270,14 @@ impl CardinalityEstimator for MlpEstimator {
     fn model_bytes(&self) -> usize {
         // Deployed model = parameters + the retained samples x_D needs.
         self.net.param_bytes() + self.samples.heap_bytes()
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.samples.dim())
+    }
+
+    fn tau_bound(&self) -> Option<f32> {
+        Some(self.tau_seen)
     }
 }
 

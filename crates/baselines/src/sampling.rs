@@ -99,6 +99,12 @@ impl CardinalityEstimator for SamplingEstimator {
     fn model_bytes(&self) -> usize {
         self.sample.heap_bytes()
     }
+
+    // Counting on the sample is exact for any finite τ, so only the
+    // dimensionality is constrained.
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.sample.dim())
+    }
 }
 
 #[cfg(test)]

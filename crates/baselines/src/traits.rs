@@ -1,5 +1,6 @@
 //! The common estimator interface.
 
+use cardest_data::validate::{CardestError, QueryGuard};
 use cardest_data::vector::{VectorData, VectorView};
 use cardest_data::workload::SearchSample;
 
@@ -71,6 +72,91 @@ pub trait CardinalityEstimator {
     /// methods this is the retained sample; for learned methods the
     /// parameter tensors.
     fn model_bytes(&self) -> usize;
+
+    /// Query dimensionality this estimator was trained on, or `None` if it
+    /// accepts any (e.g. a query-oblivious histogram).
+    fn expected_dim(&self) -> Option<usize> {
+        None
+    }
+
+    /// Largest threshold seen in training, or `None` if the estimator
+    /// answers exactly for any τ (sampling-style methods).
+    fn tau_bound(&self) -> Option<f32> {
+        None
+    }
+
+    /// The admissible-input contract assembled from
+    /// [`CardinalityEstimator::expected_dim`] and
+    /// [`CardinalityEstimator::tau_bound`].
+    fn guard(&self) -> QueryGuard {
+        QueryGuard {
+            dim: self.expected_dim(),
+            tau_max: self.tau_bound(),
+        }
+    }
+
+    /// Fallible twin of [`CardinalityEstimator::estimate`]: validates the
+    /// input against [`CardinalityEstimator::guard`] *before* any forward
+    /// pass, and checks the output is finite and non-negative after it.
+    ///
+    /// The infallible `estimate` keeps its historical semantics (callers
+    /// that know their inputs are clean pay no validation cost); this is
+    /// the entry point serving layers should use.
+    fn try_estimate(&self, q: VectorView<'_>, tau: f32) -> Result<f32, CardestError> {
+        self.guard().validate(0, q, tau)?;
+        let est = self.estimate(q, tau);
+        if !est.is_finite() || est < 0.0 {
+            return Err(CardestError::NonFiniteEstimate {
+                index: 0,
+                value: est,
+            });
+        }
+        Ok(est)
+    }
+
+    /// Fallible twin of [`CardinalityEstimator::estimate_batch`]. The whole
+    /// batch is validated up front (rejecting before evaluation loses no
+    /// work); per-entry output checks report the first offending position.
+    fn try_estimate_batch(
+        &self,
+        queries: &[(VectorView<'_>, f32)],
+    ) -> Result<Vec<f32>, CardestError> {
+        self.guard().validate_batch(queries)?;
+        let out = self.estimate_batch(queries);
+        for (index, &value) in out.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(CardestError::NonFiniteEstimate { index, value });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Boxed trait objects forward every method (including overrides hidden
+/// behind the vtable), so wrappers like `GuardedEstimator` can hold a
+/// `Box<dyn CardinalityEstimator>` without losing batched paths or guards.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
+        (**self).estimate(q, tau)
+    }
+    fn estimate_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Vec<f32> {
+        (**self).estimate_batch(queries)
+    }
+    fn estimate_join(&self, queries: &VectorData, member_ids: &[usize], tau: f32) -> f32 {
+        (**self).estimate_join(queries, member_ids, tau)
+    }
+    fn model_bytes(&self) -> usize {
+        (**self).model_bytes()
+    }
+    fn expected_dim(&self) -> Option<usize> {
+        (**self).expected_dim()
+    }
+    fn tau_bound(&self) -> Option<f32> {
+        (**self).tau_bound()
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +177,12 @@ mod tests {
         }
         fn model_bytes(&self) -> usize {
             0
+        }
+        fn expected_dim(&self) -> Option<usize> {
+            Some(2)
+        }
+        fn tau_bound(&self) -> Option<f32> {
+            Some(1.0)
         }
     }
 
@@ -118,5 +210,66 @@ mod tests {
         let got = s.estimate_batch(&batch);
         let want: Vec<f32> = batch.iter().map(|&(q, t)| s.estimate(q, t)).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn try_estimate_validates_before_and_after_the_forward_pass() {
+        use cardest_data::validate::CardestError;
+        let s = Stub;
+        let ok = [0.0_f32, 1.0];
+        assert_eq!(s.try_estimate(VectorView::Dense(&ok), 0.5), Ok(50.0));
+        // Wrong dim, NaN component, τ misuse — each maps to its variant.
+        assert!(matches!(
+            s.try_estimate(VectorView::Dense(&[0.0; 3]), 0.5),
+            Err(CardestError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            s.try_estimate(VectorView::Dense(&[f32::NAN, 0.0]), 0.5),
+            Err(CardestError::NonFiniteQuery { .. })
+        ));
+        assert!(matches!(
+            s.try_estimate(VectorView::Dense(&ok), -1.0),
+            Err(CardestError::NegativeTau { .. })
+        ));
+        assert!(matches!(
+            s.try_estimate(VectorView::Dense(&ok), 2.0),
+            Err(CardestError::TauOutOfRange { .. })
+        ));
+        // A NaN τ inside range would poison the stub's output, but the
+        // guard rejects it first.
+        assert!(matches!(
+            s.try_estimate(VectorView::Dense(&ok), f32::NAN),
+            Err(CardestError::NonFiniteTau { .. })
+        ));
+    }
+
+    #[test]
+    fn try_estimate_batch_reports_the_offending_entry() {
+        use cardest_data::validate::CardestError;
+        let s = Stub;
+        let ok = [0.0_f32, 1.0];
+        let batch = [(VectorView::Dense(&ok), 0.1), (VectorView::Dense(&ok), 5.0)];
+        let err = s.try_estimate_batch(&batch).unwrap_err();
+        assert!(matches!(err, CardestError::TauOutOfRange { index: 1, .. }));
+        let clean = [(VectorView::Dense(&ok), 0.1), (VectorView::Dense(&ok), 0.2)];
+        assert_eq!(s.try_estimate_batch(&clean), Ok(vec![10.0, 20.0]));
+    }
+
+    #[test]
+    fn boxed_estimators_forward_guards_through_the_vtable() {
+        let boxed: Box<dyn CardinalityEstimator> = Box::new(Stub);
+        assert_eq!(boxed.expected_dim(), Some(2));
+        assert_eq!(boxed.tau_bound(), Some(1.0));
+        assert!(boxed
+            .try_estimate(VectorView::Dense(&[0.0; 3]), 0.5)
+            .is_err());
+        assert_eq!(
+            boxed.try_estimate(VectorView::Dense(&[0.0; 2]), 0.5),
+            Ok(50.0)
+        );
     }
 }

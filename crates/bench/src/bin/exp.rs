@@ -26,6 +26,10 @@
 //!   --train-threads <n>        training thread count (default: one per
 //!                              core; trained models are identical for
 //!                              any value)
+//!   --guarded                  serve the search suite through the
+//!                              GuardedEstimator wrapper (1%-sampling
+//!                              fallback) and report validation-rejection
+//!                              and fallback rates alongside Q-error
 //! ```
 
 use cardest_bench::context::Scale;
@@ -42,6 +46,7 @@ struct Options {
     scale: Scale,
     seed: u64,
     out: Option<PathBuf>,
+    guarded: bool,
 }
 
 fn parse_args() -> (String, Options) {
@@ -54,6 +59,7 @@ fn parse_args() -> (String, Options) {
         scale: Scale::Full,
         seed: 42,
         out: None,
+        guarded: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -91,6 +97,9 @@ fn parse_args() -> (String, Options) {
                     .unwrap_or_else(|_| usage("train-threads must be an integer"));
                 cardest_nn::parallel::set_train_threads(n);
             }
+            "--guarded" => {
+                opts.guarded = true;
+            }
             other => usage(&format!("unknown option {other}")),
         }
     }
@@ -100,7 +109,7 @@ fn parse_args() -> (String, Options) {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
     eprintln!(
-        "usage: exp <table3|table4|fig8|table5|table6|fig14|search-suite|fig9|fig10|fig11|fig15|table7|fig12|fig13|join-suite|ablations|all> [--dataset <name>] [--scale full|smoke] [--seed <n>] [--out <dir>] [--train-threads <n>]"
+        "usage: exp <table3|table4|fig8|table5|table6|fig14|search-suite|fig9|fig10|fig11|fig15|table7|fig12|fig13|join-suite|ablations|all> [--dataset <name>] [--scale full|smoke] [--seed <n>] [--out <dir>] [--train-threads <n>] [--guarded]"
     );
     std::process::exit(2);
 }
@@ -135,8 +144,8 @@ fn emit(tables: &[Table], opts: &Options) {
 }
 
 fn run_search(which: &str, opts: &Options) -> Vec<Table> {
-    let all = search_suite::run_search_suite(&opts.datasets, opts.scale, opts.seed);
-    match which {
+    let all = search_suite::run_search_suite(&opts.datasets, opts.scale, opts.seed, opts.guarded);
+    let mut out = match which {
         "table4" => search_suite::table4(&all),
         "fig8" => vec![search_suite::fig8(&all)],
         "table5" => vec![search_suite::table5(&all)],
@@ -150,7 +159,11 @@ fn run_search(which: &str, opts: &Options) -> Vec<Table> {
             out.push(search_suite::fig14(&all));
             out
         }
-    }
+    };
+    // Rejection/fallback rates travel with whichever artifact was asked
+    // for — they only exist under --guarded.
+    out.extend(search_suite::guard_table(&all));
+    out
 }
 
 fn run_join(which: &str, opts: &Options) -> Vec<Table> {

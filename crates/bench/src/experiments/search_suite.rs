@@ -6,10 +6,27 @@
 use crate::context::{DatasetContext, Scale};
 use crate::methods::{evaluate_search, train_method, Method};
 use crate::report::{fmt3, fmt_duration, Table};
+use cardest_baselines::guarded::{GuardStats, GuardedEstimator};
+use cardest_baselines::traits::CardinalityEstimator;
+use cardest_baselines::SamplingEstimator;
 use cardest_data::paper::PaperDataset;
+use cardest_data::vector::VectorView;
 use cardest_index::PivotIndex;
 use cardest_nn::metrics::{mape, q_error, ErrorSummary};
 use std::time::{Duration, Instant};
+
+/// Guarded-serving measurements for one method (`--guarded` runs only):
+/// the wrapper's counters after the test workload plus a malformed-probe
+/// battery, reported alongside Q-error so robustness regressions are as
+/// visible as accuracy ones.
+pub struct GuardReport {
+    /// Counters over the test workload AND the probe battery.
+    pub stats: GuardStats,
+    /// Malformed probes sent (wrong dim, NaN/Inf query, τ < 0, NaN τ).
+    pub probes_sent: usize,
+    /// Probes rejected with a typed error (the rest, if any, were served).
+    pub probes_rejected: usize,
+}
 
 /// Everything measured for one method on one dataset.
 pub struct MethodResult {
@@ -19,6 +36,8 @@ pub struct MethodResult {
     pub model_bytes: usize,
     pub train_time: Duration,
     pub avg_latency: Duration,
+    /// Present when the suite ran with the guarded serving layer.
+    pub guard: Option<GuardReport>,
 }
 
 /// All results for one dataset.
@@ -47,8 +66,10 @@ pub fn table4_methods(gl_plus_bytes: usize) -> Vec<Method> {
     ]
 }
 
-/// Runs the full search suite on one dataset.
-pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> DatasetResults {
+/// Runs the full search suite on one dataset. With `guarded`, every
+/// trained method is wrapped in a [`GuardedEstimator`] (1%-sampling
+/// fallback) and additionally probed with malformed inputs.
+pub fn run_dataset(ctx: &DatasetContext, scale: Scale, guarded: bool) -> DatasetResults {
     // GL+ first: Sampling (equal) is sized to its model bytes (Exp-2).
     let mut results: Vec<MethodResult> = Vec::new();
     let mut gl_plus_bytes = 64 * 1024;
@@ -62,18 +83,41 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> DatasetResults {
         if method == Method::GlPlus {
             gl_plus_bytes = trained.estimator.model_bytes();
         }
-        let start = Instant::now();
-        let pairs = evaluate_search(trained.estimator.as_ref(), ctx);
-        let elapsed = start.elapsed();
+        let model_bytes = trained.estimator.model_bytes();
+        let (pairs, elapsed, guard) = if guarded {
+            let fallback = SamplingEstimator::with_ratio(
+                &ctx.data,
+                ctx.spec.metric,
+                0.01,
+                ctx.seed,
+                "Sampling (1%)",
+            );
+            let wrapper = GuardedEstimator::new(trained.estimator, fallback, ctx.data.len());
+            let start = Instant::now();
+            let pairs = evaluate_search(&wrapper, ctx);
+            let elapsed = start.elapsed();
+            let (probes_sent, probes_rejected) = probe_malformed(&wrapper, ctx);
+            let report = GuardReport {
+                stats: wrapper.stats(),
+                probes_sent,
+                probes_rejected,
+            };
+            (pairs, elapsed, Some(report))
+        } else {
+            let start = Instant::now();
+            let pairs = evaluate_search(trained.estimator.as_ref(), ctx);
+            (pairs, start.elapsed(), None)
+        };
         let q: Vec<f32> = pairs.iter().map(|&(e, t)| q_error(e, t)).collect();
         let m: Vec<f32> = pairs.iter().map(|&(e, t)| mape(e, t)).collect();
         results.push(MethodResult {
             method,
             q_errors: ErrorSummary::from_errors(&q),
             mape_mean: m.iter().sum::<f32>() / m.len().max(1) as f32,
-            model_bytes: trained.estimator.model_bytes(),
+            model_bytes,
             train_time: trained.train_time,
             avg_latency: elapsed / pairs.len().max(1) as u32,
+            guard,
         });
     }
 
@@ -93,16 +137,90 @@ pub fn run_dataset(ctx: &DatasetContext, scale: Scale) -> DatasetResults {
     }
 }
 
+/// Sends a battery of malformed queries through the guarded wrapper:
+/// wrong dimensionality, NaN and Inf components, negative τ, NaN τ.
+/// Returns `(sent, rejected-with-typed-error)` — the wrapper must never
+/// panic, and nothing in the battery should produce a silent garbage
+/// estimate (it either errors or is answerable by the fallback).
+fn probe_malformed<E: CardinalityEstimator, F: CardinalityEstimator>(
+    wrapper: &GuardedEstimator<E, F>,
+    ctx: &DatasetContext,
+) -> (usize, usize) {
+    let dim = ctx.data.dim();
+    let tau = ctx.spec.tau_max * 0.5;
+    let wrong_dim = vec![0.0f32; dim + 1];
+    let mut nan_q = vec![0.0f32; dim];
+    nan_q[dim / 2] = f32::NAN;
+    let mut inf_q = vec![0.0f32; dim];
+    inf_q[0] = f32::INFINITY;
+    let ok_q = vec![0.0f32; dim];
+    let probes: Vec<(VectorView<'_>, f32)> = vec![
+        (VectorView::Dense(&wrong_dim), tau),
+        (VectorView::Dense(&nan_q), tau),
+        (VectorView::Dense(&inf_q), tau),
+        (VectorView::Dense(&ok_q), -1.0),
+        (VectorView::Dense(&ok_q), f32::NAN),
+    ];
+    let rejected = wrapper
+        .serve_batch(&probes)
+        .iter()
+        .filter(|r| r.is_err())
+        .count();
+    (probes.len(), rejected)
+}
+
 /// Runs the suite over the requested datasets.
-pub fn run_search_suite(datasets: &[PaperDataset], scale: Scale, seed: u64) -> Vec<DatasetResults> {
+pub fn run_search_suite(
+    datasets: &[PaperDataset],
+    scale: Scale,
+    seed: u64,
+    guarded: bool,
+) -> Vec<DatasetResults> {
     datasets
         .iter()
         .map(|&d| {
             eprintln!("[search-suite] {} ...", d.name());
             let ctx = DatasetContext::build(d, scale, seed);
-            run_dataset(&ctx, scale)
+            run_dataset(&ctx, scale, guarded)
         })
         .collect()
+}
+
+/// The `--guarded` table: validation-rejection and fallback rates next to
+/// the Q-error tables. One row per method per dataset; empty when the
+/// suite ran unguarded.
+pub fn guard_table(all: &[DatasetResults]) -> Option<Table> {
+    let mut t = Table::new(
+        "Guarded Serving: Rejection and Fallback Rates",
+        &[
+            "Dataset",
+            "Method",
+            "Served",
+            "Rejected",
+            "Fallback rate",
+            "Clamped",
+            "Probes rejected",
+        ],
+    );
+    let mut any = false;
+    for d in all {
+        for r in &d.results {
+            let Some(g) = &r.guard else { continue };
+            any = true;
+            let total = g.stats.served + g.stats.rejected;
+            let fb_rate = g.stats.fallbacks as f64 / total.max(1) as f64;
+            t.push_row(vec![
+                d.dataset.name().to_string(),
+                r.method.name().to_string(),
+                g.stats.served.to_string(),
+                g.stats.rejected.to_string(),
+                format!("{:.1}%", fb_rate * 100.0),
+                g.stats.clamped.to_string(),
+                format!("{}/{}", g.probes_rejected, g.probes_sent),
+            ]);
+        }
+    }
+    any.then_some(t)
 }
 
 /// Table 4: Q-error summaries per dataset and method.

@@ -1,3 +1,8 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # cardest — learned cardinality estimation for similarity queries
 //!
 //! A from-scratch Rust reproduction of *Learned Cardinality Estimation for
@@ -57,7 +62,7 @@
 //! | [`data`] | vectors, metrics, synthetic datasets, workloads, ground truth |
 //! | [`cluster`] | PCA, k-means, DBSCAN, LSH, the segmentation pipeline |
 //! | [`index`] | exact pivot-based metric index (SimSelect stand-in) |
-//! | [`baselines`] | Sampling, Kernel-based, MLP, CardNet substitute |
+//! | [`baselines`] | Sampling, Kernel-based, MLP, CardNet substitute, guarded serving |
 //! | [`core`] | QES, the global-local family, joins, tuning, updates |
 
 pub use cardest_baselines as baselines;
@@ -71,7 +76,8 @@ pub use cardest_nn as nn;
 pub mod prelude {
     pub use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
     pub use cardest_baselines::{
-        CardNet, CardNetConfig, KernelEstimator, MlpConfig, MlpEstimator, SamplingEstimator,
+        CardNet, CardNetConfig, GuardStats, GuardedEstimator, HistogramEstimator, KernelEstimator,
+        MlpConfig, MlpEstimator, SamplingEstimator,
     };
     pub use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
     pub use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
@@ -80,9 +86,11 @@ pub mod prelude {
     pub use cardest_core::update::{UpdatableGl, UpdateConfig};
     pub use cardest_data::metric::Metric;
     pub use cardest_data::paper::{paper_datasets, DatasetSpec, PaperDataset};
+    pub use cardest_data::validate::{CardestError, QueryGuard};
     pub use cardest_data::vector::{BinaryData, DenseData, VectorData, VectorView};
     pub use cardest_data::workload::{JoinSet, JoinWorkload, SearchSample, SearchWorkload};
     pub use cardest_index::PivotIndex;
-    pub use cardest_nn::metrics::{mape, q_error, ErrorSummary};
+    pub use cardest_nn::artifact::ArtifactError;
+    pub use cardest_nn::metrics::{decode_log_card, mape, q_error, ErrorSummary};
     pub use cardest_nn::trainer::TrainConfig;
 }

@@ -80,13 +80,11 @@ pub fn absorb_noise(points: &[f32], dim: usize, labels: &mut [usize]) -> usize {
     }
     for i in 0..n {
         if labels[i] == NOISE {
-            let nearest = clustered
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    sq_dist(point(i), point(a)).total_cmp(&sq_dist(point(i), point(b)))
-                })
-                .expect("non-empty clustered set");
+            let Some(nearest) = clustered.iter().copied().min_by(|&a, &b| {
+                sq_dist(point(i), point(a)).total_cmp(&sq_dist(point(i), point(b)))
+            }) else {
+                continue; // unreachable: the no-cluster case returned above
+            };
             labels[i] = labels[nearest];
         }
     }

@@ -1,3 +1,8 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # cardest-cluster
 //!
 //! Data segmentation for the `cardest` reproduction (§3.3 of the paper):

@@ -65,7 +65,9 @@ impl LshSegmenter {
         let mut keys: Vec<u64> = buckets.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            let members = buckets.remove(&key).expect("key from iteration");
+            let Some(members) = buckets.remove(&key) else {
+                continue;
+            };
             if members.len() >= min_bucket {
                 kept.push((key, members));
             } else {
@@ -101,13 +103,13 @@ impl LshSegmenter {
         for members in small {
             for i in members {
                 let p = &points[i * self.dim..(i + 1) * self.dim];
-                let nearest = centroids
+                if let Some((nearest, _)) = centroids
                     .iter()
                     .enumerate()
                     .min_by(|(_, a), (_, b)| sq_dist(p, a).total_cmp(&sq_dist(p, b)))
-                    .map(|(l, _)| l)
-                    .expect("kept is non-empty");
-                labels[i] = nearest;
+                {
+                    labels[i] = nearest;
+                }
             }
         }
         (labels, kept.len())

@@ -184,8 +184,7 @@ impl Segmentation {
                     .distance_to_centroid(v, a)
                     .total_cmp(&self.metric.distance_to_centroid(v, b))
             })
-            .map(|(s, _)| s)
-            .expect("segmentation has at least one segment")
+            .map_or(0, |(s, _)| s)
     }
 
     /// Records a newly inserted point (already appended to the dataset at

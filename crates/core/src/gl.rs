@@ -27,6 +27,8 @@ use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
 use cardest_cluster::segmentation::{Segmentation, SegmentationConfig, SegmentationMethod};
 use cardest_data::metric::Metric;
 use cardest_data::vector::{VectorData, VectorView};
+use cardest_nn::artifact::ArtifactError;
+use cardest_nn::metrics::decode_log_card;
 use cardest_nn::net::BranchNet;
 use cardest_nn::scratch::with_thread_scratch;
 use cardest_nn::tensor::dot;
@@ -36,6 +38,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Artifact kind tag identifying a serialized [`GlEstimator`] (any
+/// variant — the variant travels inside the payload).
+pub const GL_ARTIFACT_KIND: &str = "cardest.gl";
 
 /// Which member of the global-local family to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -304,6 +310,25 @@ impl GlEstimator {
         serde_json::from_str(json)
     }
 
+    /// Saves the trained estimator as a versioned, checksummed artifact
+    /// (see `cardest_nn::artifact` for the container layout). The write is
+    /// atomic: a crash mid-save leaves any previous artifact intact.
+    pub fn save_artifact(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+        let json = self
+            .to_json()
+            .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        cardest_nn::artifact::write_atomic(path, GL_ARTIFACT_KIND, json.as_bytes())
+    }
+
+    /// Loads an artifact written by [`GlEstimator::save_artifact`],
+    /// verifying magic, format version, kind, and checksum first — a
+    /// truncated, bit-flipped, or version-skewed file is a typed `Err`,
+    /// never silently-wrong weights.
+    pub fn load_artifact(path: &std::path::Path) -> Result<Self, ArtifactError> {
+        let json = cardest_nn::artifact::read_json_payload(path, GL_ARTIFACT_KIND)?;
+        Self::from_json(&json).map_err(|e| ArtifactError::Malformed(e.to_string()))
+    }
+
     /// Estimate with the number of local models evaluated (Exp-9 explains
     /// GL+'s speed by this count). Single-query wrapper around
     /// [`GlEstimator::estimate_batch_with_stats`].
@@ -458,7 +483,7 @@ impl GlEstimator {
             let cap = self.segmentation.members(i).len() as f32;
             for (&r, &o) in rows.iter().zip(preds) {
                 evaluated[r] += 1;
-                let est = o.clamp(-20.0, 20.0).exp().min(cap);
+                let est = decode_log_card(o, cap);
                 max_single[r] = max_single[r].max(est);
                 if est >= 0.5 {
                     totals[r] += est;
@@ -500,6 +525,14 @@ impl CardinalityEstimator for GlEstimator {
 
     fn model_bytes(&self) -> usize {
         self.all_param_bytes()
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        self.locals.first().map(|l| l.in_dims()[0])
+    }
+
+    fn tau_bound(&self) -> Option<f32> {
+        Some(self.tau_scale)
     }
 }
 
@@ -806,7 +839,7 @@ fn train_one_local(
             let xt = Matrix::from_row(&tau_features(s.tau, tau_scale));
             let xc = Matrix::from_row(&aux_features(&xc_cache[s.query], radii, s.tau));
             let out = net.infer(&[&xq, &xt, &xc], scratch);
-            let pred = out.get(0, 0).clamp(-20.0, 20.0).exp();
+            let pred = decode_log_card(out.get(0, 0), f32::INFINITY);
             scratch.recycle(out);
             err += cardest_nn::metrics::q_error(pred, card) as f64;
             count += 1;

@@ -28,6 +28,7 @@ use cardest_data::metric::Metric;
 use cardest_data::vector::VectorData;
 use cardest_data::workload::JoinSet;
 use cardest_nn::loss::HybridLoss;
+use cardest_nn::metrics::decode_log_card;
 use cardest_nn::net::BranchNet;
 use cardest_nn::optim::{Adam, Optimizer};
 use cardest_nn::parallel::{fan_exclusive, resolve_threads};
@@ -262,6 +263,20 @@ impl CardinalityEstimator for JoinEstimator {
             JoinBackend::Single(qes, _, _) => qes.model_bytes(),
         }
     }
+
+    fn expected_dim(&self) -> Option<usize> {
+        match &self.backend {
+            JoinBackend::GlobalLocal(gl) => gl.expected_dim(),
+            JoinBackend::Single(qes, _, _) => qes.expected_dim(),
+        }
+    }
+
+    fn tau_bound(&self) -> Option<f32> {
+        match &self.backend {
+            JoinBackend::GlobalLocal(gl) => gl.tau_bound(),
+            JoinBackend::Single(qes, _, _) => qes.tau_bound(),
+        }
+    }
 }
 
 /// Member feature matrices `x_q` / aux and the indicating matrix `M`
@@ -315,7 +330,7 @@ fn gl_join_infer(gl: &GlEstimator, queries: &VectorData, member_ids: &[usize], t
             }
             let o = pooled_head_infer(local, &xq, &aux, &routed, tau, tau_scale, scratch);
             let cap = (segmentation.members(seg).len() * routed.len()) as f32;
-            total += o.clamp(-20.0, 20.0).exp().min(cap);
+            total += decode_log_card(o, cap);
         }
         total
     })
@@ -378,7 +393,7 @@ fn single_join_infer(
         scratch.recycle(out);
         // Cap at the trivial bound |Q|·|D|.
         let cap = (member_ids.len() * data.len()) as f32;
-        o.clamp(-20.0, 20.0).exp().min(cap)
+        decode_log_card(o, cap)
     })
 }
 
@@ -449,7 +464,7 @@ fn gl_join_forward(
         // member; the cap guards against log-space extrapolation blowups
         // (same rationale as the search path).
         let cap = (segmentation.members(seg).len() * routed.len()) as f32;
-        let contribution = o.clamp(-20.0, 20.0).exp().min(cap);
+        let contribution = decode_log_card(o, cap);
         total += contribution;
         per_segment.push((seg, routed, o, contribution));
     }
@@ -500,6 +515,10 @@ fn pooled_head_backward(local: &mut BranchNet, routed_len: usize, grad_out: f32)
 }
 
 /// One fine-tuning step of the global-local join model on one join set.
+// The slot-take `expect`s encode a real invariant — each segment is
+// routed at most once per step — and a violation must abort training
+// rather than silently corrupt two jobs' exclusive borrows.
+#[allow(clippy::expect_used)]
 fn finetune_gl_step(
     gl: &mut GlEstimator,
     queries: &VectorData,
@@ -527,7 +546,7 @@ fn finetune_gl_step(
     let mut opt_slots: Vec<Option<&mut Adam>> = opts.iter_mut().map(Some).collect();
     let mut jobs = Vec::new();
     for &(seg, ref routed, o, contribution) in &per_segment {
-        let uncapped = o.clamp(-20.0, 20.0).exp();
+        let uncapped = decode_log_card(o, f32::INFINITY);
         if contribution < uncapped {
             continue; // cap active: no gradient flows
         }
@@ -566,7 +585,7 @@ fn single_join_forward(
     let o = net.forward_head(&concat).get(0, 0);
     // Cap at the trivial bound |Q|·|D|.
     let cap = (member_ids.len() * _data.len()) as f32;
-    (o.clamp(-20.0, 20.0).exp().min(cap), member_ids.len())
+    (decode_log_card(o, cap), member_ids.len())
 }
 
 /// One fine-tuning step of CNNJoin on one join set.

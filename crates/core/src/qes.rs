@@ -20,6 +20,7 @@ use crate::arch::{
 use cardest_baselines::traits::{CardinalityEstimator, TrainingSet};
 use cardest_data::metric::Metric;
 use cardest_data::vector::{VectorData, VectorView};
+use cardest_nn::metrics::decode_log_card;
 use cardest_nn::net::BranchNet;
 use cardest_nn::net::Sequential;
 use cardest_nn::trainer::{train_branch_regression, TrainConfig, TrainReport};
@@ -70,6 +71,8 @@ pub struct QesEstimator {
     /// Dataset size at training time; estimates are capped here (a search
     /// cardinality cannot exceed the dataset).
     n_data: usize,
+    /// Largest threshold seen in training — the serving guard's τ bound.
+    tau_seen: f32,
 }
 
 impl QesEstimator {
@@ -109,11 +112,18 @@ impl QesEstimator {
         } else {
             build_regressor(&mut rng, dim, 1, samples.len(), &embed, &cfg.dims)
         };
+        let tau_seen = training
+            .samples
+            .iter()
+            .map(|s| s.tau)
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
         let mut est = QesEstimator {
             net,
             samples,
             metric,
             n_data: data.len(),
+            tau_seen,
         };
 
         // Cache per-query features once.
@@ -201,12 +211,7 @@ impl CardinalityEstimator for QesEstimator {
             }
             let pred = self.net.infer(&[&xq, &xt, &xd], scratch);
             let out = (0..b)
-                .map(|r| {
-                    pred.get(r, 0)
-                        .clamp(-20.0, 20.0)
-                        .exp()
-                        .min(self.n_data as f32)
-                })
+                .map(|r| decode_log_card(pred.get(r, 0), self.n_data as f32))
                 .collect();
             for m in [xq, xt, xd, pred] {
                 scratch.recycle(m);
@@ -217,6 +222,14 @@ impl CardinalityEstimator for QesEstimator {
 
     fn model_bytes(&self) -> usize {
         self.net.param_bytes() + self.samples.heap_bytes()
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.net.in_dims()[0])
+    }
+
+    fn tau_bound(&self) -> Option<f32> {
+        Some(self.tau_seen)
     }
 }
 

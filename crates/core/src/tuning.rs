@@ -19,7 +19,7 @@
 use crate::arch::{build_regressor, tau_features, ModelDims, QueryEmbed, TAU_DIM};
 use cardest_baselines::traits::TrainingSet;
 use cardest_nn::layers::{Conv1d, ConvSpec, PoolOp};
-use cardest_nn::metrics::q_error;
+use cardest_nn::metrics::{decode_log_card, q_error};
 use cardest_nn::trainer::{train_branch_regression, TrainConfig};
 use cardest_nn::Matrix;
 use rand::rngs::StdRng;
@@ -101,6 +101,8 @@ fn stack_shape(dim: usize, layers: &[ConvSpec]) -> (usize, usize) {
 }
 
 /// Candidate values for each hyperparameter, filtered to fit `in_len`.
+// `choose` on non-empty literal arrays cannot fail.
+#[allow(clippy::expect_used)]
 fn candidate_specs(rng: &mut StdRng, in_len: usize) -> Option<ConvSpec> {
     if in_len == 0 {
         return None;
@@ -249,11 +251,7 @@ fn evaluate_stack(
         let xq = Matrix::from_row(&xq_cache[s.query]);
         let xt = Matrix::from_row(&tau_features(s.tau, tau_scale));
         let xc = Matrix::from_row(&xc_cache[s.query]);
-        let pred = net
-            .forward(&[&xq, &xt, &xc])
-            .get(0, 0)
-            .clamp(-20.0, 20.0)
-            .exp();
+        let pred = decode_log_card(net.forward(&[&xq, &xt, &xc]).get(0, 0), f32::INFINITY);
         total += q_error(pred, targets[j]) as f64;
     }
     (total / val_idx.len().max(1) as f64) as f32

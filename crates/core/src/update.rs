@@ -228,6 +228,9 @@ impl UpdatableGl {
     /// Short fine-tuning of the local models owning the affected segments,
     /// fanned across scoped threads (each affected segment's model and
     /// sample subset are independent given the patched labels).
+    // The slot-take `expect` encodes the de-duplicated `affected` list
+    // invariant; a violation must abort rather than alias a local model.
+    #[allow(clippy::expect_used)]
     fn finetune_locals(&mut self, affected: &[usize]) {
         let dim = self.queries.dim();
         let tau_scale = self.gl.tau_scale();

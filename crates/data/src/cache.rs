@@ -43,13 +43,21 @@ pub fn cache_path(dir: &Path, spec: &DatasetSpec, seed: u64) -> PathBuf {
 /// otherwise generates and writes it. IO errors fall back to plain
 /// generation (the cache is an optimization, never a correctness
 /// dependency).
+///
+/// A cache file that fails to parse or carries a stale fingerprint is
+/// deleted before regeneration — corrupt bytes must not be re-read (and
+/// re-rejected) on every subsequent run. The rewrite goes through a temp
+/// file + atomic rename, so a crash mid-write leaves either the old file
+/// or the new one, never a torn JSON prefix.
 pub fn load_or_generate(dir: &Path, spec: &DatasetSpec, seed: u64) -> VectorData {
     let path = cache_path(dir, spec, seed);
     let fp = fingerprint(spec, seed);
     if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(cached) = serde_json::from_slice::<CachedDataset>(&bytes) {
-            if cached.fingerprint == fp {
-                return cached.data;
+        match serde_json::from_slice::<CachedDataset>(&bytes) {
+            Ok(cached) if cached.fingerprint == fp => return cached.data,
+            _ => {
+                // Torn write, bit rot, or a stale generator version.
+                let _ = std::fs::remove_file(&path);
             }
         }
     }
@@ -60,10 +68,33 @@ pub fn load_or_generate(dir: &Path, spec: &DatasetSpec, seed: u64) -> VectorData
             data: data.clone(),
         };
         if let Ok(json) = serde_json::to_vec(&cached) {
-            let _ = std::fs::write(&path, json);
+            let _ = write_atomic(&path, &json);
         }
     }
     data
+}
+
+/// Writes via a sibling temp file and renames it over the target (rename
+/// is atomic within a filesystem). The temp name embeds the pid so
+/// concurrent harness runs cannot clobber each other's in-flight writes.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cache path has no file name",
+        )
+    })?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        Some(dir) => dir.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -128,6 +159,39 @@ mod tests {
         assert_eq!(
             fresh, reloaded,
             "stale cache must be regenerated, not trusted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_is_deleted_and_rewritten() {
+        let dir = tmpdir("corrupt");
+        let spec = DatasetSpec {
+            n_data: 60,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let fresh = load_or_generate(&dir, &spec, 4);
+        let path = cache_path(&dir, &spec, 4);
+        // Simulate a torn write: a truncated JSON prefix.
+        let bytes = std::fs::read(&path).expect("cache exists");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let reloaded = load_or_generate(&dir, &spec, 4);
+        assert_eq!(fresh, reloaded);
+        // The corrupt file was replaced with a valid one, so the next
+        // load parses (no perpetual re-read of bad bytes).
+        let cached: CachedDataset =
+            serde_json::from_slice(&std::fs::read(&path).expect("cache exists"))
+                .expect("rewritten cache must parse");
+        assert_eq!(cached.data, fresh);
+        // No temp droppings.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

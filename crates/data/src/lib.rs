@@ -1,3 +1,8 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # cardest-data
 //!
 //! Data substrate for the `cardest` reproduction of *Learned Cardinality
@@ -14,7 +19,9 @@
 //!   (uniform for training, geometric for testing, §6 "Query Selection"),
 //!   plus join-set construction,
 //! * [`ground_truth`] — exact cardinality labelling, including the
-//!   per-segment labels the global model trains on.
+//!   per-segment labels the global model trains on,
+//! * [`validate`] — the serving-side input contract: the [`CardestError`]
+//!   taxonomy and the [`QueryGuard`] checks behind `try_estimate`.
 
 pub mod cache;
 pub mod ground_truth;
@@ -22,6 +29,7 @@ pub mod metric;
 pub mod paper;
 pub mod stats;
 pub mod synth;
+pub mod validate;
 pub mod vector;
 pub mod workload;
 
@@ -30,5 +38,6 @@ pub use metric::Metric;
 pub use paper::{paper_datasets, DatasetSpec, PaperDataset};
 pub use stats::{Histogram, SelectivityStats, WorkloadReport};
 pub use synth::Labeled;
+pub use validate::{CardestError, QueryGuard};
 pub use vector::{BinaryData, DenseData, VectorData, VectorView};
 pub use workload::{JoinSet, JoinWorkload, SearchSample, SearchWorkload};

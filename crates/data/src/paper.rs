@@ -154,12 +154,8 @@ impl DatasetSpec {
         // Offset the seed by the dataset so "seed 0 for every dataset"
         // doesn't correlate their randomness.
         let mut rng = StdRng::seed_from_u64(
-            seed.wrapping_mul(0x9E37_79B9).wrapping_add(
-                PaperDataset::ALL
-                    .iter()
-                    .position(|d| *d == self.dataset)
-                    .expect("known dataset") as u64,
-            ),
+            seed.wrapping_mul(0x9E37_79B9)
+                .wrapping_add(self.dataset as u64),
         );
         match self.dataset {
             PaperDataset::Bms => {

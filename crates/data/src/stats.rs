@@ -43,7 +43,7 @@ impl SelectivityStats {
             mean: sels.iter().sum::<f32>() / n as f32,
             median: pick(0.5),
             p90: pick(0.9),
-            max: *sels.last().expect("non-empty"),
+            max: sels.last().copied().unwrap_or(0.0),
             zero_fraction: samples.iter().filter(|s| s.card == 0.0).count() as f32 / n as f32,
             count: n,
         }

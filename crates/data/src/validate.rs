@@ -1,0 +1,328 @@
+//! Input validation for the serving surface.
+//!
+//! Every estimator's raw `estimate` path assumes a well-formed query: the
+//! right dimensionality, finite components, and a threshold inside the
+//! trained range. A malformed input either panics deep inside a matmul
+//! (dimension mismatch) or silently poisons the output (NaN components,
+//! negative τ). This module centralizes the checks the fallible
+//! `try_estimate` / `try_estimate_batch` twins run *before* any forward
+//! pass, and the [`CardestError`] taxonomy they report with.
+//!
+//! Validation is metric-agnostic: a binary (bit-packed) query is always
+//! finite, so only its dimensionality is checked; dense queries are
+//! scanned component-by-component.
+
+use crate::vector::VectorView;
+use std::fmt;
+
+/// Everything that can go wrong on the guarded serving path.
+///
+/// Variants carry the batch position (`index`, 0 for single-query calls)
+/// so a batched caller can report exactly which entry was malformed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CardestError {
+    /// The query's dimensionality differs from the trained model's.
+    DimensionMismatch {
+        index: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A query component is NaN or ±∞.
+    NonFiniteQuery {
+        index: usize,
+        component: usize,
+        value: f32,
+    },
+    /// The threshold is NaN or ±∞.
+    NonFiniteTau { index: usize, tau: f32 },
+    /// The threshold is negative — distances are non-negative, so no
+    /// model (or fallback) can answer this meaningfully.
+    NegativeTau { index: usize, tau: f32 },
+    /// The threshold exceeds the range seen in training. The model would
+    /// extrapolate; a sampling/histogram fallback can still answer.
+    TauOutOfRange { index: usize, tau: f32, bound: f32 },
+    /// The model produced a non-finite (or negative) estimate — the
+    /// symptom of corrupted weights or numeric blow-up, detected *after*
+    /// the forward pass.
+    NonFiniteEstimate { index: usize, value: f32 },
+}
+
+impl CardestError {
+    /// Batch position of the offending entry (0 for single-query calls).
+    pub fn batch_index(&self) -> usize {
+        match *self {
+            CardestError::DimensionMismatch { index, .. }
+            | CardestError::NonFiniteQuery { index, .. }
+            | CardestError::NonFiniteTau { index, .. }
+            | CardestError::NegativeTau { index, .. }
+            | CardestError::TauOutOfRange { index, .. }
+            | CardestError::NonFiniteEstimate { index, .. } => index,
+        }
+    }
+
+    /// Whether a cheap model-free fallback (sampling, histogram) can still
+    /// answer the query. True for thresholds beyond the trained range and
+    /// for non-finite model outputs — the *input* is well-formed in both
+    /// cases. False for malformed inputs nothing can answer.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            CardestError::TauOutOfRange { .. } | CardestError::NonFiniteEstimate { .. }
+        )
+    }
+}
+
+impl fmt::Display for CardestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CardestError::DimensionMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "query {index}: dimension mismatch (model expects {expected}, got {got})"
+            ),
+            CardestError::NonFiniteQuery {
+                index,
+                component,
+                value,
+            } => write!(
+                f,
+                "query {index}: non-finite component {component} ({value})"
+            ),
+            CardestError::NonFiniteTau { index, tau } => {
+                write!(f, "query {index}: non-finite threshold ({tau})")
+            }
+            CardestError::NegativeTau { index, tau } => {
+                write!(f, "query {index}: negative threshold ({tau})")
+            }
+            CardestError::TauOutOfRange { index, tau, bound } => write!(
+                f,
+                "query {index}: threshold {tau} beyond trained range (max {bound})"
+            ),
+            CardestError::NonFiniteEstimate { index, value } => {
+                write!(f, "query {index}: model produced invalid estimate {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CardestError {}
+
+/// The admissible-input contract of one trained estimator: expected query
+/// dimensionality and the largest threshold seen in training. `None`
+/// disables the respective check (e.g. a query-oblivious histogram has no
+/// dimension requirement; an exact sampling counter has no τ ceiling).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryGuard {
+    pub dim: Option<usize>,
+    pub tau_max: Option<f32>,
+}
+
+impl QueryGuard {
+    /// Validates one `(query, τ)` pair at batch position `index`.
+    ///
+    /// Unrecoverable checks run first — dimensionality, τ NaN/∞/sign,
+    /// then a component scan for dense queries — and the *recoverable*
+    /// trained-range check runs last. The order matters: a query that is
+    /// both malformed and out of range must be rejected outright, not
+    /// routed to a fallback by the recoverable error masking the fatal
+    /// one. Bit-packed binary queries are finite by construction and
+    /// skip the scan.
+    pub fn validate(&self, index: usize, q: VectorView<'_>, tau: f32) -> Result<(), CardestError> {
+        if let Some(expected) = self.dim {
+            let got = q.dim();
+            if got != expected {
+                return Err(CardestError::DimensionMismatch {
+                    index,
+                    expected,
+                    got,
+                });
+            }
+        }
+        if !tau.is_finite() {
+            return Err(CardestError::NonFiniteTau { index, tau });
+        }
+        if tau < 0.0 {
+            return Err(CardestError::NegativeTau { index, tau });
+        }
+        if let VectorView::Dense(v) = q {
+            for (component, &value) in v.iter().enumerate() {
+                if !value.is_finite() {
+                    return Err(CardestError::NonFiniteQuery {
+                        index,
+                        component,
+                        value,
+                    });
+                }
+            }
+        }
+        if let Some(bound) = self.tau_max {
+            if tau > bound {
+                return Err(CardestError::TauOutOfRange { index, tau, bound });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates every entry of a batch, failing fast on the first
+    /// malformed one (nothing has been evaluated yet, so rejecting the
+    /// whole batch loses no work).
+    pub fn validate_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Result<(), CardestError> {
+        for (i, &(q, tau)) in queries.iter().enumerate() {
+            self.validate(i, q, tau)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::BinaryData;
+
+    fn guard() -> QueryGuard {
+        QueryGuard {
+            dim: Some(3),
+            tau_max: Some(1.0),
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_queries() {
+        let g = guard();
+        assert_eq!(
+            g.validate(0, VectorView::Dense(&[0.0, 1.0, -2.0]), 0.5),
+            Ok(())
+        );
+        assert_eq!(
+            g.validate(0, VectorView::Dense(&[0.0, 1.0, -2.0]), 0.0),
+            Ok(())
+        );
+        assert_eq!(
+            g.validate(0, VectorView::Dense(&[0.0, 1.0, -2.0]), 1.0),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn rejects_each_malformed_class_with_its_variant() {
+        let g = guard();
+        assert_eq!(
+            g.validate(2, VectorView::Dense(&[0.0, 1.0]), 0.5),
+            Err(CardestError::DimensionMismatch {
+                index: 2,
+                expected: 3,
+                got: 2
+            })
+        );
+        assert!(matches!(
+            g.validate(0, VectorView::Dense(&[0.0, f32::NAN, 0.0]), 0.5),
+            Err(CardestError::NonFiniteQuery { component: 1, .. })
+        ));
+        assert!(matches!(
+            g.validate(0, VectorView::Dense(&[0.0, 0.0, f32::INFINITY]), 0.5),
+            Err(CardestError::NonFiniteQuery { component: 2, .. })
+        ));
+        assert!(matches!(
+            g.validate(1, VectorView::Dense(&[0.0; 3]), f32::NAN),
+            Err(CardestError::NonFiniteTau { index: 1, .. })
+        ));
+        assert!(matches!(
+            g.validate(0, VectorView::Dense(&[0.0; 3]), -0.1),
+            Err(CardestError::NegativeTau { .. })
+        ));
+        assert!(matches!(
+            g.validate(0, VectorView::Dense(&[0.0; 3]), 1.5),
+            Err(CardestError::TauOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_queries_skip_the_component_scan_but_check_dims() {
+        let mut b = BinaryData::new(70);
+        b.push_indices(&[0, 69]);
+        let g = QueryGuard {
+            dim: Some(70),
+            tau_max: None,
+        };
+        let view = VectorView::Binary {
+            words: b.row(0),
+            dim: 70,
+        };
+        assert_eq!(g.validate(0, view, 0.3), Ok(()));
+        let wrong = QueryGuard {
+            dim: Some(64),
+            tau_max: None,
+        };
+        assert!(matches!(
+            wrong.validate(0, view, 0.3),
+            Err(CardestError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unconstrained_guard_accepts_anything_finite() {
+        let g = QueryGuard::default();
+        assert_eq!(g.validate(0, VectorView::Dense(&[1e30; 2]), 1e30), Ok(()));
+        // But never NaN/∞/negative τ.
+        assert!(g
+            .validate(0, VectorView::Dense(&[1.0]), f32::INFINITY)
+            .is_err());
+        assert!(g.validate(0, VectorView::Dense(&[1.0]), -1.0).is_err());
+        assert!(g
+            .validate(0, VectorView::Dense(&[f32::NEG_INFINITY]), 0.1)
+            .is_err());
+    }
+
+    #[test]
+    fn validate_batch_reports_the_offending_position() {
+        let g = guard();
+        let a = [0.0, 1.0, 2.0];
+        let bad = [0.0, f32::NAN, 2.0];
+        let batch = [
+            (VectorView::Dense(&a), 0.1),
+            (VectorView::Dense(&a), 0.2),
+            (VectorView::Dense(&bad), 0.3),
+        ];
+        let err = g.validate_batch(&batch).unwrap_err();
+        assert_eq!(err.batch_index(), 2);
+    }
+
+    #[test]
+    fn recoverability_split_matches_the_fallback_policy() {
+        let oor = CardestError::TauOutOfRange {
+            index: 0,
+            tau: 2.0,
+            bound: 1.0,
+        };
+        let nfe = CardestError::NonFiniteEstimate {
+            index: 0,
+            value: f32::NAN,
+        };
+        let dim = CardestError::DimensionMismatch {
+            index: 0,
+            expected: 3,
+            got: 2,
+        };
+        assert!(oor.is_recoverable() && nfe.is_recoverable());
+        assert!(!dim.is_recoverable());
+    }
+
+    #[test]
+    fn unrecoverable_errors_mask_the_recoverable_one() {
+        // A query that is both malformed AND out of τ-range must be
+        // rejected, not routed to a fallback: the recoverable
+        // TauOutOfRange check runs last.
+        let g = guard();
+        assert!(matches!(
+            g.validate(0, VectorView::Dense(&[0.0, f32::NAN, 0.0]), 5.0),
+            Err(CardestError::NonFiniteQuery { component: 1, .. })
+        ));
+        assert!(matches!(
+            g.validate(0, VectorView::Dense(&[0.0, 1.0]), 5.0),
+            Err(CardestError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,3 +1,8 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # cardest-index
 //!
 //! An exact pivot-based metric index for threshold similarity search — the
@@ -73,31 +78,28 @@ impl PivotIndex {
         };
         let seg = Segmentation::fit(data, metric, &config);
         let groups = (0..seg.n_segments())
-            .filter(|&s| !seg.members(s).is_empty())
-            .map(|s| {
+            .filter_map(|s| {
                 // The pivot is the member closest to the fractional
                 // centroid, so all stored distances are point-to-point and
-                // the triangle inequality holds exactly.
+                // the triangle inequality holds exactly. Empty segments
+                // (the `?`) contribute no group.
                 let members = seg.members(s);
-                let pivot = *members
-                    .iter()
-                    .min_by(|&&a, &&b| {
-                        metric
-                            .distance_to_centroid(data.view(a), seg.centroid(s))
-                            .total_cmp(&metric.distance_to_centroid(data.view(b), seg.centroid(s)))
-                    })
-                    .expect("non-empty group");
+                let pivot = *members.iter().min_by(|&&a, &&b| {
+                    metric
+                        .distance_to_centroid(data.view(a), seg.centroid(s))
+                        .total_cmp(&metric.distance_to_centroid(data.view(b), seg.centroid(s)))
+                })?;
                 let mut members: Vec<(usize, f32)> = members
                     .iter()
                     .map(|&i| (i, metric.distance(data.view(pivot), data.view(i))))
                     .collect();
                 members.sort_by(|a, b| a.1.total_cmp(&b.1));
                 let radius = members.last().map_or(0.0, |m| m.1);
-                PivotGroup {
+                Some(PivotGroup {
                     pivot,
                     members,
                     radius,
-                }
+                })
             })
             .collect();
         PivotIndex { metric, groups }

@@ -1,0 +1,326 @@
+//! Versioned, checksummed model artifacts.
+//!
+//! A trained estimator deserialized from silently-corrupted bytes is the
+//! worst failure mode a serving system has: it answers confidently with
+//! garbage. This module wraps any serialized payload in a small binary
+//! container that makes truncation, bit-flips, and format skew loud:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "CARDESTM"
+//! 8       4     format version (u32 LE) — currently 1
+//! 12      4     kind length K (u32 LE)
+//! 16      K     kind (utf-8, e.g. "cardest.gl") — which estimator family
+//! 16+K    8     payload length N (u64 LE)
+//! 24+K    8     FNV-1a 64 checksum of the payload (u64 LE)
+//! 32+K    N     payload (serde_json bytes of the estimator)
+//! ```
+//!
+//! Every load re-verifies magic → version → kind → length → checksum, in
+//! that order, so each corruption class maps to its own
+//! [`ArtifactError`] variant. Writes go through a temp file + atomic
+//! rename: a crash mid-write leaves the old artifact intact, never a torn
+//! one.
+//!
+//! The estimator-specific `save_artifact` / `load_artifact` methods live
+//! next to their types (`GlEstimator`, `CardNet`, `MlpEstimator`); this
+//! module only knows about byte containers.
+
+use std::fmt;
+use std::path::Path;
+
+/// Leading magic bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"CARDESTM";
+
+/// Current container format version. Bump on any layout change; old
+/// readers then reject new files as [`ArtifactError::UnsupportedVersion`]
+/// instead of misinterpreting them.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything that can go wrong loading (or saving) a model artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// Filesystem failure (open/read/write/rename), with the OS message.
+    Io(String),
+    /// The file does not start with [`MAGIC`] — not an artifact at all.
+    BadMagic,
+    /// The container format version is newer (or older) than this reader.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ends before the declared structure does.
+    Truncated { needed: usize, got: usize },
+    /// The payload bytes do not hash to the stored checksum: bit rot,
+    /// bit-flip, or a partially overwritten file.
+    ChecksumMismatch { expected: u64, got: u64 },
+    /// The artifact holds a different estimator family than requested.
+    KindMismatch { expected: String, found: String },
+    /// The checksummed payload still failed to deserialize — a writer bug
+    /// or an incompatible estimator schema under the same kind.
+    Malformed(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(m) => write!(f, "artifact io error: {m}"),
+            ArtifactError::BadMagic => write!(f, "not a cardest artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact format version {found} (this reader supports {supported})"
+            ),
+            ArtifactError::Truncated { needed, got } => {
+                write!(f, "truncated artifact: needed {needed} bytes, got {got}")
+            }
+            ArtifactError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "artifact checksum mismatch: stored {expected:#018x}, computed {got:#018x}"
+            ),
+            ArtifactError::KindMismatch { expected, found } => {
+                write!(f, "artifact holds kind {found:?}, expected {expected:?}")
+            }
+            ArtifactError::Malformed(m) => write!(f, "malformed artifact payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and sensitive to every
+/// byte position, which is all a corruption detector needs (this is not a
+/// cryptographic integrity guarantee).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Frames `payload` in the container layout described at module level.
+pub fn encode(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let k = kind.as_bytes();
+    let mut out = Vec::with_capacity(32 + k.len() + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+    out.extend_from_slice(k);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies the container and returns the payload slice.
+///
+/// Checks run outside-in — magic, version, kind, declared length,
+/// checksum — so the reported error names the *first* broken layer.
+pub fn decode<'a>(bytes: &'a [u8], expected_kind: &str) -> Result<&'a [u8], ArtifactError> {
+    let need = |needed: usize| ArtifactError::Truncated {
+        needed,
+        got: bytes.len(),
+    };
+    if bytes.len() < 16 {
+        // Too short even for the fixed header; distinguish "not ours".
+        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        return Err(need(16));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let klen = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+    let header_end = 16 + klen + 16;
+    if bytes.len() < header_end {
+        return Err(need(header_end));
+    }
+    let kind = std::str::from_utf8(&bytes[16..16 + klen])
+        .map_err(|_| ArtifactError::Malformed("artifact kind is not utf-8".into()))?;
+    if kind != expected_kind {
+        return Err(ArtifactError::KindMismatch {
+            expected: expected_kind.into(),
+            found: kind.into(),
+        });
+    }
+    let at = 16 + klen;
+    let plen = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap_or([0; 8])) as usize;
+    let stored = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap_or([0; 8]));
+    let payload_start = header_end;
+    let total = payload_start
+        .checked_add(plen)
+        .ok_or(ArtifactError::Malformed("payload length overflow".into()))?;
+    if bytes.len() < total {
+        return Err(need(total));
+    }
+    let payload = &bytes[payload_start..total];
+    let got = fnv1a64(payload);
+    if got != stored {
+        return Err(ArtifactError::ChecksumMismatch {
+            expected: stored,
+            got,
+        });
+    }
+    Ok(payload)
+}
+
+/// Writes an encoded artifact via temp file + atomic rename in the target
+/// directory: readers see either the old complete file or the new one,
+/// never a torn prefix.
+pub fn write_atomic(path: &Path, kind: &str, payload: &[u8]) -> Result<(), ArtifactError> {
+    let bytes = encode(kind, payload);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| ArtifactError::Io(format!("no file name in {}", path.display())))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let io = |e: std::io::Error| ArtifactError::Io(e.to_string());
+    std::fs::write(&tmp, &bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io(e)
+    })
+}
+
+/// Reads and verifies an artifact, returning the payload bytes.
+pub fn read(path: &Path, expected_kind: &str) -> Result<Vec<u8>, ArtifactError> {
+    let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+    decode(&bytes, expected_kind).map(<[u8]>::to_vec)
+}
+
+/// Reads, verifies, and utf-8-decodes a JSON payload.
+pub fn read_json_payload(path: &Path, expected_kind: &str) -> Result<String, ArtifactError> {
+    let payload = read(path, expected_kind)?;
+    String::from_utf8(payload).map_err(|_| ArtifactError::Malformed("payload is not utf-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_payload() {
+        let payload = b"{\"weights\":[1.0,2.0]}";
+        let bytes = encode("cardest.test", payload);
+        assert_eq!(decode(&bytes, "cardest.test"), Ok(&payload[..]));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode("k", b"");
+        assert_eq!(decode(&bytes, "k"), Ok(&b""[..]));
+    }
+
+    #[test]
+    fn bad_magic_is_detected_before_anything_else() {
+        let mut bytes = encode("k", b"payload");
+        bytes[0] ^= 0xFF;
+        assert_eq!(decode(&bytes, "k"), Err(ArtifactError::BadMagic));
+        assert_eq!(decode(b"garbage!more", "k"), Err(ArtifactError::BadMagic));
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode("k", b"payload");
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode(&bytes, "k"),
+            Err(ArtifactError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_loud() {
+        let bytes = encode("cardest.test", b"a moderately sized payload");
+        for keep in 0..bytes.len() {
+            let err = decode(&bytes[..keep], "cardest.test").unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Truncated { .. }
+                        | ArtifactError::BadMagic
+                        | ArtifactError::ChecksumMismatch { .. }
+                ),
+                "truncation to {keep} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_the_checksum() {
+        let payload = b"0123456789abcdef";
+        let bytes = encode("k", payload);
+        let payload_start = bytes.len() - payload.len();
+        for i in payload_start..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x04;
+            assert!(matches!(
+                decode(&flipped, "k"),
+                Err(ArtifactError::ChecksumMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_names_both_sides() {
+        let bytes = encode("cardest.gl", b"x");
+        assert_eq!(
+            decode(&bytes, "cardest.mlp"),
+            Err(ArtifactError::KindMismatch {
+                expected: "cardest.mlp".into(),
+                found: "cardest.gl".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn atomic_write_then_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("cardest-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cardest");
+        write_atomic(&path, "k", b"hello").unwrap();
+        assert_eq!(read(&path, "k").unwrap(), b"hello");
+        // Overwrite is atomic too — and no temp droppings remain.
+        write_atomic(&path, "k", b"world").unwrap();
+        assert_eq!(read(&path, "k").unwrap(), b"world");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io() {
+        let err = read(Path::new("/nonexistent/definitely/not/here"), "k").unwrap_err();
+        assert!(matches!(err, ArtifactError::Io(_)));
+    }
+}

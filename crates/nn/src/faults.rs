@@ -1,0 +1,150 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The robustness suite (`tests/fault_injection.rs`) needs to manufacture
+//! the failure modes a serving system actually meets — NaN-poisoned
+//! weights after a bad checkpoint, truncated or bit-flipped artifact
+//! files, corrupted query vectors — reproducibly, so a failing run can be
+//! replayed from its seed. All randomness flows through a caller-seeded
+//! `StdRng`; none of these helpers are used on the serving path itself.
+
+use crate::layers::ParamSlice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Overwrites `count` randomly chosen parameter values with NaN. Returns
+/// the number of values actually poisoned (less than `count` only for
+/// parameterless nets).
+pub fn poison_params_nan(params: &mut [ParamSlice<'_>], seed: u64, count: usize) -> usize {
+    let total: usize = params.iter().map(|p| p.values.len()).sum();
+    if total == 0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+    let mut poisoned = 0;
+    for _ in 0..count {
+        let mut at = rng.gen_range(0..total);
+        for p in params.iter_mut() {
+            if at < p.values.len() {
+                p.values[at] = f32::NAN;
+                poisoned += 1;
+                break;
+            }
+            at -= p.values.len();
+        }
+    }
+    poisoned
+}
+
+/// Keeps only the first `keep` bytes — a crash mid-download or mid-copy.
+pub fn truncate(bytes: &[u8], keep: usize) -> Vec<u8> {
+    bytes[..keep.min(bytes.len())].to_vec()
+}
+
+/// Flips `flips` randomly chosen bits in place — bit rot / torn storage.
+pub fn flip_bits(bytes: &mut [u8], seed: u64, flips: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB17F);
+    for _ in 0..flips {
+        let at = rng.gen_range(0..bytes.len());
+        let bit = rng.gen_range(0..8u32);
+        bytes[at] ^= 1 << bit;
+    }
+}
+
+/// Rewrites an artifact's format-version field (bytes 8..12 of the
+/// container layout) to `version` — a file produced by a different release.
+pub fn skew_version(bytes: &mut [u8], version: u32) {
+    if bytes.len() >= 12 {
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+    }
+}
+
+/// Overwrites one randomly chosen query component with NaN or ±∞ (picked
+/// by the seed). Returns the corrupted component index.
+pub fn corrupt_query(q: &mut [f32], seed: u64) -> usize {
+    assert!(!q.is_empty(), "cannot corrupt an empty query");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF);
+    let at = rng.gen_range(0..q.len());
+    q[at] = match rng.gen_range(0..3u32) {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        _ => f32::NEG_INFINITY,
+    };
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer};
+    use crate::net::Sequential;
+    use crate::Activation;
+
+    fn tiny_net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(7);
+        Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut rng, 4, 3, Activation::Relu)),
+            Layer::Dense(Dense::new(&mut rng, 3, 1, Activation::Identity)),
+        ])
+    }
+
+    #[test]
+    fn poisoning_is_deterministic_and_counted() {
+        let mut a = tiny_net();
+        let mut b = a.clone();
+        let na = poison_params_nan(&mut a.params_mut(), 42, 5);
+        let nb = poison_params_nan(&mut b.params_mut(), 42, 5);
+        assert_eq!(na, nb);
+        assert!(na >= 1);
+        // Same seed → same poisoned positions.
+        let nan_mask = |n: &Sequential| -> Vec<bool> {
+            n.param_values()
+                .iter()
+                .flat_map(|s| s.iter())
+                .map(|v| v.is_nan())
+                .collect()
+        };
+        let (pa, pb) = (nan_mask(&a), nan_mask(&b));
+        assert_eq!(pa, pb);
+        assert!(pa.iter().any(|&x| x));
+    }
+
+    #[test]
+    fn bit_flips_change_exactly_some_bytes_deterministically() {
+        let orig: Vec<u8> = (0..64u8).collect();
+        let mut x = orig.clone();
+        let mut y = orig.clone();
+        flip_bits(&mut x, 9, 4);
+        flip_bits(&mut y, 9, 4);
+        assert_eq!(x, y);
+        assert_ne!(x, orig);
+        let changed = x.iter().zip(&orig).filter(|(a, b)| a != b).count();
+        assert!((1..=4).contains(&changed));
+    }
+
+    #[test]
+    fn truncate_and_skew_are_shape_safe() {
+        let b: Vec<u8> = (0..32u8).collect();
+        assert_eq!(truncate(&b, 10).len(), 10);
+        assert_eq!(truncate(&b, 100).len(), 32);
+        let mut v = b.clone();
+        skew_version(&mut v, 9);
+        assert_eq!(&v[8..12], &9u32.to_le_bytes());
+        let mut short = vec![0u8; 4];
+        skew_version(&mut short, 9); // no-op, no panic
+        assert_eq!(short, vec![0u8; 4]);
+    }
+
+    #[test]
+    fn corrupt_query_injects_exactly_one_non_finite() {
+        let mut q = vec![0.5f32; 16];
+        let at = corrupt_query(&mut q, 3);
+        assert!(!q[at].is_finite());
+        assert_eq!(q.iter().filter(|v| !v.is_finite()).count(), 1);
+        // Deterministic replay.
+        let mut q2 = vec![0.5f32; 16];
+        assert_eq!(corrupt_query(&mut q2, 3), at);
+    }
+}

@@ -167,6 +167,9 @@ impl Dense {
         y
     }
 
+    // Calling backward before forward is an API-contract violation; the
+    // cache `expect`s make that a panic rather than a silent wrong gradient.
+    #[allow(clippy::expect_used)]
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cache_input.as_ref().expect("backward before forward");
         let y = self.cache_output.as_ref().expect("backward before forward");
@@ -483,6 +486,8 @@ impl Conv1d {
         out
     }
 
+    // Backward before forward is an API-contract violation (see Dense).
+    #[allow(clippy::expect_used)]
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cache_input.as_ref().expect("backward before forward");
         let conv = self.cache_conv.as_ref().expect("backward before forward");
@@ -612,6 +617,8 @@ impl ShiftSigmoid {
         y
     }
 
+    // Backward before forward is an API-contract violation (see Dense).
+    #[allow(clippy::expect_used)]
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let y = self.cache_output.as_ref().expect("backward before forward");
         let mut gx = grad_out.clone();

@@ -1,3 +1,8 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # cardest-nn
 //!
 //! A minimal, deterministic, CPU-only neural-network library built for the
@@ -61,6 +66,8 @@
 //! ```
 
 pub mod activation;
+pub mod artifact;
+pub mod faults;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -73,9 +80,10 @@ pub mod tensor;
 pub mod trainer;
 
 pub use activation::Activation;
+pub use artifact::ArtifactError;
 pub use layers::{Conv1d, Dense, Layer, PoolOp, WeightConstraint};
 pub use loss::{hybrid_loss, weighted_bce_loss, HybridLoss};
-pub use metrics::{mape, q_error, ErrorSummary};
+pub use metrics::{decode_log_card, mape, q_error, ErrorSummary};
 pub use net::{BranchNet, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use parallel::{

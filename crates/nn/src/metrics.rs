@@ -19,6 +19,24 @@ pub fn mape(estimate: f32, truth: f32) -> f32 {
     (estimate - truth).abs() / truth.max(Q_ERROR_FLOOR)
 }
 
+/// Decodes a raw `ln card` regressor output into a cardinality estimate:
+/// `min(exp(clamp(o, ±20)), cap)`.
+///
+/// Contract: the result is always finite and non-negative for **any**
+/// input, including NaN/±∞ outputs from corrupted weights — NaN decodes
+/// to `0.0`, not to `cap` (the bare `exp(o).min(cap)` idiom this replaces
+/// silently mapped NaN to the cap, because `f32::min(NaN, cap)` returns
+/// `cap`). The ±20 clamp bounds `exp` at ≈ 4.85e8, well inside f32 range,
+/// so overflow cannot produce ∞ either. Call sites without a cardinality
+/// cap pass `f32::INFINITY`.
+#[inline]
+pub fn decode_log_card(o: f32, cap: f32) -> f32 {
+    if o.is_nan() {
+        return 0.0;
+    }
+    o.clamp(-20.0, 20.0).exp().min(cap.max(0.0))
+}
+
 /// Summary statistics over a set of per-query errors, matching the columns
 /// of Tables 4 and 7 (Mean / Median / 90th / 95th / 99th / Max).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,7 +73,7 @@ impl ErrorSummary {
             p90: percentile(&sorted, 0.90),
             p95: percentile(&sorted, 0.95),
             p99: percentile(&sorted, 0.99),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted.last().copied().unwrap_or(0.0),
             count: sorted.len(),
         }
     }
@@ -116,6 +134,38 @@ mod tests {
         let s = ErrorSummary::from_errors(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn decode_log_card_caps_the_overflow_edge() {
+        // A wildly large raw output must saturate at the cap, not overflow.
+        assert_eq!(decode_log_card(1000.0, 250.0), 250.0);
+        // Without a cap the ±20 clamp still bounds the result at e^20.
+        let uncapped = decode_log_card(1000.0, f32::INFINITY);
+        assert!(uncapped.is_finite());
+        assert!((uncapped - 20.0f32.exp()).abs() < 1.0);
+        // +∞ raw output behaves like any over-large value.
+        assert_eq!(decode_log_card(f32::INFINITY, 250.0), 250.0);
+    }
+
+    #[test]
+    fn decode_log_card_is_finite_and_non_negative_for_nan() {
+        // The bare `exp(o).min(cap)` idiom mapped NaN to cap; the shared
+        // helper must decode NaN to 0, never to a made-up cardinality.
+        assert_eq!(decode_log_card(f32::NAN, 250.0), 0.0);
+        assert_eq!(decode_log_card(f32::NAN, f32::INFINITY), 0.0);
+        // Negative-infinity raw output decodes to e^-20 ≈ 0.
+        let tiny = decode_log_card(f32::NEG_INFINITY, 250.0);
+        assert!(tiny.is_finite() && (0.0..1e-8).contains(&tiny));
+        // A negative cap is treated as 0, not propagated.
+        assert_eq!(decode_log_card(5.0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn decode_log_card_matches_plain_exp_in_range() {
+        for &(o, cap) in &[(0.0f32, 100.0f32), (3.5, 1e6), (-4.0, 50.0)] {
+            assert!((decode_log_card(o, cap) - o.exp().min(cap)).abs() < 1e-3);
+        }
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub fn resolve_threads(cfg_threads: usize) -> usize {
 /// is processed exactly once and the output vector is assembled by index,
 /// so `threads = 1` and `threads = 8` return identical values whenever
 /// `work` itself is deterministic per index.
+// `expect` propagates worker panics to the caller (the standard
+// `join()` idiom); every slot is filled before the loop ends.
+#[allow(clippy::expect_used)]
 pub fn parallel_largest_first<R, F>(weights: &[usize], threads: usize, work: F) -> Vec<R>
 where
     R: Send,
@@ -120,6 +123,9 @@ where
 /// reproducible. Results come back sorted by key, so any downstream
 /// floating-point reduction performed in that order is bit-identical for
 /// every thread count.
+// `expect` propagates worker panics to the caller (the standard
+// `join()` idiom).
+#[allow(clippy::expect_used)]
 pub fn fan_exclusive<T: Send, R: Send>(
     mut jobs: Vec<(usize, T, usize)>,
     threads: usize,

@@ -308,6 +308,9 @@ fn reduce_grads(net: &mut BranchNet, rep: &mut BranchNet) {
 /// floating-point association of the summed gradient is fixed and the
 /// result is bit-identical for any `threads`. Returns the f64 loss sum
 /// over the whole batch.
+// `expect` propagates shard-worker panics (`join()` idiom); the replica
+// pool is sized to `threads` before either branch runs.
+#[allow(clippy::expect_used)]
 fn sharded_forward_backward(
     net: &mut BranchNet,
     replicas: &mut Vec<BranchNet>,

@@ -177,6 +177,9 @@ struct BatchedModels {
     cardnet: CardNet,
     gl_cnn: GlEstimator,
     gl_plus: GlEstimator,
+    sampling: SamplingEstimator,
+    kernel: KernelEstimator,
+    histogram: HistogramEstimator,
 }
 
 fn batched_models() -> &'static BatchedModels {
@@ -211,6 +214,9 @@ fn batched_models() -> &'static BatchedModels {
         };
         let gl_cnn = gl(GlVariant::GlCnn);
         let gl_plus = gl(GlVariant::GlPlus);
+        let sampling = SamplingEstimator::with_ratio(&data, spec.metric, 0.1, 31, "Sampling (10%)");
+        let kernel = KernelEstimator::new(&data, spec.metric, 0.1, 31);
+        let histogram = HistogramEstimator::build(&data, spec.metric, 2000, 31);
         BatchedModels {
             w,
             tau_max: spec.tau_max,
@@ -218,6 +224,9 @@ fn batched_models() -> &'static BatchedModels {
             cardnet,
             gl_cnn,
             gl_plus,
+            sampling,
+            kernel,
+            histogram,
         }
     })
 }
@@ -298,6 +307,167 @@ fn shared_estimator_across_threads_returns_identical_results() {
             (r - seq).abs() <= 1e-5 * seq.abs().max(1.0),
             "threaded batch {r} vs sequential {seq}"
         );
+    }
+}
+
+// ---------- serving guarantees ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every estimator in the workspace returns a finite, non-negative
+    /// estimate for any in-domain query — including thresholds beyond the
+    /// trained range, where the learned regressors extrapolate and the
+    /// shared `decode_log_card` clamp is the only thing standing between
+    /// the caller and ±∞.
+    #[test]
+    fn every_estimator_is_finite_and_non_negative(q in 0usize..50, t in 0.0f32..2.0) {
+        let m = batched_models();
+        let tau = t * m.tau_max;
+        let ests: [&dyn CardinalityEstimator; 7] = [
+            &m.mlp, &m.cardnet, &m.gl_cnn, &m.gl_plus,
+            &m.sampling, &m.kernel, &m.histogram,
+        ];
+        for est in ests {
+            let e = est.estimate(m.w.queries.view(q), tau);
+            prop_assert!(
+                e.is_finite() && e >= 0.0,
+                "{}: estimate {e} at q={q} tau={tau}",
+                est.name()
+            );
+        }
+    }
+}
+
+/// A cheap dense-metric MLP for exercising the `try_estimate` rejection
+/// classes (binary views have no per-component scan, so the non-finite
+/// component classes need a dense dataset).
+fn dense_mlp() -> &'static (MlpEstimator, usize) {
+    static MODEL: OnceLock<(MlpEstimator, usize)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let spec = DatasetSpec {
+            n_data: 300,
+            n_train_queries: 24,
+            n_test_queries: 6,
+            ..PaperDataset::GloVe300.spec()
+        };
+        let data = spec.generate(17);
+        let w = SearchWorkload::build(&data, &spec, 17);
+        let training = TrainingSet::new(&w.queries, &w.train);
+        let mut cfg = MlpConfig {
+            k_samples: 8,
+            ..Default::default()
+        };
+        cfg.train.epochs = 2;
+        let (mlp, _) = MlpEstimator::train(&data, spec.metric, &training, &cfg, 17);
+        (mlp, spec.dim)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On clean input `try_estimate` is the identity wrapper: `Ok` with
+    /// exactly the infallible path's value.
+    #[test]
+    fn try_estimate_matches_estimate_on_valid_input(q in dense_vec(64), t in 0.01f32..1.0) {
+        let (mlp, _) = dense_mlp();
+        let tau = t * mlp.tau_bound().expect("MLP advertises a tau bound");
+        prop_assert_eq!(
+            mlp.try_estimate(VectorView::Dense(&q), tau),
+            Ok(mlp.estimate(VectorView::Dense(&q), tau))
+        );
+    }
+
+    /// Every malformed-input class is rejected with its matching
+    /// `CardestError` variant, for arbitrary otherwise-valid queries:
+    /// wrong dimensionality, NaN/±∞ components, non-finite τ, negative τ,
+    /// and τ beyond the trained bound.
+    #[test]
+    fn try_estimate_rejects_every_malformed_class(
+        q in dense_vec(64),
+        bad_idx in 0usize..64,
+        wrong_dim in 1usize..200,
+        t in 0.01f32..1.0,
+    ) {
+        let (mlp, dim) = dense_mlp();
+        let bound = mlp.tau_bound().expect("MLP advertises a tau bound");
+        let tau = t * bound;
+
+        // Wrong dimensionality (exact-dim inputs are valid, skip those).
+        if wrong_dim != *dim {
+            let resized = vec![0.0f32; wrong_dim];
+            prop_assert_eq!(
+                mlp.try_estimate(VectorView::Dense(&resized), tau),
+                Err(CardestError::DimensionMismatch {
+                    index: 0,
+                    expected: *dim,
+                    got: wrong_dim
+                })
+            );
+        }
+
+        // A NaN/±∞ component anywhere in the vector.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut poisoned = q.clone();
+            poisoned[bad_idx] = bad;
+            match mlp.try_estimate(VectorView::Dense(&poisoned), tau) {
+                Err(CardestError::NonFiniteQuery { index: 0, component, value }) => {
+                    prop_assert_eq!(component, bad_idx);
+                    prop_assert_eq!(value.is_nan(), bad.is_nan());
+                }
+                other => prop_assert!(false, "expected NonFiniteQuery, got {other:?}"),
+            }
+        }
+
+        // Non-finite τ (NaN equality is always false, so match the shape).
+        prop_assert!(matches!(
+            mlp.try_estimate(VectorView::Dense(&q), f32::NAN),
+            Err(CardestError::NonFiniteTau { index: 0, .. })
+        ));
+        prop_assert!(matches!(
+            mlp.try_estimate(VectorView::Dense(&q), f32::INFINITY),
+            Err(CardestError::NonFiniteTau { index: 0, .. })
+        ));
+
+        // Negative τ.
+        prop_assert_eq!(
+            mlp.try_estimate(VectorView::Dense(&q), -tau.max(1e-3)),
+            Err(CardestError::NegativeTau { index: 0, tau: -tau.max(1e-3) })
+        );
+
+        // τ beyond the trained bound.
+        let over = bound * (1.0 + t);
+        prop_assert_eq!(
+            mlp.try_estimate(VectorView::Dense(&q), over),
+            Err(CardestError::TauOutOfRange { index: 0, tau: over, bound })
+        );
+    }
+
+    /// `try_estimate_batch` pinpoints the offending entry: one malformed
+    /// entry at an arbitrary position fails the batch with that position
+    /// in the error.
+    #[test]
+    fn try_estimate_batch_reports_offending_index(
+        k in 1usize..8,
+        pick in 0usize..8,
+        t in 0.01f32..1.0,
+    ) {
+        let (mlp, dim) = dense_mlp();
+        let tau = t * mlp.tau_bound().expect("MLP advertises a tau bound");
+        let at = pick % k;
+        let rows: Vec<Vec<f32>> = (0..k)
+            .map(|j| vec![0.1f32; if j == at { *dim + 1 } else { *dim }])
+            .collect();
+        let entries: Vec<(VectorView<'_>, f32)> =
+            rows.iter().map(|r| (VectorView::Dense(r), tau)).collect();
+        match mlp.try_estimate_batch(&entries) {
+            Err(e) => {
+                prop_assert_eq!(e.batch_index(), at);
+                prop_assert!(matches!(e, CardestError::DimensionMismatch { .. }));
+            }
+            Ok(_) => prop_assert!(false, "malformed batch entry must fail the batch"),
+        }
     }
 }
 
