@@ -18,6 +18,9 @@ set -eu
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
+# Benches must keep compiling (they are the perf regression harness),
+# but running them is not a CI concern.
+cargo bench --workspace ${CARGO_FLAGS:-} --no-run
 cargo test --workspace ${CARGO_FLAGS:-} -q
 cargo test -p cardest ${CARGO_FLAGS:-} -q --test fault_injection
 cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

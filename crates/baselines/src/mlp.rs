@@ -144,11 +144,10 @@ impl MlpEstimator {
         (est, report)
     }
 
-    /// Distances from `q` to the retained samples — the feature `x_D`.
+    /// Distances from `q` to the retained samples — the feature `x_D`,
+    /// via the shared batched kernel.
     fn distance_vector(&self, q: VectorView<'_>) -> Vec<f32> {
-        (0..self.samples.len())
-            .map(|i| self.metric.distance(q, self.samples.view(i)))
-            .collect()
+        self.metric.distance_many(q, &self.samples)
     }
 
     /// Access to the underlying network (tests, size accounting).
@@ -252,9 +251,8 @@ impl CardinalityEstimator for MlpEstimator {
                 q.write_dense(&mut qbuf);
                 xq.row_mut(r).copy_from_slice(&qbuf);
                 xt.set(r, 0, tau);
-                for (d, i) in xd.row_mut(r).iter_mut().zip(0..k) {
-                    *d = self.metric.distance(q, self.samples.view(i));
-                }
+                self.metric
+                    .distance_many_into(q, &self.samples, xd.row_mut(r));
             }
             let pred = self.net.infer(&[&xq, &xt, &xd], scratch);
             let out = (0..b)

@@ -90,9 +90,8 @@ impl CardinalityEstimator for SamplingEstimator {
     }
 
     fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
-        let hits = (0..self.sample.len())
-            .filter(|&i| self.metric.distance(q, self.sample.view(i)) <= tau)
-            .count();
+        // Batched scan: one kernel dispatch for the whole sample.
+        let hits = self.metric.count_within(q, &self.sample, tau);
         hits as f32 * self.scale
     }
 

@@ -176,9 +176,11 @@ impl KMeans {
     }
 }
 
+/// Squared L2 via the shared eight-lane kernel (assignments scan every
+/// centroid for every point, so this is the clustering hot loop).
 #[inline]
 fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    cardest_data::kernels::sq_l2(a, b)
 }
 
 #[cfg(test)]

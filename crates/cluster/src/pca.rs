@@ -7,6 +7,7 @@
 //! data rows (binary rows are expanded into a reusable buffer), never
 //! materializing the covariance.
 
+use cardest_data::kernels::dot;
 use cardest_data::vector::{VectorData, VectorView};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -138,11 +139,6 @@ fn orthonormalize(q: &mut [Vec<f32>]) {
             }
         }
     }
-}
-
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]

@@ -165,26 +165,32 @@ impl Segmentation {
     }
 
     /// The centroid-distance feature `x_C` of Fig. 5: distances from a
-    /// query to every segment centroid, under the dataset metric.
+    /// query to every segment centroid, under the dataset metric — the
+    /// batched kernel expands a binary query once, not per centroid.
     pub fn centroid_distances(&self, q: VectorView<'_>) -> Vec<f32> {
-        self.centroids
-            .iter()
-            .map(|c| self.metric.distance_to_centroid(q, c))
-            .collect()
+        self.metric.distance_to_centroids(q, &self.centroids)
+    }
+
+    /// [`Segmentation::centroid_distances`] into a caller-owned buffer of
+    /// length [`Segmentation::n_segments`] (the feature-cache hot path).
+    pub fn centroid_distances_into(&self, q: VectorView<'_>, out: &mut [f32]) {
+        self.metric
+            .distance_to_centroids_into(q, &self.centroids, out);
     }
 
     /// The segment whose centroid is nearest to `v` — the routing rule for
-    /// inserted points (§5.3).
+    /// inserted points (§5.3). Evaluates each centroid distance once (the
+    /// previous comparator-based argmin evaluated two per comparison) and
+    /// keeps the first minimum on ties.
     pub fn nearest_segment(&self, v: VectorView<'_>) -> usize {
-        self.centroids
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                self.metric
-                    .distance_to_centroid(v, a)
-                    .total_cmp(&self.metric.distance_to_centroid(v, b))
-            })
-            .map_or(0, |(s, _)| s)
+        let dists = self.metric.distance_to_centroids(v, &self.centroids);
+        let mut best = (0usize, f32::INFINITY);
+        for (s, &d) in dists.iter().enumerate() {
+            if d < best.1 {
+                best = (s, d);
+            }
+        }
+        best.0
     }
 
     /// Records a newly inserted point (already appended to the dataset at
@@ -275,13 +281,7 @@ fn estimate_eps(points: &[f32], dim: usize, n_segments: usize) -> f32 {
     while i + step < n && dists.len() < 2048 {
         let a = &points[i * dim..(i + 1) * dim];
         let b = &points[(i + step) * dim..(i + step + 1) * dim];
-        dists.push(
-            a.iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f32>()
-                .sqrt(),
-        );
+        dists.push(cardest_data::kernels::sq_l2(a, b).sqrt());
         i += 1;
     }
     dists.sort_by(|a, b| a.total_cmp(b));

@@ -346,9 +346,10 @@ impl GlEstimator {
     /// (each worker owns its own [`Scratch`](cardest_nn::Scratch)).
     /// Per-query contributions are accumulated in ascending segment order —
     /// the same order as single-query evaluation — so batched and
-    /// sequential results agree (within the trait's 1e-5 relative-error
-    /// contract; with the current row-independent kernels they are bitwise
-    /// identical).
+    /// sequential results agree within the trait's 1e-5 relative-error
+    /// contract. (They are no longer guaranteed bitwise identical: the
+    /// blocked GEMM picks its kernel by operand shape, so a `B_i × d`
+    /// forward pass may reassociate differently from a `1 × d` one.)
     ///
     /// Two pieces of domain knowledge bound each local estimate:
     /// * a segment cannot contribute more than its member count, so
@@ -811,8 +812,7 @@ fn train_one_local(
                 xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
                 xt.row_mut(r)
                     .copy_from_slice(&tau_features(s.tau, tau_scale));
-                xc.row_mut(r)
-                    .copy_from_slice(&aux_features(&xc_cache[s.query], radii, s.tau));
+                aux_features_into(&xc_cache[s.query], radii, s.tau, xc.row_mut(r));
                 cards.push(labels.card(j, segment));
             }
             (vec![xq, xt, xc], cards)

@@ -109,11 +109,7 @@ impl GlobalModel {
                 xq.row_mut(r).copy_from_slice(&xq_cache[s.query]);
                 xt.row_mut(r)
                     .copy_from_slice(&tau_features(s.tau, cfg.tau_scale));
-                xc.row_mut(r).copy_from_slice(&crate::gl::aux_features(
-                    &xc_cache[s.query],
-                    &radii,
-                    s.tau,
-                ));
+                crate::gl::aux_features_into(&xc_cache[s.query], &radii, s.tau, xc.row_mut(r));
                 let weights = if cfg.penalty {
                     labels.minmax_weights(j)
                 } else {

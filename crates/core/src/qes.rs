@@ -159,9 +159,7 @@ impl QesEstimator {
     }
 
     fn distance_vector(&self, q: VectorView<'_>) -> Vec<f32> {
-        (0..self.samples.len())
-            .map(|i| self.metric.distance(q, self.samples.view(i)))
-            .collect()
+        self.metric.distance_many(q, &self.samples)
     }
 
     pub fn net(&self) -> &BranchNet {
@@ -205,9 +203,8 @@ impl CardinalityEstimator for QesEstimator {
                 q.write_dense(&mut qbuf);
                 xq.row_mut(r).copy_from_slice(&qbuf);
                 xt.set(r, 0, tau);
-                for (d, i) in xd.row_mut(r).iter_mut().zip(0..k) {
-                    *d = self.metric.distance(q, self.samples.view(i));
-                }
+                self.metric
+                    .distance_many_into(q, &self.samples, xd.row_mut(r));
             }
             let pred = self.net.infer(&[&xq, &xt, &xd], scratch);
             let out = (0..b)

@@ -33,10 +33,10 @@ impl DistanceTable {
                 let q0 = t * chunk;
                 s.spawn(move || {
                     for (dq, q) in slice.chunks_mut(n_data).zip(q0..) {
-                        let qv = queries.view(q);
-                        for (d, p) in dq.iter_mut().zip(0..n_data) {
-                            *d = metric.distance(qv, data.view(p));
-                        }
+                        // One batched scan per query row: kernel dispatch
+                        // happens once, then the row loop walks the
+                        // contiguous data storage.
+                        metric.distance_many_into(queries.view(q), data, dq);
                     }
                 });
             }

@@ -10,7 +10,10 @@
 //!
 //! * [`vector`] — dense (`f32`) and bit-packed binary vector storage,
 //! * [`metric`] — the paper's distance functions (L1, L2, cosine, angular,
-//!   Hamming, Jaccard) over dense, binary and mixed operands,
+//!   Hamming, Jaccard) over dense, binary and mixed operands, with batched
+//!   one-query-vs-many-rows entry points,
+//! * [`kernels`] — the monomorphic slice/popcount reductions behind the
+//!   metrics, shared with k-means, PCA and the NN feature builders,
 //! * [`synth`] — synthetic generators standing in for the paper's six real
 //!   datasets (the substitution table lives in `DESIGN.md`),
 //! * [`paper`] — the six dataset specifications of Table 3, scaled for a
@@ -25,6 +28,7 @@
 
 pub mod cache;
 pub mod ground_truth;
+pub mod kernels;
 pub mod metric;
 pub mod paper;
 pub mod stats;

@@ -15,7 +15,8 @@
 //! nothing more:
 //!
 //! * [`tensor::Matrix`] — flat row-major `f32` matrices with the handful of
-//!   BLAS-free kernels the models need,
+//!   BLAS-free kernels the models need, backed by the register-blocked,
+//!   cache-tiled matmuls in [`gemm`],
 //! * [`layers`] — `Dense` (optionally positivity-constrained for the
 //!   monotone threshold path), `Conv1d` with built-in pooling (the query
 //!   segmentation module of §3.2/Fig. 7), and `ShiftSigmoid` (the global
@@ -68,6 +69,7 @@
 pub mod activation;
 pub mod artifact;
 pub mod faults;
+pub mod gemm;
 pub mod init;
 pub mod layers;
 pub mod loss;

@@ -166,6 +166,42 @@ pub fn fan_exclusive<T: Send, R: Send>(
     out
 }
 
+/// Splits a row-major buffer of `rows × row_width` floats into contiguous
+/// row chunks and runs `work(first_row, chunk)` for each across scoped
+/// threads (the blocked GEMM's row-partitioned parallel path).
+///
+/// Chunk boundaries are aligned to multiples of `align` rows so the
+/// micro-kernel keeps full tiles except at the true tail. Because every
+/// output row is produced wholly by one worker and row results do not
+/// depend on which chunk a row landed in, the output is bit-identical for
+/// every `threads` value.
+pub fn parallel_row_chunks<F>(
+    out: &mut [f32],
+    row_width: usize,
+    rows: usize,
+    threads: usize,
+    align: usize,
+    work: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_width);
+    let threads = threads.clamp(1, rows.max(1));
+    if threads <= 1 || rows == 0 || row_width == 0 {
+        work(0, out);
+        return;
+    }
+    let align = align.max(1);
+    let chunk_rows = rows.div_ceil(threads).div_ceil(align) * align;
+    // `scope` joins every worker and re-raises any panic at scope exit.
+    std::thread::scope(|s| {
+        for (ci, chunk) in out.chunks_mut(chunk_rows * row_width).enumerate() {
+            let work = &work;
+            s.spawn(move || work(ci * chunk_rows, chunk));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +251,28 @@ mod tests {
         }
         // Three passes over 23 jobs → every slot bumped exactly 3 times.
         assert!(owned.iter().enumerate().all(|(i, &v)| v == i as u32 + 3));
+    }
+
+    #[test]
+    fn row_chunks_cover_all_rows_for_any_thread_count() {
+        let rows = 37;
+        let width = 3;
+        for threads in [1, 2, 5, 8, 64] {
+            let mut buf = vec![0.0f32; rows * width];
+            parallel_row_chunks(&mut buf, width, rows, threads, 4, |r0, chunk| {
+                for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                    row.fill((r0 + local) as f32);
+                }
+            });
+            for r in 0..rows {
+                assert!(
+                    buf[r * width..(r + 1) * width]
+                        .iter()
+                        .all(|&x| x == r as f32),
+                    "row {r} wrong at threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -124,6 +124,8 @@ impl Matrix {
 
     /// [`Matrix::matmul_nt`] writing into a caller-owned output matrix
     /// (shape `rows × other.rows`) — the allocation-free inference kernel.
+    /// Dispatches to the register-blocked kernel in [`crate::gemm`] for
+    /// non-trivial shapes.
     pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
@@ -134,13 +136,14 @@ impl Matrix {
             (self.rows, other.rows),
             "matmul_nt output shape mismatch"
         );
-        for r in 0..self.rows {
-            let a = self.row(r);
-            let o = out.row_mut(r);
-            for (j, b) in (0..other.rows).map(|j| (j, other.row(j))) {
-                o[j] = dot(a, b);
-            }
-        }
+        crate::gemm::matmul_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
     }
 
     /// `selfᵀ · other`, producing `cols × other.cols`. Used for weight
@@ -151,17 +154,14 @@ impl Matrix {
             "outer dimensions differ in matmul_tn"
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a = self.row(r);
-            let b = other.row(r);
-            for (i, &ai) in a.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let o = out.row_mut(i);
-                axpy(ai, b, o);
-            }
-        }
+        crate::gemm::matmul_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         out
     }
 
@@ -173,16 +173,14 @@ impl Matrix {
             "inner dimensions differ in matmul_nn"
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            let a = self.row(r);
-            let o = out.row_mut(r);
-            for (k, &ak) in a.iter().enumerate() {
-                if ak == 0.0 {
-                    continue;
-                }
-                axpy(ak, other.row(k), o);
-            }
-        }
+        crate::gemm::matmul_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         out
     }
 
