@@ -1,26 +1,66 @@
 #!/usr/bin/env sh
-# Repository CI gate: formatting, lints, and the full test suite.
-# Usage: ./ci.sh  (add CARGO_FLAGS=--offline for air-gapped machines)
+# Repository CI gate: formatting, invariant lints, clippy, and the full
+# test suite. Usage: ./ci.sh  (add CARGO_FLAGS=--offline for air-gapped
+# machines)
 #
-# Tests run in three tiers:
-#   1. the default suite — fast and deterministic, the per-commit gate;
-#   2. the fault-injection lane — corrupted artifacts, poisoned weights
-#      and malformed queries must surface as typed errors or recorded
-#      fallbacks, never as panics (run separately so a panic anywhere in
-#      it is unambiguously a robustness regression);
-#   3. the `--ignored` lane — heavyweight configurations (multi-variant /
-#      multi-dataset trainings) that pin broader behavior but cost minutes.
+# Lanes, in order:
+#   fmt          rustfmt as a pure check;
+#   cardest-lint the workspace invariant checker (crates/lint): determinism,
+#                decode clamping, float total order, panic paths, unsafe
+#                hygiene, kernel casts. Machine-readable JSON, non-zero on
+#                any non-allowed diagnostic, runs before everything heavy
+#                because it needs only the zero-dependency lint crate;
+#   clippy       -D warnings; clippy.toml's disallowed-methods cross-check
+#                the cardest-lint rules from the type-resolved side, and
+#                library crates carry clippy::unwrap_used/expect_used;
+#   bench-build  benches must keep compiling (perf regression harness),
+#                but running them is not a CI concern;
+#   test         the default suite — fast and deterministic, the per-commit
+#                gate (includes cardest-lint's fixture self-tests and the
+#                workspace meta-gate, so the lint gate also fires for
+#                contributors who only run `cargo test`);
+#   fault        the fault-injection lane — corrupted artifacts, poisoned
+#                weights and malformed queries must surface as typed errors
+#                or recorded fallbacks, never as panics (run separately so
+#                a panic anywhere in it is unambiguously a robustness
+#                regression);
+#   heavy        the `--ignored` lane — heavyweight configurations
+#                (multi-variant / multi-dataset trainings) that pin broader
+#                behavior but cost minutes.
 #
-# Library crates carry `#![warn(clippy::unwrap_used, clippy::expect_used)]`
-# so the clippy step (with -D warnings) rejects new panic paths in
-# non-test library code.
+# A per-lane wall-clock summary is printed at the end (also on failure, so
+# slow lanes stay visible even when a later lane breaks).
 set -eu
 
-cargo fmt --all --check
-cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
-# Benches must keep compiling (they are the perf regression harness),
-# but running them is not a CI concern.
-cargo bench --workspace ${CARGO_FLAGS:-} --no-run
-cargo test --workspace ${CARGO_FLAGS:-} -q
-cargo test -p cardest ${CARGO_FLAGS:-} -q --test fault_injection
-cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored
+SUMMARY=""
+CURRENT_LANE="(startup)"
+
+print_summary() {
+    status=$?
+    printf '\n== ci.sh lane timing ==\n'
+    printf '%b' "$SUMMARY"
+    if [ "$status" -ne 0 ]; then
+        printf '%-14s FAILED (exit %s)\n' "$CURRENT_LANE" "$status"
+    fi
+    exit "$status"
+}
+trap print_summary EXIT
+
+lane() {
+    CURRENT_LANE="$1"
+    shift
+    printf '== lane: %s ==\n' "$CURRENT_LANE"
+    lane_start=$(date +%s)
+    "$@"
+    lane_end=$(date +%s)
+    SUMMARY="${SUMMARY}$(printf '%-14s %4ss' "$CURRENT_LANE" "$((lane_end - lane_start))")\n"
+    CURRENT_LANE="(done)"
+}
+
+lane fmt          cargo fmt --all --check
+lane cardest-lint cargo run -p cardest-lint ${CARGO_FLAGS:-} -- --format=json crates
+lane clippy       cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
+lane bench-build  cargo bench --workspace ${CARGO_FLAGS:-} --no-run
+lane test         cargo test --workspace ${CARGO_FLAGS:-} -q
+lane fault        cargo test -p cardest ${CARGO_FLAGS:-} -q --test fault_injection
+lane heavy        cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

@@ -185,6 +185,7 @@ impl CardNet {
                         eps.set(r, j, e);
                         let mu = enc.get(r, j);
                         let lv = enc.get(r, l + j).clamp(-8.0, 8.0);
+                        // cardest-lint: allow(raw-exp-decode): VAE reparameterization / KL math on clamped log-variance, not a cardinality decode
                         z.set(r, j, mu + (0.5 * lv).exp() * e);
                     }
                 }
@@ -198,6 +199,7 @@ impl CardNet {
                     for j in 0..l {
                         let mu = enc.get(r, j);
                         let lv = enc.get(r, l + j).clamp(-8.0, 8.0);
+                        // cardest-lint: allow(raw-exp-decode): VAE reparameterization / KL math on clamped log-variance, not a cardinality decode
                         kl += 0.5 * (lv.exp() + mu * mu - 1.0 - lv) as f64;
                     }
                 }
@@ -212,6 +214,7 @@ impl CardNet {
                     let gcum = grad_log[r] / (chat + 1e-3);
                     for j in 0..=bucket.min(self.buckets - 1) {
                         let w = if j == bucket { frac } else { 1.0 };
+                        // cardest-lint: allow(float-total-order): w is either the 1.0 literal or frac; 0.0 is an exact sentinel
                         if w == 0.0 {
                             continue;
                         }
@@ -230,7 +233,9 @@ impl CardNet {
                         let lv = enc.get(r, l + j).clamp(-8.0, 8.0);
                         let gzj = gz.get(r, j);
                         genc.set(r, j, gzj + kl_scale * mu);
+                        // cardest-lint: allow(raw-exp-decode): VAE reparameterization / KL math on clamped log-variance, not a cardinality decode
                         let dz_dlv = 0.5 * (0.5 * lv).exp() * eps.get(r, j);
+                        // cardest-lint: allow(raw-exp-decode): VAE reparameterization / KL math on clamped log-variance, not a cardinality decode
                         genc.set(r, l + j, gzj * dz_dlv + kl_scale * 0.5 * (lv.exp() - 1.0));
                     }
                 }
@@ -384,6 +389,7 @@ fn softplus(x: f32) -> f32 {
     if x > 15.0 {
         x
     } else {
+        // cardest-lint: allow(raw-exp-decode): stable softplus log(1+e^x) internal, input already range-guarded
         x.exp().ln_1p()
     }
 }

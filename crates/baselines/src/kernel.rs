@@ -97,6 +97,7 @@ fn erf(x: f64) -> f64 {
         - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
+            // cardest-lint: allow(raw-exp-decode): Abramowitz–Stegun erf polynomial, not a cardinality decode
             * (-x * x).exp();
     sign * y
 }

@@ -10,6 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// cardest-lint: allow(nondeterminism): bucket keys are collected and sorted before any order-sensitive iteration
 use std::collections::HashMap;
 
 /// Random-hyperplane LSH over flat `n × dim` points.
@@ -54,6 +55,7 @@ impl LshSegmenter {
         let sigs: Vec<u64> = (0..n)
             .map(|i| self.signature(&points[i * self.dim..(i + 1) * self.dim]))
             .collect();
+        // cardest-lint: allow(nondeterminism): bucket keys are collected and sorted before any order-sensitive iteration
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, &s) in sigs.iter().enumerate() {
             buckets.entry(s).or_default().push(i);

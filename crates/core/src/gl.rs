@@ -497,6 +497,7 @@ impl GlEstimator {
             .into_iter()
             .zip(max_single)
             .zip(evaluated)
+            // cardest-lint: allow(float-total-order): exact zero sentinel for "no segment answered"; totals are sums of exact zeros
             .map(|((t, m), n)| (if t == 0.0 { m } else { t }, n))
             .collect()
     }

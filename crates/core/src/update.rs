@@ -247,6 +247,7 @@ impl UpdatableGl {
                 .filter(|&j| self.seg_cards[j][seg] > 0.0)
                 .collect();
             let zeros: Vec<usize> = (0..self.train.len())
+                // cardest-lint: allow(float-total-order): exact zero sentinel — labels are set to the 0.0 literal, never computed
                 .filter(|&j| self.seg_cards[j][seg] == 0.0)
                 .take(chosen.len().max(16))
                 .collect();
@@ -272,6 +273,7 @@ impl UpdatableGl {
         let jobs: Vec<_> = seg_chosen
             .into_iter()
             .map(|(seg, chosen)| {
+                // cardest-lint: allow(panic-path): the `affected` list is de-duplicated; a second take would alias a local model
                 let local = slots[seg].take().expect("affected segments are unique");
                 let weight = chosen.len();
                 (seg, (local, chosen), weight)

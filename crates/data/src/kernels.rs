@@ -203,6 +203,7 @@ pub fn expand_bits_into(words: &[u64], dim: usize, buf: &mut Vec<f32>) {
     buf.reserve(dim);
     for j in 0..dim {
         let bit = (words[j / 64] >> (j % 64)) & 1;
+        // cardest-lint: allow(kernel-hygiene): bit is 0 or 1; the u64→f32 cast is exact
         buf.push(bit as f32);
     }
 }

@@ -246,6 +246,7 @@ impl VectorData {
                 assert_eq!(a.dim(), b.dim(), "dimension mismatch");
                 a.words.extend_from_slice(&b.words);
             }
+            // cardest-lint: allow(panic-path): mixing representations is a caller-contract violation with no recoverable meaning
             _ => panic!("cannot mix dense and binary collections"),
         }
     }

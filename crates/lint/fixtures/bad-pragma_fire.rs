@@ -1,0 +1,11 @@
+// cardest-lint-fixture: path=crates/data/src/cache.rs
+//! Must-fire fixture: malformed suppression pragmas.
+
+pub fn f(v: Option<u32>) -> u32 {
+    // cardest-lint: allow(panic-path)
+    let a = v.unwrap();
+    // cardest-lint: allow(no-such-rule): reason present but rule unknown
+    let b = a + 1;
+    // cardest-lint: deny(panic-path): wrong verb
+    a + b
+}

@@ -1,0 +1,20 @@
+// cardest-lint-fixture: path=crates/nn/src/gemm.rs
+//! Must-not-fire fixture: cast-free kernel code, a justified exact cast,
+//! and casts confined to test code.
+
+pub fn exact(bit: u64) -> f32 {
+    // cardest-lint: allow(kernel-hygiene): bit is 0 or 1; the cast is exact
+    bit as f32
+}
+
+pub fn widen(x: f32) -> f64 {
+    f64::from(x)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_allowed() {
+        assert_eq!(3usize as f32, 3.0);
+    }
+}

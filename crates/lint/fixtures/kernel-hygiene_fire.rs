@@ -1,0 +1,8 @@
+// cardest-lint-fixture: path=crates/nn/src/gemm.rs
+//! Must-fire fixture: lossy `as` casts inside an IEEE-exact kernel file.
+
+pub fn lossy(n: usize, x: f32) -> f32 {
+    let scale = n as f32;
+    let back = x as usize;
+    scale + back as f32
+}

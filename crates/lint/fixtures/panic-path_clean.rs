@@ -1,0 +1,22 @@
+// cardest-lint-fixture: path=crates/data/src/cache.rs
+//! Must-not-fire fixture: typed errors, defaulted options, documented
+//! allows, and free unwraps in test code.
+
+pub fn typed(v: Option<u32>, r: Result<u32, CardestError>) -> Result<u32, CardestError> {
+    let a = v.unwrap_or_default();
+    let b = r?;
+    // cardest-lint: allow(panic-path): slot is filled by construction two lines up
+    let c = Some(a + b).unwrap();
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        assert_eq!(r.expect("ok"), 4);
+    }
+}

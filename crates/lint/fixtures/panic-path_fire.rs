@@ -1,0 +1,15 @@
+// cardest-lint-fixture: path=crates/data/src/cache.rs
+//! Must-fire fixture: every panic path the rule bans.
+
+pub fn explode(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("gone");
+    if a > b {
+        panic!("boom");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => unimplemented!(),
+    }
+}

@@ -1,0 +1,15 @@
+// cardest-lint-fixture: path=crates/core/src/gl.rs
+//! Must-not-fire fixture: decodes routed through the shared clamp helper,
+//! plus test-only exp.
+
+pub fn decode(o: f32, cap: f32) -> f32 {
+    decode_log_card(o, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exp_in_tests_is_allowed() {
+        assert!((1.0f32).exp() > 2.7);
+    }
+}

@@ -1,0 +1,6 @@
+// cardest-lint-fixture: path=crates/core/src/gl.rs
+//! Must-fire fixture: a bare model-output decode.
+
+pub fn decode(o: f32, cap: f32) -> f32 {
+    o.exp().min(cap)
+}

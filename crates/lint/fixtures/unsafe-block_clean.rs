@@ -1,0 +1,9 @@
+// cardest-lint-fixture: path=crates/nn/src/tensor.rs
+//! Must-not-fire fixture: unsafe justified by an adjacent SAFETY comment.
+//! (The live workspace has no unsafe at all; this pins the escape hatch.)
+
+pub fn peek(v: &[f32]) -> f32 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

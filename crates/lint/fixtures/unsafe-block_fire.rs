@@ -1,0 +1,6 @@
+// cardest-lint-fixture: path=crates/nn/src/tensor.rs
+//! Must-fire fixture: unsafe without a SAFETY comment.
+
+pub fn peek(v: &[f32]) -> f32 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,38 @@
+// The linter dogfoods its own rules: no unsafe, no panics in library
+// paths, no nondeterminism (BTree containers only, no clocks).
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+//! # cardest-lint
+//!
+//! A zero-dependency invariant checker for the `cardest` workspace. The
+//! workspace promises, and earlier PRs hand-verified, three families of
+//! guarantees:
+//!
+//! 1. **Determinism** — training is bit-identical for any
+//!    `--train-threads` value; no wall-clock, OS entropy, or hash-ordered
+//!    iteration in library crates.
+//! 2. **Numerics** — every log-cardinality decode is clamped through
+//!    `decode_log_card`; float ordering uses `total_cmp`; the GEMM and
+//!    distance kernels stay IEEE-exact.
+//! 3. **Panic-safety** — library crates surface typed errors, never
+//!    panics, and the workspace is 100% safe Rust.
+//!
+//! `cardest-lint` makes those machine-checked. It is deliberately
+//! dependency-free (the workspace builds offline; `syn` is unavailable):
+//! a hand-rolled [`lexer`] separates code tokens from comments, strings,
+//! and char literals, the [`rules`] registry walks the token stream, and
+//! [`engine`] applies `// cardest-lint: allow(<rule>): <reason>` pragmas
+//! (see [`pragma`]) before reporting `file:line` diagnostics, in text or
+//! `--format=json`.
+//!
+//! See `DESIGN.md` §10 for the rule catalogue and how to add a rule.
+
+pub mod engine;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+pub use engine::{collect_rs_files, lint_paths, lint_source, to_json, Report};
+pub use rules::{registry, Diagnostic};

@@ -1,0 +1,91 @@
+// Mirror the library's self-discipline in the binary crate root.
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+//! `cardest-lint` CLI: `cardest-lint [--format=text|json] [--list-rules]
+//! [paths...]`. Paths default to `crates`. Exit code 0 means no
+//! diagnostics, 1 means violations were found, 2 means usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cardest_lint::{engine, rules};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--format=text" => format = Format::Text,
+            "--format=json" => format = Format::Json,
+            "--list-rules" => {
+                for r in rules::registry() {
+                    println!("{:18} {}", r.id, r.summary);
+                }
+                println!(
+                    "{:18} malformed or reason-less suppression pragma (meta-rule)",
+                    rules::BAD_PRAGMA
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("cardest-lint: unknown flag `{other}`");
+                print_help();
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("crates"));
+    }
+
+    let report = match engine::lint_paths(&paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cardest-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Json => println!("{}", engine::to_json(&report)),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+            }
+            eprintln!(
+                "cardest-lint: {} diagnostic(s) across {} file(s) ({} allow pragma(s) in effect)",
+                report.diagnostics.len(),
+                report.files_scanned,
+                report.allows_used
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "cardest-lint: invariant checker for the cardest workspace\n\n\
+         USAGE: cardest-lint [--format=text|json] [--list-rules] [paths...]\n\n\
+         Paths default to `crates`. Directories are walked recursively for\n\
+         .rs files (skipping target/, fixtures/, and hidden directories).\n\
+         Suppress a diagnostic with an inline pragma carrying a reason:\n\n\
+             // cardest-lint: allow(<rule>): <why this is legitimate>\n\n\
+         Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error."
+    );
+}

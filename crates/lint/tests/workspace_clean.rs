@@ -1,0 +1,50 @@
+//! The meta-gate: linting the live workspace from inside `cargo test`
+//! must report zero non-allowed diagnostics, so the determinism /
+//! numerics / panic-safety contracts are enforced even for contributors
+//! who never run `ci.sh`.
+
+use std::path::PathBuf;
+
+use cardest_lint::lint_paths;
+
+fn crates_dir() -> PathBuf {
+    // crates/lint -> crates
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_default()
+}
+
+#[test]
+fn live_workspace_has_zero_non_allowed_diagnostics() {
+    let report = lint_paths(&[crates_dir()]).expect("lint the crates tree");
+    assert!(
+        report.diagnostics.is_empty(),
+        "cardest-lint found violations in the live workspace:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_walk_actually_covers_the_workspace() {
+    // Guard against a silent no-op gate (wrong directory, over-eager
+    // skip list): the walk must see every crate's sources.
+    let report = lint_paths(&[crates_dir()]).expect("lint the crates tree");
+    assert!(
+        report.files_scanned >= 50,
+        "only {} files scanned — walker is skipping too much",
+        report.files_scanned
+    );
+    // The ~44 documented allows (panic invariants, exact-zero compares,
+    // VAE exp math, LSH ordering) must all still be load-bearing.
+    assert!(
+        report.allows_used >= 30,
+        "only {} allow pragmas in effect — pragmas and violations drifted apart",
+        report.allows_used
+    );
+}

@@ -303,6 +303,7 @@ pub mod reference {
             let ar = a.row(r);
             let br = b.row(r);
             for (i, &ai) in ar.iter().enumerate() {
+                // cardest-lint: allow(float-total-order): exact IEEE zero test to skip no-op axpy work (reference kernel, kept verbatim)
                 if ai == 0.0 {
                     continue;
                 }
@@ -320,6 +321,7 @@ pub mod reference {
             let ar = a.row(r);
             let o = out.row_mut(r);
             for (kk, &ak) in ar.iter().enumerate() {
+                // cardest-lint: allow(float-total-order): exact IEEE zero test to skip no-op axpy work (reference kernel, kept verbatim)
                 if ak == 0.0 {
                     continue;
                 }

@@ -171,7 +171,9 @@ impl Dense {
     // cache `expect`s make that a panic rather than a silent wrong gradient.
     #[allow(clippy::expect_used)]
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // cardest-lint: allow(panic-path): backward before forward is a Layer API-contract violation; abort beats a silent wrong gradient
         let x = self.cache_input.as_ref().expect("backward before forward");
+        // cardest-lint: allow(panic-path): backward before forward is a Layer API-contract violation; abort beats a silent wrong gradient
         let y = self.cache_output.as_ref().expect("backward before forward");
         // Pre-activation gradient.
         let mut g = grad_out.clone();
@@ -489,8 +491,11 @@ impl Conv1d {
     // Backward before forward is an API-contract violation (see Dense).
     #[allow(clippy::expect_used)]
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // cardest-lint: allow(panic-path): backward before forward is a Layer API-contract violation; abort beats a silent wrong gradient
         let x = self.cache_input.as_ref().expect("backward before forward");
+        // cardest-lint: allow(panic-path): backward before forward is a Layer API-contract violation; abort beats a silent wrong gradient
         let conv = self.cache_conv.as_ref().expect("backward before forward");
+        // cardest-lint: allow(panic-path): backward before forward is a Layer API-contract violation; abort beats a silent wrong gradient
         let argmax = self.cache_argmax.as_ref().expect("backward before forward");
         let batch = x.rows();
         let conv_len = self.conv_len();
@@ -538,6 +543,7 @@ impl Conv1d {
             for oc in 0..self.out_channels {
                 for t in 0..conv_len {
                     let g = grow[oc * conv_len + t];
+                    // cardest-lint: allow(float-total-order): exact IEEE zero test to skip no-op axpy work, not a tolerance check
                     if g == 0.0 {
                         continue;
                     }
@@ -620,6 +626,7 @@ impl ShiftSigmoid {
     // Backward before forward is an API-contract violation (see Dense).
     #[allow(clippy::expect_used)]
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // cardest-lint: allow(panic-path): backward before forward is a Layer API-contract violation; abort beats a silent wrong gradient
         let y = self.cache_output.as_ref().expect("backward before forward");
         let mut gx = grad_out.clone();
         for (g, p) in gx.as_mut_slice().iter_mut().zip(y.as_slice()) {
@@ -679,6 +686,7 @@ impl Dropout {
 
     fn forward(&mut self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.dim, "dropout input width mismatch");
+        // cardest-lint: allow(float-total-order): p == 0.0 is an exact sentinel for "dropout disabled", set only from the literal
         if !self.training || self.p == 0.0 {
             self.cache_mask = None;
             return x.clone();
@@ -1058,7 +1066,7 @@ mod tests {
                             let w1 = (w0 + spec.pool_size).min(conv_len);
                             let mut vals: Vec<f32> =
                                 (w0..w1).map(|t| raw.get(r, c * conv_len + t)).collect();
-                            vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                            vals.sort_by(|a, b| b.total_cmp(a));
                             if vals.len() > 1 {
                                 margin = margin.min(vals[0] - vals[1]);
                             }
@@ -1071,6 +1079,23 @@ mod tests {
             let mut l = Layer::Conv1d(Conv1d::new(&mut rng, 2, 8, spec, Activation::Tanh));
             grad_check_tight(&mut l, &x);
         }
+    }
+
+    #[test]
+    fn descending_total_cmp_sort_survives_nan() {
+        // Regression for the max-pool margin probe above: sorting with
+        // `partial_cmp(..).unwrap()` aborted the whole test harness when
+        // an activation was NaN. `total_cmp` orders NaN deterministically
+        // (+NaN above +inf, -NaN below -inf), so a poisoned probe now
+        // fails its margin assertion instead of panicking mid-sort.
+        let mut vals = [0.3f32, f32::NAN, 0.7, -f32::NAN, 0.1];
+        vals.sort_by(|a, b| b.total_cmp(a));
+        assert!(vals[0].is_nan() && vals[0].is_sign_positive());
+        assert_eq!(vals[1..4], [0.7, 0.3, 0.1]);
+        assert!(vals[4].is_nan() && vals[4].is_sign_negative());
+        // A NaN margin can never satisfy the probe's `margin > eps` gate.
+        let margin = vals[0] - vals[1];
+        assert!(margin.is_nan());
     }
 
     #[test]

@@ -84,6 +84,7 @@ where
         for &i in &order {
             out[i] = Some(work(i, &mut scratch));
         }
+        // cardest-lint: allow(panic-path): every slot is filled by the loop above; a hole is a queue-logic bug worth aborting on
         return out.into_iter().map(|r| r.expect("job ran")).collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -105,6 +106,7 @@ where
             .collect();
         handles
             .into_iter()
+            // cardest-lint: allow(panic-path): standard join() idiom — re-raise a worker panic on the caller thread
             .flat_map(|h| h.join().expect("parallel training worker panicked"))
             .collect()
     });
@@ -158,6 +160,7 @@ pub fn fan_exclusive<T: Send, R: Send>(
                 .collect();
             handles
                 .into_iter()
+                // cardest-lint: allow(panic-path): standard join() idiom — re-raise a worker panic on the caller thread
                 .flat_map(|h| h.join().expect("fan_exclusive worker panicked"))
                 .collect()
         })

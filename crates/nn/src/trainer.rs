@@ -351,6 +351,7 @@ fn sharded_forward_backward(
         // One replica walks the shards in order; reducing after each shard
         // gives the same per-scalar association ((0 + c₀) + c₁) + … as the
         // parallel reduction below.
+        // cardest-lint: allow(panic-path): replicas has exactly `threads >= 1` entries by construction a few lines up
         let (rep, _) = replicas.split_first_mut().expect("replica exists");
         let mut total = 0.0f64;
         for &(r0, r1) in &shards {
@@ -381,6 +382,7 @@ fn sharded_forward_backward(
             ));
         }
         for (w, h) in handles {
+            // cardest-lint: allow(panic-path): standard join() idiom — re-raise a worker panic on the caller thread
             let losses = h.join().expect("gradient shard worker panicked");
             for (k, ls) in losses.into_iter().enumerate() {
                 shard_losses[w * per + k] = ls;
@@ -608,7 +610,11 @@ mod tests {
         let cards: Vec<f32> = xs
             .iter()
             .zip(&taus)
-            .map(|(x, t)| (2.0 * x[0] + t).exp().round().max(1.0))
+            .map(|(x, t)| {
+                crate::metrics::decode_log_card(2.0 * x[0] + t, f32::MAX)
+                    .round()
+                    .max(1.0)
+            })
             .collect();
         (xs, taus, cards)
     }
@@ -667,7 +673,9 @@ mod tests {
             .as_slice()
             .iter()
             .zip(&cards_all)
-            .map(|(&p, &c)| crate::metrics::q_error(p.exp(), c))
+            .map(|(&p, &c)| {
+                crate::metrics::q_error(crate::metrics::decode_log_card(p, f32::MAX), c)
+            })
             .sum::<f32>()
             / n as f32;
         assert!(mean_q < 2.0, "mean Q-error {mean_q} after training");
