@@ -24,6 +24,13 @@
 #                or recorded fallbacks, never as panics (run separately so
 #                a panic anywhere in it is unambiguously a robustness
 #                regression);
+#   serve        the estimation-server smoke battery: a real server on an
+#                ephemeral port answering estimate / batch / malformed-body
+#                400 / hot reload (healthy and corrupt) / stats, plus the
+#                `cardest-serve` binary's LISTENING announcement — every
+#                wait is deadline-bounded so a wedged server fails rather
+#                than hangs. (cardest-lint covers crates/server via the
+#                lint lane's recursive `crates` scan.)
 #   heavy        the `--ignored` lane — heavyweight configurations
 #                (multi-variant / multi-dataset trainings) that pin broader
 #                behavior but cost minutes.
@@ -63,4 +70,5 @@ lane clippy       cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D 
 lane bench-build  cargo bench --workspace ${CARGO_FLAGS:-} --no-run
 lane test         cargo test --workspace ${CARGO_FLAGS:-} -q
 lane fault        cargo test -p cardest ${CARGO_FLAGS:-} -q --test fault_injection
+lane serve        cargo test -p cardest-server ${CARGO_FLAGS:-} -q --test http_smoke
 lane heavy        cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

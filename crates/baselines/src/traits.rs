@@ -159,6 +159,33 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
     }
 }
 
+/// `Arc`ed estimators forward too: a serving layer hot-swapping models can
+/// share one fallback estimator across every loaded model generation
+/// instead of rebuilding it per reload.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, q: VectorView<'_>, tau: f32) -> f32 {
+        (**self).estimate(q, tau)
+    }
+    fn estimate_batch(&self, queries: &[(VectorView<'_>, f32)]) -> Vec<f32> {
+        (**self).estimate_batch(queries)
+    }
+    fn estimate_join(&self, queries: &VectorData, member_ids: &[usize], tau: f32) -> f32 {
+        (**self).estimate_join(queries, member_ids, tau)
+    }
+    fn model_bytes(&self) -> usize {
+        (**self).model_bytes()
+    }
+    fn expected_dim(&self) -> Option<usize> {
+        (**self).expected_dim()
+    }
+    fn tau_bound(&self) -> Option<f32> {
+        (**self).tau_bound()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +284,21 @@ mod tests {
         assert!(matches!(err, CardestError::TauOutOfRange { index: 1, .. }));
         let clean = [(VectorView::Dense(&ok), 0.1), (VectorView::Dense(&ok), 0.2)];
         assert_eq!(s.try_estimate_batch(&clean), Ok(vec![10.0, 20.0]));
+    }
+
+    #[test]
+    fn arced_estimators_forward_guards_through_the_vtable() {
+        let arced: std::sync::Arc<dyn CardinalityEstimator + Send + Sync> =
+            std::sync::Arc::new(Stub);
+        assert_eq!(arced.expected_dim(), Some(2));
+        assert_eq!(arced.tau_bound(), Some(1.0));
+        assert_eq!(
+            arced.try_estimate(VectorView::Dense(&[0.0; 2]), 0.5),
+            Ok(50.0)
+        );
+        assert!(arced
+            .try_estimate(VectorView::Dense(&[0.0; 3]), 0.5)
+            .is_err());
     }
 
     #[test]

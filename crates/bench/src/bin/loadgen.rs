@@ -1,0 +1,385 @@
+//! `loadgen` — drive the estimation server over real sockets and write
+//! `BENCH_serving.json`.
+//!
+//! Starts a `cardest-server` in-process (ephemeral port), then measures:
+//!
+//! 1. **single** — closed-loop single-query `POST /estimate` latency
+//!    (client-observed p50/p99) and throughput,
+//! 2. **batch** — the same query volume shipped as `POST /estimate_batch`
+//!    (the coalesced/batched serving path the paper's batched kernels
+//!    feed), per-query amortized latency and throughput,
+//! 3. **saturation** — a client ramp; the peak QPS across the ramp is
+//!    reported as `qps_at_saturation`,
+//! 4. **hot_reload** — sustained load while the model registry swaps
+//!    generations (healthy and corrupt artifacts alternating); the
+//!    acceptance bar is zero failed requests and every corrupt reload
+//!    rejected.
+//!
+//! Usage: `cargo run --release -p cardest-bench --bin loadgen [--quick]
+//! [--out PATH]`.
+
+use cardest_baselines::mlp::{MlpConfig, MlpEstimator};
+use cardest_baselines::sampling::SamplingEstimator;
+use cardest_baselines::traits::TrainingSet;
+use cardest_data::metric::Metric;
+use cardest_data::paper::{DatasetSpec, PaperDataset};
+use cardest_data::workload::SearchWorkload;
+use cardest_server::client::HttpClient;
+use cardest_server::coalesce::CoalesceConfig;
+use cardest_server::model::repr_of;
+use cardest_server::registry::SharedFallback;
+use cardest_server::{ModelRegistry, RegistryConfig, Server, ServerConfig, ServerHandle};
+use serde::Value;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("BENCH_serving.json"),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--quick" => args.quick = true,
+            other => panic!("unknown flag {other:?} (usage: loadgen [--quick] [--out PATH])"),
+        }
+    }
+    args
+}
+
+struct Bench {
+    handle: ServerHandle,
+    addr: SocketAddr,
+    dir: PathBuf,
+    artifact_a: PathBuf,
+    artifact_b: PathBuf,
+    bodies: Vec<String>,
+}
+
+fn setup(quick: bool) -> Bench {
+    let spec = DatasetSpec {
+        dataset: PaperDataset::GloVe300,
+        dim: 64,
+        n_data: if quick { 1_000 } else { 4_000 },
+        n_train_queries: if quick { 24 } else { 64 },
+        n_test_queries: 8,
+        metric: Metric::Angular,
+        tau_max: 0.6,
+    };
+    eprintln!(
+        "loadgen: generating {}d x {} dataset and training the serving model",
+        spec.dim, spec.n_data
+    );
+    let data = spec.generate(13);
+    let workload = SearchWorkload::build(&data, &spec, 13);
+    let training = TrainingSet::new(&workload.queries, &workload.train);
+    let mut cfg = MlpConfig::default();
+    cfg.train.epochs = if quick { 3 } else { 6 };
+
+    let dir = std::env::temp_dir().join(format!("cardest-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact_a = dir.join("model_a.cardest");
+    let artifact_b = dir.join("model_b.cardest");
+    for (path, seed) in [(&artifact_a, 1u64), (&artifact_b, 2u64)] {
+        let (model, _) = MlpEstimator::train(&data, spec.metric, &training, &cfg, seed);
+        model.save_artifact(path).unwrap();
+    }
+
+    let fallback: SharedFallback = Arc::new(SamplingEstimator::with_ratio(
+        &data,
+        spec.metric,
+        0.01,
+        13,
+        "Sampling 1%",
+    ));
+    let registry = ModelRegistry::new(
+        RegistryConfig {
+            n_data: data.len(),
+            dim: data.dim(),
+            repr: repr_of(&data),
+            monotone: true,
+        },
+        fallback,
+        &artifact_a,
+    )
+    .unwrap();
+    let handle = Server::start(
+        ServerConfig {
+            workers: 6,
+            coalesce: CoalesceConfig {
+                window: Duration::from_micros(200),
+                max_batch: 64,
+                cap: 4096,
+            },
+            ..ServerConfig::default()
+        },
+        Arc::new(registry),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Pre-render request bodies from real dataset rows.
+    let bodies: Vec<String> = (0..256)
+        .map(|i| {
+            let row = match data.view(i % data.len()) {
+                cardest_data::vector::VectorView::Dense(r) => r,
+                other => panic!("dense expected, got {other:?}"),
+            };
+            let comps: Vec<String> = row.iter().map(|v| format!("{v:.5}")).collect();
+            let tau = 0.1 + 0.05 * (i % 9) as f32;
+            format!("{{\"query\":[{}],\"tau\":{tau:.2}}}", comps.join(","))
+        })
+        .collect();
+
+    Bench {
+        handle,
+        addr,
+        dir,
+        artifact_a,
+        artifact_b,
+        bodies,
+    }
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Closed-loop run: `clients` threads each fire `per_client` requests at
+/// `path` with rotating bodies. Returns (sorted latencies µs, elapsed).
+fn closed_loop(
+    addr: SocketAddr,
+    bodies: Arc<Vec<String>>,
+    clients: usize,
+    per_client: usize,
+    path: &'static str,
+) -> (Vec<u64>, Duration) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(addr).unwrap();
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let body = &bodies[(t * 97 + i) % bodies.len()];
+                    let t0 = Instant::now();
+                    let r = c.post_json(path, body).unwrap();
+                    let us = t0.elapsed().as_micros() as u64;
+                    assert_eq!(r.status, 200, "{}", r.text());
+                    lat.push(us);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let elapsed = start.elapsed();
+    all.sort_unstable();
+    (all, elapsed)
+}
+
+fn lat_summary(sorted: &[u64], queries: usize, elapsed: Duration) -> Value {
+    Value::Map(vec![
+        ("requests".to_string(), Value::UInt(sorted.len() as u64)),
+        ("queries".to_string(), Value::UInt(queries as u64)),
+        (
+            "p50_us".to_string(),
+            Value::UInt(percentile_us(sorted, 0.50)),
+        ),
+        (
+            "p99_us".to_string(),
+            Value::UInt(percentile_us(sorted, 0.99)),
+        ),
+        (
+            "mean_us".to_string(),
+            Value::Float(sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64),
+        ),
+        (
+            "qps".to_string(),
+            Value::Float(queries as f64 / elapsed.as_secs_f64()),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let bench = setup(args.quick);
+    let addr = bench.addr;
+    let bodies = Arc::new(bench.bodies.clone());
+    let scale = if args.quick { 1usize } else { 4 };
+
+    // Warm-up: populate thread-local scratch pools and the coalescer path.
+    let _ = closed_loop(addr, Arc::clone(&bodies), 2, 50, "/estimate");
+
+    // --- 1. single-query latency ---
+    let clients = 4;
+    let per_client = 500 * scale;
+    eprintln!("loadgen: single-query phase ({clients} clients x {per_client})");
+    let (single_lat, single_elapsed) =
+        closed_loop(addr, Arc::clone(&bodies), clients, per_client, "/estimate");
+    let single = lat_summary(&single_lat, clients * per_client, single_elapsed);
+
+    // --- 2. the same volume as explicit batches of 32 ---
+    let batch_size = 32usize;
+    let batches_per_client = (per_client / batch_size).max(1);
+    eprintln!(
+        "loadgen: batch phase ({clients} clients x {batches_per_client} batches of {batch_size})"
+    );
+    let batch_bodies: Vec<String> = (0..64)
+        .map(|i| {
+            let entries: Vec<String> = (0..batch_size)
+                .map(|j| bodies[(i * 31 + j * 7) % bodies.len()].clone())
+                .collect();
+            format!("{{\"queries\":[{}]}}", entries.join(","))
+        })
+        .collect();
+    let (batch_lat, batch_elapsed) = closed_loop(
+        addr,
+        Arc::new(batch_bodies),
+        clients,
+        batches_per_client,
+        "/estimate_batch",
+    );
+    let batch_queries = clients * batches_per_client * batch_size;
+    let mut batch = match lat_summary(&batch_lat, batch_queries, batch_elapsed) {
+        Value::Map(m) => m,
+        _ => unreachable!(),
+    };
+    batch.push(("batch_size".to_string(), Value::UInt(batch_size as u64)));
+    batch.push((
+        "amortized_us_per_query".to_string(),
+        Value::Float(batch_lat.iter().sum::<u64>() as f64 / batch_queries.max(1) as f64),
+    ));
+
+    // --- 3. saturation ramp ---
+    let mut ramp = Vec::new();
+    let mut qps_at_saturation = 0.0f64;
+    for clients in [1usize, 2, 4, 8, 16] {
+        let per = (250 * scale).max(100);
+        let (_, elapsed) = closed_loop(addr, Arc::clone(&bodies), clients, per, "/estimate");
+        let qps = (clients * per) as f64 / elapsed.as_secs_f64();
+        eprintln!("loadgen: saturation {clients:>2} clients -> {qps:.0} qps");
+        qps_at_saturation = qps_at_saturation.max(qps);
+        ramp.push(Value::Map(vec![
+            ("clients".to_string(), Value::UInt(clients as u64)),
+            ("qps".to_string(), Value::Float(qps)),
+        ]));
+    }
+
+    // --- 4. hot reload under load ---
+    eprintln!("loadgen: hot-reload phase");
+    let mut corrupt_bytes = std::fs::read(&bench.artifact_b).unwrap();
+    let mid = corrupt_bytes.len() / 2;
+    corrupt_bytes[mid] ^= 0x08;
+    let corrupt = bench.dir.join("corrupt.cardest");
+    std::fs::write(&corrupt, &corrupt_bytes).unwrap();
+
+    let reload_reqs = 400 * scale;
+    let load: Vec<_> = (0..clients)
+        .map(|t| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(addr).unwrap();
+                let mut failed = 0usize;
+                for i in 0..reload_reqs {
+                    let r = c
+                        .post_json("/estimate", &bodies[(t * 13 + i) % bodies.len()])
+                        .unwrap();
+                    if r.status != 200 {
+                        failed += 1;
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+    let mut admin = HttpClient::connect(addr).unwrap();
+    let mut reloads_ok = 0u64;
+    let mut reloads_rejected = 0u64;
+    for i in 0..45 {
+        let (path, want) = match i % 3 {
+            0 => (&bench.artifact_b, 200),
+            1 => (&bench.artifact_a, 200),
+            _ => (&corrupt, 409),
+        };
+        let body = format!("{{\"path\":\"{}\"}}", path.display());
+        let r = admin.post_json("/admin/reload", &body).unwrap();
+        assert_eq!(r.status, want, "unexpected reload outcome: {}", r.text());
+        if want == 200 {
+            reloads_ok += 1;
+        } else {
+            reloads_rejected += 1;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let failed: usize = load.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(failed, 0, "hot reload dropped {failed} requests");
+    let hot_reload = Value::Map(vec![
+        (
+            "requests".to_string(),
+            Value::UInt((clients * reload_reqs) as u64),
+        ),
+        ("failed".to_string(), Value::UInt(failed as u64)),
+        ("reloads_ok".to_string(), Value::UInt(reloads_ok)),
+        (
+            "corrupt_reloads_rejected".to_string(),
+            Value::UInt(reloads_rejected),
+        ),
+    ]);
+
+    // Server-side view for cross-checking.
+    let stats_text = admin.get("/stats").unwrap().text();
+    let server_stats: Value = serde_json::from_str(&stats_text).unwrap();
+
+    let report = Value::Map(vec![
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                (
+                    "dataset".to_string(),
+                    Value::Str("GloVe300 (synthetic)".to_string()),
+                ),
+                ("dim".to_string(), Value::UInt(64)),
+                (
+                    "n_data".to_string(),
+                    Value::UInt(if args.quick { 1_000 } else { 4_000 }),
+                ),
+                ("workers".to_string(), Value::UInt(6)),
+                ("coalesce_window_us".to_string(), Value::UInt(200)),
+                ("clients".to_string(), Value::UInt(clients as u64)),
+                ("quick".to_string(), Value::Bool(args.quick)),
+            ]),
+        ),
+        ("single".to_string(), single),
+        ("batch".to_string(), Value::Map(batch)),
+        ("saturation_ramp".to_string(), Value::Seq(ramp)),
+        (
+            "qps_at_saturation".to_string(),
+            Value::Float(qps_at_saturation),
+        ),
+        ("hot_reload".to_string(), hot_reload),
+        ("server_stats".to_string(), server_stats),
+    ]);
+    std::fs::write(&args.out, serde_json::to_string(&report).unwrap()).unwrap();
+    eprintln!("loadgen: wrote {}", args.out.display());
+
+    bench.handle.shutdown();
+    std::fs::remove_dir_all(&bench.dir).ok();
+}

@@ -29,12 +29,23 @@ fn fingerprint(spec: &DatasetSpec, seed: u64) -> String {
 }
 
 /// The cache file path for a spec + seed under `dir`.
+///
+/// The filename carries every spec field that influences generation —
+/// including the metric and τmax, which select the generator's
+/// representation and threshold scaling. Two specs that differ only in
+/// metric used to collide on the same path: each run then found the other
+/// spec's fingerprint, deleted the file, and regenerated, so alternating
+/// runs thrashed the cache forever instead of ever hitting it.
 pub fn cache_path(dir: &Path, spec: &DatasetSpec, seed: u64) -> PathBuf {
+    // τ rendered without '.' so the filename stays portable (0.50 → t0p50).
+    let tau = format!("{:.2}", spec.tau_max).replace('.', "p");
     dir.join(format!(
-        "{}_{}d_{}n_{}.json",
+        "{}_{}d_{}n_{:?}_t{}_{}.json",
         spec.dataset.name().to_ascii_lowercase(),
         spec.dim,
         spec.n_data,
+        spec.metric,
+        tau,
         seed
     ))
 }
@@ -137,6 +148,48 @@ mod tests {
         let b = load_or_generate(&dir, &spec, 2);
         assert_ne!(a, b);
         assert_ne!(cache_path(&dir, &spec, 1), cache_path(&dir, &spec, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn specs_differing_only_in_metric_or_tau_coexist() {
+        use crate::metric::Metric;
+        let dir = tmpdir("metric-tau");
+        // ImageNET's generator is binary, so both Hamming and Jaccard are
+        // valid metrics over the same representation.
+        let hamming = DatasetSpec {
+            n_data: 60,
+            ..PaperDataset::ImageNet.spec()
+        };
+        let jaccard = DatasetSpec {
+            metric: Metric::Jaccard,
+            ..hamming
+        };
+        assert_ne!(
+            cache_path(&dir, &hamming, 3),
+            cache_path(&dir, &jaccard, 3),
+            "metric must be part of the cache filename"
+        );
+        let a = load_or_generate(&dir, &hamming, 3);
+        let b = load_or_generate(&dir, &jaccard, 3);
+        // Both cache files coexist; reloading each returns its own bytes
+        // instead of rejecting the other spec's and regenerating.
+        assert!(cache_path(&dir, &hamming, 3).exists());
+        assert!(cache_path(&dir, &jaccard, 3).exists());
+        assert_eq!(load_or_generate(&dir, &hamming, 3), a);
+        assert_eq!(load_or_generate(&dir, &jaccard, 3), b);
+
+        // τ affects threshold scaling in generation: it gets its own file
+        // too (fingerprinted either way; the filename avoids the thrash).
+        let wider = DatasetSpec {
+            tau_max: hamming.tau_max + 0.05,
+            ..hamming
+        };
+        assert_ne!(
+            cache_path(&dir, &hamming, 3),
+            cache_path(&dir, &wider, 3),
+            "tau_max must be part of the cache filename"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -110,64 +110,143 @@ pub fn encode(kind: &str, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Verifies the container and returns the payload slice.
+/// A fully bounds-checked view of one artifact's header fields.
 ///
-/// Checks run outside-in — magic, version, kind, declared length,
-/// checksum — so the reported error names the *first* broken layer.
-pub fn decode<'a>(bytes: &'a [u8], expected_kind: &str) -> Result<&'a [u8], ArtifactError> {
-    let need = |needed: usize| ArtifactError::Truncated {
-        needed,
-        got: bytes.len(),
-    };
-    if bytes.len() < 16 {
-        // Too short even for the fixed header; distinguish "not ours".
-        if bytes.len() >= 8 && bytes[..8] != MAGIC {
-            return Err(ArtifactError::BadMagic);
+/// Every field read is explicit: a file that ends mid-field reports
+/// [`ArtifactError::Truncated`] with the exact byte count the field
+/// needed, never a silently-defaulted value (a short-read checksum that
+/// decoded as 0 would turn a torn file into a checksum mismatch at best —
+/// or, for an empty payload, a clean load of garbage).
+struct Header<'a> {
+    kind: &'a str,
+    /// Declared payload length.
+    plen: usize,
+    /// Stored FNV-1a 64 checksum of the payload.
+    checksum: u64,
+    /// Offset of the first payload byte.
+    payload_start: usize,
+}
+
+/// Reads the `4`-byte LE `u32` at `at`, or reports how many bytes the
+/// field needed.
+fn read_u32_at(bytes: &[u8], at: usize) -> Result<u32, ArtifactError> {
+    match bytes.get(at..at + 4) {
+        Some(b) => Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        None => Err(ArtifactError::Truncated {
+            needed: at + 4,
+            got: bytes.len(),
+        }),
+    }
+}
+
+/// Reads the `8`-byte LE `u64` at `at`, or reports how many bytes the
+/// field needed.
+fn read_u64_at(bytes: &[u8], at: usize) -> Result<u64, ArtifactError> {
+    match bytes.get(at..at + 8) {
+        Some(b) => Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])),
+        None => Err(ArtifactError::Truncated {
+            needed: at + 8,
+            got: bytes.len(),
+        }),
+    }
+}
+
+/// Parses and validates the container header (magic, version, kind
+/// length, kind bytes, payload length, checksum), with an explicit
+/// bounds check before every field read.
+fn parse_header(bytes: &[u8]) -> Result<Header<'_>, ArtifactError> {
+    // Magic: a short prefix of the magic is a truncated artifact; any
+    // other prefix is not ours at all.
+    match bytes.get(..8) {
+        Some(m) if m == MAGIC => {}
+        Some(_) => return Err(ArtifactError::BadMagic),
+        None if MAGIC.starts_with(bytes) => {
+            return Err(ArtifactError::Truncated {
+                needed: 8,
+                got: bytes.len(),
+            })
         }
-        return Err(need(16));
+        None => return Err(ArtifactError::BadMagic),
     }
-    if bytes[..8] != MAGIC {
-        return Err(ArtifactError::BadMagic);
-    }
-    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let version = read_u32_at(bytes, 8)?;
     if version != FORMAT_VERSION {
         return Err(ArtifactError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let klen = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
-    let header_end = 16 + klen + 16;
-    if bytes.len() < header_end {
-        return Err(need(header_end));
-    }
-    let kind = std::str::from_utf8(&bytes[16..16 + klen])
+    let klen = read_u32_at(bytes, 12)? as usize;
+    let kind_bytes = bytes.get(16..16 + klen).ok_or(ArtifactError::Truncated {
+        needed: 16 + klen,
+        got: bytes.len(),
+    })?;
+    let kind = std::str::from_utf8(kind_bytes)
         .map_err(|_| ArtifactError::Malformed("artifact kind is not utf-8".into()))?;
-    if kind != expected_kind {
-        return Err(ArtifactError::KindMismatch {
-            expected: expected_kind.into(),
-            found: kind.into(),
-        });
-    }
     let at = 16 + klen;
-    let plen = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap_or([0; 8])) as usize;
-    let stored = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap_or([0; 8]));
-    let payload_start = header_end;
-    let total = payload_start
-        .checked_add(plen)
+    let plen = read_u64_at(bytes, at)? as usize;
+    let checksum = read_u64_at(bytes, at + 8)?;
+    Ok(Header {
+        kind,
+        plen,
+        checksum,
+        payload_start: at + 16,
+    })
+}
+
+/// Verifies the payload bounds and checksum declared by `h`.
+fn verify_payload<'a>(bytes: &'a [u8], h: &Header<'_>) -> Result<&'a [u8], ArtifactError> {
+    let total = h
+        .payload_start
+        .checked_add(h.plen)
         .ok_or(ArtifactError::Malformed("payload length overflow".into()))?;
     if bytes.len() < total {
-        return Err(need(total));
+        return Err(ArtifactError::Truncated {
+            needed: total,
+            got: bytes.len(),
+        });
     }
-    let payload = &bytes[payload_start..total];
+    let payload = &bytes[h.payload_start..total];
     let got = fnv1a64(payload);
-    if got != stored {
+    if got != h.checksum {
         return Err(ArtifactError::ChecksumMismatch {
-            expected: stored,
+            expected: h.checksum,
             got,
         });
     }
     Ok(payload)
+}
+
+/// Verifies the container and returns the payload slice.
+///
+/// Checks run outside-in — magic, version, kind, declared length,
+/// checksum — so the reported error names the *first* broken layer.
+pub fn decode<'a>(bytes: &'a [u8], expected_kind: &str) -> Result<&'a [u8], ArtifactError> {
+    let h = parse_header(bytes)?;
+    if h.kind != expected_kind {
+        return Err(ArtifactError::KindMismatch {
+            expected: expected_kind.into(),
+            found: h.kind.into(),
+        });
+    }
+    verify_payload(bytes, &h)
+}
+
+/// Verifies the container (magic, version, length, checksum) and returns
+/// the estimator kind tag, without requiring the caller to know it in
+/// advance. The model registry uses this to dispatch a reload to the
+/// right estimator family's loader.
+pub fn peek_kind(bytes: &[u8]) -> Result<String, ArtifactError> {
+    let h = parse_header(bytes)?;
+    verify_payload(bytes, &h)?;
+    Ok(h.kind.to_string())
+}
+
+/// Reads an artifact file and returns its verified kind tag.
+pub fn read_kind(path: &Path) -> Result<String, ArtifactError> {
+    let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+    peek_kind(&bytes)
 }
 
 /// Writes an encoded artifact via temp file + atomic rename in the target
@@ -259,6 +338,96 @@ mod tests {
                 "truncation to {keep} bytes gave {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn truncation_at_every_field_boundary_names_the_field_end() {
+        // kind "cardest.test" (12 bytes): the header fields end at
+        //   magic 8 | version 12 | klen 16 | kind 28 | plen 36 | cksum 44
+        let payload = b"0123456789";
+        let bytes = encode("cardest.test", payload);
+        let field_ends = [8usize, 12, 16, 28, 36, 44];
+        assert_eq!(bytes.len(), 44 + payload.len());
+        for w in field_ends.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            for keep in start..end {
+                // A cut anywhere inside a field reports exactly the byte
+                // count that field needed — never a defaulted value.
+                assert_eq!(
+                    decode(&bytes[..keep], "cardest.test"),
+                    Err(ArtifactError::Truncated {
+                        needed: end,
+                        got: keep,
+                    }),
+                    "cut at {keep} inside field ending at {end}"
+                );
+            }
+        }
+        // A cut inside the payload reports the full declared extent.
+        for keep in 44..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..keep], "cardest.test"),
+                Err(ArtifactError::Truncated {
+                    needed: bytes.len(),
+                    got: keep,
+                })
+            );
+        }
+        // A short magic prefix is "truncated", a wrong one "not ours".
+        assert_eq!(
+            decode(&MAGIC[..5], "cardest.test"),
+            Err(ArtifactError::Truncated { needed: 8, got: 5 })
+        );
+        assert_eq!(
+            decode(b"XARD", "cardest.test"),
+            Err(ArtifactError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn short_checksum_read_is_truncated_not_zero() {
+        // Regression: the checksum field used to be read with
+        // `try_into().unwrap_or([0; 8])`, so a file cut mid-checksum
+        // decoded the stored checksum as 0 instead of erroring. With an
+        // empty payload (fnv1a64(b"") != 0 so the mismatch still fired)
+        // the failure mode was a misleading ChecksumMismatch; the honest
+        // answer is Truncated.
+        let bytes = encode("k", b"");
+        let cut = &bytes[..bytes.len() - 3]; // mid-checksum
+        assert!(matches!(
+            decode(cut, "k"),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn peek_kind_returns_the_kind_only_after_full_verification() {
+        let bytes = encode("cardest.gl", b"payload");
+        assert_eq!(peek_kind(&bytes).unwrap(), "cardest.gl");
+        // A bit-flipped payload must not yield a kind: the registry would
+        // otherwise dispatch a corrupt artifact to a loader.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            peek_kind(&flipped),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            peek_kind(&bytes[..bytes.len() - 2]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn read_kind_reads_from_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("cardest-artifact-kind-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cardest");
+        write_atomic(&path, "cardest.mlp", b"{}").unwrap();
+        assert_eq!(read_kind(&path).unwrap(), "cardest.mlp");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! `cardest-serve` — stand up the estimation service on a synthetic
+//! paper dataset.
+//!
+//! Startup: generate (or load from cache) the dataset, train a small MLP
+//! estimator if no artifact exists yet (subsequent runs reuse it), build
+//! the sampling fallback, and serve. `--port 0` binds an ephemeral port;
+//! the chosen address is announced on stdout as `LISTENING <addr>` so
+//! scripts (ci.sh's serve lane, the load generator) can find it.
+//!
+//! ```text
+//! cardest-serve --dataset GloVe300 --port 8080
+//! curl -s localhost:8080/health
+//! ```
+
+use cardest_baselines::mlp::{MlpConfig, MlpEstimator};
+use cardest_baselines::sampling::SamplingEstimator;
+use cardest_baselines::traits::TrainingSet;
+use cardest_data::cache;
+use cardest_data::paper::PaperDataset;
+use cardest_data::workload::SearchWorkload;
+use cardest_server::coalesce::CoalesceConfig;
+use cardest_server::model::repr_of;
+use cardest_server::{ModelRegistry, RegistryConfig, Server, ServerConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    dataset: PaperDataset,
+    port: u16,
+    workers: usize,
+    seed: u64,
+    n_data: Option<usize>,
+    train_queries: Option<usize>,
+    train_epochs: Option<usize>,
+    model_dir: PathBuf,
+    cache_dir: PathBuf,
+    coalesce_window_us: u64,
+}
+
+const USAGE: &str = "usage: cardest-serve [--dataset NAME] [--port P] [--workers N] \
+[--seed S] [--n-data N] [--train-queries N] [--train-epochs N] \
+[--model-dir DIR] [--cache-dir DIR] [--coalesce-window-us U]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: PaperDataset::GloVe300,
+        port: 0,
+        workers: 4,
+        seed: 42,
+        n_data: None,
+        train_queries: None,
+        train_epochs: None,
+        model_dir: PathBuf::from(".cardest-serve/models"),
+        cache_dir: PathBuf::from(".cardest-serve/cache"),
+        coalesce_window_us: 500,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--dataset" => {
+                let v = value("--dataset")?;
+                args.dataset =
+                    PaperDataset::parse(&v).ok_or_else(|| format!("unknown dataset {v:?}"))?;
+            }
+            "--port" => args.port = parse_num(&value("--port")?, "--port")?,
+            "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--n-data" => args.n_data = Some(parse_num(&value("--n-data")?, "--n-data")?),
+            "--train-queries" => {
+                args.train_queries = Some(parse_num(&value("--train-queries")?, "--train-queries")?)
+            }
+            "--train-epochs" => {
+                args.train_epochs = Some(parse_num(&value("--train-epochs")?, "--train-epochs")?)
+            }
+            "--model-dir" => args.model_dir = PathBuf::from(value("--model-dir")?),
+            "--cache-dir" => args.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--coalesce-window-us" => {
+                args.coalesce_window_us =
+                    parse_num(&value("--coalesce-window-us")?, "--coalesce-window-us")?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: cannot parse {s:?} as a number"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut spec = args.dataset.spec();
+    if let Some(n) = args.n_data {
+        spec.n_data = n;
+    }
+    if let Some(q) = args.train_queries {
+        spec.n_train_queries = q;
+        spec.n_test_queries = (q / 4).max(1);
+    }
+
+    eprintln!(
+        "cardest-serve: dataset {} ({}d, {} points, {:?}, tau_max {})",
+        spec.dataset.name(),
+        spec.dim,
+        spec.n_data,
+        spec.metric,
+        spec.tau_max
+    );
+    let data = cache::load_or_generate(&args.cache_dir, &spec, args.seed);
+
+    // Train-once-then-reuse: the artifact is keyed like the dataset cache,
+    // so restarts (and the reload smoke test) skip training.
+    std::fs::create_dir_all(&args.model_dir)
+        .map_err(|e| format!("create {}: {e}", args.model_dir.display()))?;
+    let artifact = args.model_dir.join(format!(
+        "mlp_{}_{}d_{}n_{}.cardest",
+        spec.dataset.name().to_ascii_lowercase(),
+        spec.dim,
+        spec.n_data,
+        args.seed
+    ));
+    if !artifact.exists() {
+        eprintln!(
+            "cardest-serve: no artifact at {}; training",
+            artifact.display()
+        );
+        let workload = SearchWorkload::build(&data, &spec, args.seed);
+        let training = TrainingSet::new(&workload.queries, &workload.train);
+        let mut cfg = MlpConfig::default();
+        if let Some(e) = args.train_epochs {
+            cfg.train.epochs = e;
+        }
+        let (model, report) = MlpEstimator::train(&data, spec.metric, &training, &cfg, args.seed);
+        eprintln!(
+            "cardest-serve: trained {} epochs, final loss {:.4}",
+            report.epochs_run, report.final_loss
+        );
+        model
+            .save_artifact(&artifact)
+            .map_err(|e| format!("save artifact: {e}"))?;
+    }
+
+    let fallback = Arc::new(SamplingEstimator::with_ratio(
+        &data,
+        spec.metric,
+        0.01,
+        args.seed,
+        "Sampling 1%",
+    ));
+    let registry = ModelRegistry::new(
+        RegistryConfig {
+            n_data: data.len(),
+            dim: data.dim(),
+            repr: repr_of(&data),
+            monotone: true,
+        },
+        fallback,
+        &artifact,
+    )
+    .map_err(|e| format!("load model: {e}"))?;
+
+    let handle = Server::start(
+        ServerConfig {
+            addr: format!("127.0.0.1:{}", args.port),
+            workers: args.workers,
+            coalesce: CoalesceConfig {
+                window: Duration::from_micros(args.coalesce_window_us),
+                ..CoalesceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        Arc::new(registry),
+    )
+    .map_err(|e| format!("bind server: {e}"))?;
+
+    // The exact line ci.sh and the load generator wait for.
+    println!("LISTENING {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "cardest-serve: serving on {} with {} workers (ctrl-c to stop)",
+        handle.addr(),
+        args.workers
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}

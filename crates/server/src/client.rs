@@ -1,0 +1,123 @@
+//! A tiny blocking HTTP/1.1 client for the smoke battery and the load
+//! generator. Speaks exactly the subset the server does: one request at a
+//! time over a keep-alive connection, `Content-Length` bodies only.
+
+use std::io::{Error, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (estimation responses are always JSON text).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a generous read timeout so a wedged server fails a
+    /// test instead of hanging it.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: cardest\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: POST a JSON string.
+    pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<Response> {
+        self.request("POST", path, json.as_bytes())
+    }
+
+    /// Convenience: GET.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        loop {
+            if let Some(resp) = self.try_parse()? {
+                return Ok(resp);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> std::io::Result<Option<Response>> {
+        let Some(header_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return Ok(None);
+        };
+        let header_text = std::str::from_utf8(&self.buf[..header_end])
+            .map_err(|_| Error::new(ErrorKind::InvalidData, "non-UTF-8 response headers"))?;
+        let mut lines = header_text.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "empty response"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                Error::new(
+                    ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+                }
+            }
+        }
+        let body_start = header_end + 4;
+        if self.buf.len() < body_start + content_length {
+            return Ok(None);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(Some(Response { status, body }))
+    }
+}

@@ -1,0 +1,224 @@
+//! Request coalescing: single-query requests queue briefly and flush as
+//! one `estimate_batch` call.
+//!
+//! The batched serving path amortizes per-call overhead (one guard pass,
+//! one monomorphized batch kernel), so under concurrent single-query load
+//! it is cheaper to hold each request for a sub-millisecond window and
+//! serve the accumulated queue in one `serve_batch` than to serve each
+//! alone. The trade is bounded, explicit latency: the *first* query in a
+//! window waits at most `window`; later arrivals wait less; a full batch
+//! flushes immediately.
+//!
+//! Admission control lives here too: the queue is bounded at `cap`, and a
+//! submit against a full queue fails fast with [`SubmitError::Overloaded`]
+//! (the HTTP layer turns that into a 503) instead of letting latency grow
+//! without bound.
+//!
+//! Shutdown never drops a request: the batcher drains whatever is queued
+//! before exiting, so every submitted query gets a reply.
+
+use cardest_data::validate::CardestError;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::clock;
+use crate::model::OwnedQuery;
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+
+/// Tuning knobs for the coalescing queue.
+#[derive(Debug, Clone)]
+pub struct CoalesceConfig {
+    /// Longest a query waits for batch-mates before the flush.
+    pub window: Duration,
+    /// Flush immediately once this many queries are queued.
+    pub max_batch: usize,
+    /// Queue bound — submits beyond this are rejected (admission control).
+    pub cap: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            window: Duration::from_micros(500),
+            max_batch: 64,
+            cap: 1024,
+        }
+    }
+}
+
+/// What a coalesced query gets back.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceReply {
+    pub result: Result<f32, CardestError>,
+    /// Generation that actually served the query (it may differ from the
+    /// generation active at submit time if a reload raced the window).
+    pub model_version: u64,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — shed load now rather than queue latency.
+    Overloaded,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+struct Pending {
+    query: OwnedQuery,
+    tau: f32,
+    tx: SyncSender<CoalesceReply>,
+}
+
+struct State {
+    queue: Vec<Pending>,
+    shutdown: bool,
+}
+
+/// The shared coalescing queue plus the batcher that drains it.
+pub struct Coalescer {
+    cfg: CoalesceConfig,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Coalescer {
+    pub fn new(
+        cfg: CoalesceConfig,
+        registry: Arc<ModelRegistry>,
+        stats: Arc<ServerStats>,
+    ) -> Arc<Self> {
+        Arc::new(Coalescer {
+            cfg,
+            registry,
+            stats,
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Enqueues one query and returns the channel its reply will arrive
+    /// on. The caller blocks on `recv()`; the batcher always sends exactly
+    /// one reply per accepted submit, including during shutdown drain.
+    pub fn submit(
+        &self,
+        query: OwnedQuery,
+        tau: f32,
+    ) -> Result<Receiver<CoalesceReply>, SubmitError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queue.len() >= self.cfg.cap {
+                return Err(SubmitError::Overloaded);
+            }
+            st.queue.push(Pending { query, tau, tx });
+        }
+        self.wake.notify_one();
+        Ok(rx)
+    }
+
+    /// Spawns the batcher thread (fails only on OS thread exhaustion).
+    /// Call [`Coalescer::shutdown`] to stop it; it drains the queue before
+    /// exiting.
+    pub fn spawn_batcher(self: &Arc<Self>) -> std::io::Result<JoinHandle<()>> {
+        let this = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("cardest-batcher".to_string())
+            .spawn(move || this.run())
+    }
+
+    /// Signals the batcher to drain and exit.
+    pub fn shutdown(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown = true;
+        self.wake.notify_all();
+    }
+
+    fn run(&self) {
+        loop {
+            let batch = {
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                // Sleep until the first query (or shutdown) arrives.
+                while st.queue.is_empty() && !st.shutdown {
+                    st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                if st.queue.is_empty() && st.shutdown {
+                    return;
+                }
+                // First query seen: hold the window open for batch-mates,
+                // flushing early if the batch fills or shutdown begins.
+                let deadline = clock::now() + self.cfg.window;
+                while st.queue.len() < self.cfg.max_batch && !st.shutdown {
+                    let now = clock::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timed_out) = self
+                        .wake
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = next;
+                    if timed_out.timed_out() {
+                        break;
+                    }
+                }
+                let take = st.queue.len().min(self.cfg.max_batch);
+                st.queue.drain(..take).collect::<Vec<Pending>>()
+            };
+            self.flush(batch);
+        }
+    }
+
+    fn flush(&self, batch: Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
+        let model = self.registry.active();
+        let queries: Vec<_> = batch.iter().map(|p| (p.query.view(), p.tau)).collect();
+        let results = model.guarded.serve_batch(&queries);
+        self.stats.record_coalesce(batch.len());
+        for (p, result) in batch.into_iter().zip(results) {
+            // A closed receiver means the client hung up; nothing to do.
+            let _ = p.tx.send(CoalesceReply {
+                result,
+                model_version: model.version,
+            });
+        }
+    }
+
+    /// Number of queries waiting right now (diagnostic).
+    pub fn queued(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Copy of the active tuning knobs.
+    pub fn config(&self) -> &CoalesceConfig {
+        &self.cfg
+    }
+}
+
+impl Drop for Coalescer {
+    fn drop(&mut self) {
+        // Belt-and-braces: if the owner forgot to call shutdown, wake the
+        // batcher so it can observe the flag and exit. (The batcher holds
+        // its own Arc, so by the time Drop runs it has already exited.)
+        self.shutdown();
+    }
+}

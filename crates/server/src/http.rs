@@ -1,0 +1,345 @@
+//! A minimal HTTP/1.1 reader/writer over `TcpStream`.
+//!
+//! Just enough of RFC 9112 for a JSON estimation service: request line,
+//! headers, `Content-Length` bodies, keep-alive. No chunked encoding, no
+//! TLS, no compression — requests that need any of those get a clean 400.
+//!
+//! Reads are bounded two ways: a size cap on headers and body (a client
+//! cannot balloon server memory), and the socket's read timeout (set by
+//! the server) so a worker parked on an idle connection wakes up
+//! periodically to poll the shutdown flag — [`NextRequest::Idle`] is that
+//! wake-up, with any partial request preserved in the connection buffer.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the header section (request line + headers).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    pub keep_alive: bool,
+}
+
+/// What a read attempt produced.
+#[derive(Debug)]
+pub enum NextRequest {
+    /// A complete request was parsed.
+    Ready(Request),
+    /// The read timed out with no complete request; poll shutdown and try
+    /// again — partial bytes stay buffered.
+    Idle,
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+/// Why a request could not be served at the HTTP layer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure — drop the connection.
+    Io(std::io::Error),
+    /// Unparseable or unsupported request — answer 400 and close.
+    Malformed(String),
+    /// Declared body exceeds the configured cap — answer 400 and close.
+    BodyTooLarge { declared: usize, cap: usize },
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, cap } => {
+                write!(f, "declared body of {declared} bytes exceeds cap of {cap}")
+            }
+        }
+    }
+}
+
+/// One client connection: the stream plus the carry-over buffer that
+/// makes keep-alive pipelining and timeout-resume work.
+pub struct HttpConnection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpConnection {
+    pub fn new(stream: TcpStream) -> Self {
+        HttpConnection {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads until one complete request is buffered (or timeout / close /
+    /// protocol error). `max_body` caps the accepted `Content-Length`.
+    pub fn read_request(&mut self, max_body: usize) -> Result<NextRequest, HttpError> {
+        loop {
+            if let Some(parsed) = self.try_parse(max_body)? {
+                return Ok(NextRequest::Ready(parsed));
+            }
+            if self.buf.len() > MAX_HEADER_BYTES + max_body {
+                return Err(HttpError::Malformed(
+                    "request exceeds buffer limits".to_string(),
+                ));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(NextRequest::Closed)
+                    } else {
+                        Err(HttpError::Malformed(
+                            "connection closed mid-request".to_string(),
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(NextRequest::Idle);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+
+    /// Attempts to parse one request out of the buffer; `Ok(None)` means
+    /// more bytes are needed.
+    fn try_parse(&mut self, max_body: usize) -> Result<Option<Request>, HttpError> {
+        let Some(header_end) = find_subslice(&self.buf, b"\r\n\r\n") else {
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(HttpError::Malformed("header section too large".to_string()));
+            }
+            return Ok(None);
+        };
+        let header_text = std::str::from_utf8(&self.buf[..header_end])
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".to_string()))?;
+        let mut lines = header_text.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+            .to_string();
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request path".to_string()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+
+        let mut content_length = 0usize;
+        let mut keep_alive = version == "HTTP/1.1";
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value.parse::<usize>().map_err(|_| {
+                        HttpError::Malformed(format!("bad content-length {value:?}"))
+                    })?;
+                }
+                "connection" => {
+                    let v = value.to_ascii_lowercase();
+                    if v == "close" {
+                        keep_alive = false;
+                    } else if v == "keep-alive" {
+                        keep_alive = true;
+                    }
+                }
+                "transfer-encoding" => {
+                    return Err(HttpError::Malformed(
+                        "transfer-encoding is not supported; send content-length".to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                cap: max_body,
+            });
+        }
+
+        let body_start = header_end + 4;
+        if self.buf.len() < body_start + content_length {
+            return Ok(None);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(Some(Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        }))
+    }
+
+    /// Writes one JSON response.
+    pub fn write_response(
+        &mut self,
+        status: u16,
+        body: &[u8],
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        write_response_to(&mut self.stream, status, body, keep_alive)
+    }
+}
+
+/// Writes one JSON response to any stream (shared with the admission-
+/// control path, which rejects before an [`HttpConnection`] exists).
+pub fn write_response_to<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8], max_body: usize) -> Result<Option<Request>, HttpError> {
+        // Drive try_parse directly — no socket needed.
+        let mut conn = HttpConnection {
+            stream: fake_stream(),
+            buf: bytes.to_vec(),
+        };
+        conn.try_parse(max_body)
+    }
+
+    fn fake_stream() -> TcpStream {
+        // A loopback pair gives us a real TcpStream without traffic.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _server_side = listener.accept().unwrap();
+        client
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /estimate HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"a\"";
+        let req = parse_all(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/estimate");
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn incomplete_body_waits_for_more_bytes() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        assert!(parse_all(raw, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive() {
+        let raw = b"GET /health HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let req = parse_all(raw, 1024).unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 99999\r\n\r\n";
+        match parse_all(raw, 1024) {
+            Err(HttpError::BodyTooLarge { declared, cap }) => {
+                assert_eq!(declared, 99_999);
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_request_line_is_malformed() {
+        let raw = b"NONSENSE\r\n\r\n";
+        assert!(matches!(parse_all(raw, 1024), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn chunked_encoding_is_politely_refused() {
+        let raw = b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        assert!(matches!(parse_all(raw, 1024), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let raw = b"GET /health HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n".to_vec();
+        let mut conn = HttpConnection {
+            stream: fake_stream(),
+            buf: raw,
+        };
+        let first = conn.try_parse(1024).unwrap().unwrap();
+        assert_eq!(first.path, "/health");
+        let second = conn.try_parse(1024).unwrap().unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(conn.try_parse(1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let mut out = Vec::new();
+        write_response_to(&mut out, 200, b"{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

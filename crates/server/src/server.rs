@@ -1,0 +1,551 @@
+//! The TCP listener, worker pool, and request router.
+//!
+//! Threading model — plain `std`, no async runtime:
+//!
+//! * one **acceptor** thread owns the `TcpListener` and pushes accepted
+//!   sockets onto a bounded connection queue; a full queue means the
+//!   socket is answered `503` and dropped on the spot (admission control
+//!   at the door, before a worker is tied up),
+//! * a fixed pool of **worker** threads pops connections and serves them
+//!   keep-alive until close, error, or shutdown,
+//! * one **batcher** thread (in [`crate::coalesce`]) flushes queued
+//!   single-query estimates as batches.
+//!
+//! Shutdown is cooperative: a flag plus a self-connect to unblock the
+//! acceptor; workers notice the flag at their next read timeout, the
+//! batcher drains its queue, and `ServerHandle::shutdown` joins them all.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::clock;
+use crate::coalesce::{CoalesceConfig, Coalescer, SubmitError};
+use crate::http::{HttpConnection, HttpError, NextRequest, Request};
+use crate::model::OwnedQuery;
+use crate::registry::ModelRegistry;
+use crate::stats::{Route, ServerStats};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Cap on request bodies.
+    pub max_body_bytes: usize,
+    /// Bound on the accepted-but-unclaimed connection queue; beyond it
+    /// new connections are answered 503 immediately.
+    pub pending_connections: usize,
+    /// Socket read timeout — how often an idle worker polls shutdown.
+    pub read_timeout: Duration,
+    /// Coalescing knobs for `POST /estimate`.
+    pub coalesce: CoalesceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body_bytes: 4 * 1024 * 1024,
+            pending_connections: 128,
+            read_timeout: Duration::from_millis(100),
+            coalesce: CoalesceConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    coalescer: Arc<Coalescer>,
+    shutdown: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conn_wake: Condvar,
+    cfg: ServerConfig,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+/// A running server: its bound address plus the thread handles needed to
+/// stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor / workers / batcher, and returns.
+    pub fn start(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let coalescer = Coalescer::new(
+            cfg.coalesce.clone(),
+            Arc::clone(&registry),
+            Arc::clone(&stats),
+        );
+        let shared = Arc::new(Shared {
+            registry,
+            stats,
+            coalescer: Arc::clone(&coalescer),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conn_wake: Condvar::new(),
+            cfg: cfg.clone(),
+        });
+
+        let mut threads = Vec::with_capacity(cfg.workers + 2);
+        threads.push(coalescer.spawn_batcher()?);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cardest-acceptor".to_string())
+                    .spawn(move || acceptor_loop(&listener, &shared))?,
+            );
+        }
+        for i in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cardest-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// The registry behind this server.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Stops accepting, drains the coalescing queue, and joins every
+    /// thread. Idempotent in effect; consumes the handle.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.coalescer.shutdown();
+        self.shared.conn_wake.notify_all();
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; if it fails the acceptor still exits at the next
+        // real connection or process end.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let mut q = shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= shared.cfg.pending_connections {
+            drop(q);
+            shared
+                .stats
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let mut s = stream;
+            let _ = crate::http::write_response_to(
+                &mut s,
+                503,
+                br#"{"error":"server overloaded"}"#,
+                false,
+            );
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        shared.conn_wake.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (next, _) = shared
+                    .conn_wake
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = next;
+            }
+        };
+        match stream {
+            Some(s) => handle_connection(shared, s),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let mut conn = HttpConnection::new(stream);
+    loop {
+        match conn.read_request(shared.cfg.max_body_bytes) {
+            Ok(NextRequest::Ready(req)) => {
+                let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                let (status, body) = route_request(shared, &req);
+                shared.stats.record_status(status);
+                if conn
+                    .write_response(status, body.as_bytes(), keep_alive)
+                    .is_err()
+                {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(NextRequest::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(NextRequest::Closed) => return,
+            Err(HttpError::Malformed(m)) => {
+                shared.stats.record_status(400);
+                let _ = conn.write_response(400, error_body(&m).as_bytes(), false);
+                return;
+            }
+            Err(HttpError::BodyTooLarge { declared, cap }) => {
+                shared.stats.record_status(400);
+                let msg = format!("body of {declared} bytes exceeds cap of {cap}");
+                let _ = conn.write_response(400, error_body(&msg).as_bytes(), false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Dispatches one request, returning `(status, json_body)`.
+fn route_request(shared: &Shared, req: &Request) -> (u16, String) {
+    let start = clock::now();
+    let (route, outcome) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/estimate") => (Some(Route::Estimate), handle_estimate(shared, &req.body)),
+        ("POST", "/estimate_batch") => (
+            Some(Route::EstimateBatch),
+            handle_estimate_batch(shared, &req.body),
+        ),
+        ("GET", "/health") => (Some(Route::Health), handle_health(shared)),
+        ("GET", "/stats") => (Some(Route::Stats), handle_stats(shared)),
+        ("POST", "/admin/reload") => (Some(Route::Reload), handle_reload(shared, &req.body)),
+        ("GET", "/estimate" | "/estimate_batch" | "/admin/reload")
+        | ("POST", "/health" | "/stats") => {
+            (None, (405, error_body("method not allowed for this path")))
+        }
+        _ => (None, (404, error_body("no such route"))),
+    };
+    if let Some(r) = route {
+        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.stats.record_route(r, us);
+    }
+    outcome
+}
+
+fn error_body(msg: &str) -> String {
+    json(&Value::Map(vec![(
+        "error".to_string(),
+        Value::Str(msg.to_string()),
+    )]))
+}
+
+/// Renders a Value tree; infallible for trees we build ourselves.
+fn json(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| r#"{"error":"serialization failure"}"#.to_string())
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, String> {
+    if body.is_empty() {
+        return Err("empty body; expected a JSON object".to_string());
+    }
+    serde_json::from_slice::<Value>(body).map_err(|e| e.to_string())
+}
+
+/// Pulls `{"query": [...], "tau": ...}` out of a JSON map.
+fn parse_query_entry(
+    entry: &Value,
+    what: &str,
+    shared: &Shared,
+) -> Result<(OwnedQuery, f32), String> {
+    let map = entry.expect_map(what).map_err(|e| e.to_string())?;
+    let components: Vec<f32> = serde::get_field(map, "query", what).map_err(|e| e.to_string())?;
+    let tau: f32 = serde::get_field(map, "tau", what).map_err(|e| e.to_string())?;
+    let query = OwnedQuery::from_components(&components, shared.registry.config().repr)?;
+    Ok((query, tau))
+}
+
+fn handle_estimate(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let parsed = parse_body(body).and_then(|v| parse_query_entry(&v, "estimate body", shared));
+    let (query, tau) = match parsed {
+        Ok(p) => p,
+        Err(m) => return (400, error_body(&m)),
+    };
+    let rx = match shared.coalescer.submit(query, tau) {
+        Ok(rx) => rx,
+        Err(SubmitError::Overloaded) => {
+            return (503, error_body("estimation queue is full; retry later"))
+        }
+        Err(SubmitError::ShuttingDown) => return (503, error_body("server is shutting down")),
+    };
+    match rx.recv() {
+        Ok(reply) => match reply.result {
+            Ok(est) => (
+                200,
+                json(&Value::Map(vec![
+                    ("estimate".to_string(), Value::Float(f64::from(est))),
+                    (
+                        "model_version".to_string(),
+                        Value::UInt(reply.model_version),
+                    ),
+                ])),
+            ),
+            Err(e) => (400, error_body(&e.to_string())),
+        },
+        Err(_) => (500, error_body("estimation pipeline dropped the request")),
+    }
+}
+
+fn handle_estimate_batch(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let parsed = parse_body(body).and_then(|v| {
+        let map = v.expect_map("batch body").map_err(|e| e.to_string())?;
+        let entries = map
+            .iter()
+            .find(|(k, _)| k == "queries")
+            .ok_or_else(|| "missing field `queries`".to_string())?
+            .1
+            .expect_seq("queries")
+            .map_err(|e| e.to_string())?
+            .to_vec();
+        entries
+            .iter()
+            .map(|e| parse_query_entry(e, "batch entry", shared))
+            .collect::<Result<Vec<_>, _>>()
+    });
+    let queries = match parsed {
+        Ok(q) => q,
+        Err(m) => return (400, error_body(&m)),
+    };
+    // Batches skip the coalescer — they already amortize; serve directly
+    // against the generation pinned for the whole batch.
+    let model = shared.registry.active();
+    let views: Vec<_> = queries.iter().map(|(q, tau)| (q.view(), *tau)).collect();
+    let results = model.guarded.serve_batch(&views);
+    let rendered: Vec<Value> = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(est) => Value::Map(vec![("estimate".to_string(), Value::Float(f64::from(est)))]),
+            Err(e) => Value::Map(vec![("error".to_string(), Value::Str(e.to_string()))]),
+        })
+        .collect();
+    (
+        200,
+        json(&Value::Map(vec![
+            ("model_version".to_string(), Value::UInt(model.version)),
+            ("results".to_string(), Value::Seq(rendered)),
+        ])),
+    )
+}
+
+fn handle_health(shared: &Shared) -> (u16, String) {
+    let model = shared.registry.active();
+    (
+        200,
+        json(&Value::Map(vec![
+            ("status".to_string(), Value::Str("ok".to_string())),
+            ("model_version".to_string(), Value::UInt(model.version)),
+            ("kind".to_string(), Value::Str(model.kind.clone())),
+        ])),
+    )
+}
+
+fn handle_stats(shared: &Shared) -> (u16, String) {
+    use serde::Serialize;
+    let model = shared.registry.active();
+    let guard = shared.registry.stats();
+    let reloads = shared.registry.reload_stats();
+    let s = &shared.stats;
+    let routes: Vec<(String, Value)> = Route::ALL
+        .iter()
+        .map(|r| (r.name().to_string(), s.route(*r).snapshot().serialize()))
+        .collect();
+    let body = Value::Map(vec![
+        (
+            "model".to_string(),
+            Value::Map(vec![
+                ("version".to_string(), Value::UInt(model.version)),
+                ("kind".to_string(), Value::Str(model.kind.clone())),
+                (
+                    "source".to_string(),
+                    Value::Str(model.source.display().to_string()),
+                ),
+            ]),
+        ),
+        ("routes".to_string(), Value::Map(routes)),
+        (
+            "guard".to_string(),
+            Value::Map(vec![
+                ("served".to_string(), Value::UInt(guard.served as u64)),
+                ("rejected".to_string(), Value::UInt(guard.rejected as u64)),
+                ("fallbacks".to_string(), Value::UInt(guard.fallbacks as u64)),
+                ("clamped".to_string(), Value::UInt(guard.clamped as u64)),
+                (
+                    "monotone_fixes".to_string(),
+                    Value::UInt(guard.monotone_fixes as u64),
+                ),
+            ]),
+        ),
+        (
+            "reloads".to_string(),
+            Value::Map(vec![
+                ("ok".to_string(), Value::UInt(reloads.ok)),
+                ("rejected".to_string(), Value::UInt(reloads.rejected)),
+                (
+                    "retired_generations".to_string(),
+                    Value::UInt(shared.registry.retired_generations() as u64),
+                ),
+            ]),
+        ),
+        (
+            "coalesce".to_string(),
+            Value::Map(vec![
+                (
+                    "batches".to_string(),
+                    Value::UInt(s.coalesced_batches.load(Ordering::Relaxed)),
+                ),
+                (
+                    "queries".to_string(),
+                    Value::UInt(s.coalesced_queries.load(Ordering::Relaxed)),
+                ),
+                (
+                    "max_batch".to_string(),
+                    Value::UInt(s.coalesced_max_batch.load(Ordering::Relaxed)),
+                ),
+                (
+                    "queued".to_string(),
+                    Value::UInt(shared.coalescer.queued() as u64),
+                ),
+            ]),
+        ),
+        (
+            "http".to_string(),
+            Value::Map(vec![
+                (
+                    "400".to_string(),
+                    Value::UInt(s.http_400.load(Ordering::Relaxed)),
+                ),
+                (
+                    "404".to_string(),
+                    Value::UInt(s.http_404.load(Ordering::Relaxed)),
+                ),
+                (
+                    "409".to_string(),
+                    Value::UInt(s.http_409.load(Ordering::Relaxed)),
+                ),
+                (
+                    "500".to_string(),
+                    Value::UInt(s.http_500.load(Ordering::Relaxed)),
+                ),
+                (
+                    "503".to_string(),
+                    Value::UInt(s.http_503.load(Ordering::Relaxed)),
+                ),
+                (
+                    "connections_rejected".to_string(),
+                    Value::UInt(s.connections_rejected.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ]);
+    (200, json(&body))
+}
+
+fn handle_reload(shared: &Shared, body: &[u8]) -> (u16, String) {
+    // Path is optional: an empty body (or missing field) re-reads the
+    // active generation's source file — the "the artifact on disk was
+    // retrained in place" workflow.
+    let path = if body.is_empty() {
+        None
+    } else {
+        match parse_body(body).and_then(|v| {
+            let map = v.expect_map("reload body").map_err(|e| e.to_string())?;
+            match map.iter().find(|(k, _)| k == "path") {
+                Some((_, Value::Str(p))) => Ok(Some(std::path::PathBuf::from(p))),
+                Some((_, other)) => Err(format!("`path` must be a string, found {other:?}")),
+                None => Ok(None),
+            }
+        }) {
+            Ok(p) => p,
+            Err(m) => return (400, error_body(&m)),
+        }
+    };
+    let path = path.unwrap_or_else(|| shared.registry.active().source.clone());
+    match shared.registry.reload(&path) {
+        Ok(version) => (
+            200,
+            json(&Value::Map(vec![
+                ("reloaded".to_string(), Value::Bool(true)),
+                ("model_version".to_string(), Value::UInt(version)),
+                ("path".to_string(), Value::Str(path.display().to_string())),
+            ])),
+        ),
+        Err(e) => {
+            // The old model is still serving — tell the caller which one.
+            let current = shared.registry.active().version;
+            (
+                409,
+                json(&Value::Map(vec![
+                    ("reloaded".to_string(), Value::Bool(false)),
+                    ("error".to_string(), Value::Str(e.to_string())),
+                    ("model_version".to_string(), Value::UInt(current)),
+                ])),
+            )
+        }
+    }
+}
