@@ -31,6 +31,13 @@
 #                wait is deadline-bounded so a wedged server fails rather
 #                than hangs. (cardest-lint covers crates/server via the
 #                lint lane's recursive `crates` scan.)
+#   ingest       the online-ingestion durability battery: WAL framing
+#                proptests (torn tails, bit flips, zero-length records),
+#                the crash matrix (kill at every byte offset of a live WAL,
+#                recover, assert bit-identical state), POST /insert and
+#                drift-triggered fine-tune over real HTTP, and the e2e
+#                insert-under-load / crash / recover / re-serve test —
+#                again deadline-bounded; a hang here is a recovery bug;
 #   heavy        the `--ignored` lane — heavyweight configurations
 #                (multi-variant / multi-dataset trainings) that pin broader
 #                behavior but cost minutes.
@@ -71,4 +78,7 @@ lane bench-build  cargo bench --workspace ${CARGO_FLAGS:-} --no-run
 lane test         cargo test --workspace ${CARGO_FLAGS:-} -q
 lane fault        cargo test -p cardest ${CARGO_FLAGS:-} -q --test fault_injection
 lane serve        cargo test -p cardest-server ${CARGO_FLAGS:-} -q --test http_smoke
+lane ingest       sh -c "cargo test -p cardest-store ${CARGO_FLAGS:-} -q \
+                      && cargo test -p cardest-server ${CARGO_FLAGS:-} -q --test http_ingest \
+                      && cargo test -p cardest ${CARGO_FLAGS:-} -q --test online_ingestion"
 lane heavy        cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

@@ -15,20 +15,34 @@
 //!    acceptance bar is zero failed requests and every corrupt reload
 //!    rejected.
 //!
+//! A fifth mode, `--ingest`, benchmarks the mutable serving path instead
+//! and writes `BENCH_ingest.json`: a mixed insert/estimate workload
+//! (client-observed insert p50/p99 while estimates run concurrently) and
+//! a recovery-time-vs-WAL-length sweep at the store layer.
+//!
 //! Usage: `cargo run --release -p cardest-bench --bin loadgen [--quick]
-//! [--out PATH]`.
+//! [--ingest] [--out PATH]`.
 
 use cardest_baselines::mlp::{MlpConfig, MlpEstimator};
 use cardest_baselines::sampling::SamplingEstimator;
 use cardest_baselines::traits::TrainingSet;
+use cardest_core::drift::DriftConfig;
+use cardest_core::gl::{GlConfig, GlEstimator, GlVariant};
+use cardest_core::tuning::TuningConfig;
+use cardest_core::update::{UpdatableGl, UpdateConfig};
 use cardest_data::metric::Metric;
 use cardest_data::paper::{DatasetSpec, PaperDataset};
+use cardest_data::vector::VectorView;
 use cardest_data::workload::SearchWorkload;
+use cardest_nn::trainer::TrainConfig;
 use cardest_server::client::HttpClient;
 use cardest_server::coalesce::CoalesceConfig;
 use cardest_server::model::repr_of;
 use cardest_server::registry::SharedFallback;
-use cardest_server::{ModelRegistry, RegistryConfig, Server, ServerConfig, ServerHandle};
+use cardest_server::{
+    IngestService, ModelRegistry, RegistryConfig, Server, ServerConfig, ServerHandle,
+};
+use cardest_store::{DurableIngest, StoreConfig};
 use serde::Value;
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -38,22 +52,32 @@ use std::time::{Duration, Instant};
 struct Args {
     out: PathBuf,
     quick: bool,
+    ingest: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        out: PathBuf::from("BENCH_serving.json"),
-        quick: false,
-    };
+    let mut out: Option<PathBuf> = None;
+    let mut quick = false;
+    let mut ingest = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
-            "--quick" => args.quick = true,
-            other => panic!("unknown flag {other:?} (usage: loadgen [--quick] [--out PATH])"),
+            "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a value"))),
+            "--quick" => quick = true,
+            "--ingest" => ingest = true,
+            other => {
+                panic!("unknown flag {other:?} (usage: loadgen [--quick] [--ingest] [--out PATH])")
+            }
         }
     }
-    args
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(if ingest {
+            "BENCH_ingest.json"
+        } else {
+            "BENCH_serving.json"
+        })
+    });
+    Args { out, quick, ingest }
 }
 
 struct Bench {
@@ -218,8 +242,263 @@ fn lat_summary(sorted: &[u64], queries: usize, elapsed: Duration) -> Value {
     ])
 }
 
+/// Trains the tiny GL stack the ingest bench serves and mutates.
+fn build_updatable(spec: &DatasetSpec, seed: u64) -> UpdatableGl {
+    let data = spec.generate(seed);
+    let w = SearchWorkload::build(&data, spec, seed);
+    let cfg = GlConfig {
+        variant: GlVariant::GlCnn,
+        n_segments: 4,
+        local_train: TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            ..Default::default()
+        },
+        global_train: TrainConfig {
+            epochs: 4,
+            batch_size: 64,
+            ..Default::default()
+        },
+        tuning: TuningConfig::fast(),
+        tuning_segments: 1,
+        ..Default::default()
+    };
+    let training = TrainingSet::new(&w.queries, &w.train);
+    let gl = GlEstimator::train(&data, spec.metric, &training, &w.table, &cfg);
+    UpdatableGl::new(
+        data,
+        spec.metric,
+        gl,
+        w.queries,
+        w.train,
+        w.test,
+        &w.table,
+        UpdateConfig::default(),
+    )
+}
+
+fn dense_row(upd: &UpdatableGl, row: usize) -> Vec<f32> {
+    match upd.data().view(row) {
+        VectorView::Dense(r) => r.to_vec(),
+        other => panic!("dense expected, got {other:?}"),
+    }
+}
+
+/// `--ingest`: mixed insert/estimate workload over the mutable server,
+/// then a store-layer recovery-cost sweep; writes `BENCH_ingest.json`.
+fn run_ingest(args: &Args) {
+    let n_data = if args.quick { 800 } else { 2_000 };
+    let spec = DatasetSpec {
+        dataset: PaperDataset::GloVe300,
+        dim: 16,
+        n_data,
+        n_train_queries: 30,
+        n_test_queries: 10,
+        metric: Metric::Angular,
+        tau_max: 0.6,
+    };
+    eprintln!("loadgen --ingest: training the {n_data}-row GL serving model");
+    let upd = build_updatable(&spec, 17);
+    let base_state = upd.snapshot_json().unwrap();
+
+    let dir = std::env::temp_dir().join(format!("cardest-loadgen-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.cardest");
+    upd.gl().save_artifact(&model_path).unwrap();
+
+    // Stationary insert bodies (scattered duplicates of existing rows) so
+    // the drift monitor — running at its default cadence on the request
+    // path — stays quiet and the numbers measure the durable write path.
+    let insert_bodies: Vec<String> = (0..256)
+        .map(|i| {
+            let row = dense_row(&upd, (i * 37 + 11) % n_data);
+            let comps: Vec<String> = row.iter().map(|v| format!("{v:.5}")).collect();
+            format!("{{\"point\":[{}]}}", comps.join(","))
+        })
+        .collect();
+    let estimate_bodies: Vec<String> = (0..256)
+        .map(|i| {
+            let row = dense_row(&upd, (i * 53 + 5) % n_data);
+            let comps: Vec<String> = row.iter().map(|v| format!("{v:.5}")).collect();
+            let tau = 0.1 + 0.05 * (i % 9) as f32;
+            format!("{{\"query\":[{}],\"tau\":{tau:.2}}}", comps.join(","))
+        })
+        .collect();
+
+    let fallback: SharedFallback = Arc::new(SamplingEstimator::with_ratio(
+        upd.data(),
+        spec.metric,
+        0.01,
+        17,
+        "Sampling 1%",
+    ));
+    let registry = Arc::new(
+        ModelRegistry::new(
+            RegistryConfig {
+                n_data,
+                dim: spec.dim,
+                repr: repr_of(upd.data()),
+                monotone: true,
+            },
+            fallback,
+            &model_path,
+        )
+        .unwrap(),
+    );
+    // The durability the ack promises: sync_writes on, like production.
+    let store = DurableIngest::create(
+        &dir.join("store"),
+        upd,
+        StoreConfig {
+            snapshot_every: 1024,
+            sync_writes: true,
+            retain_wal: false,
+        },
+    )
+    .unwrap();
+    let svc = IngestService::new(
+        store,
+        DriftConfig::default(),
+        dir.join("model_tuned.cardest"),
+    );
+    let handle = Server::start_with_ingest(
+        ServerConfig {
+            workers: 6,
+            coalesce: CoalesceConfig {
+                window: Duration::from_micros(200),
+                max_batch: 64,
+                cap: 4096,
+            },
+            ..ServerConfig::default()
+        },
+        registry,
+        svc,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // --- mixed workload: inserts and estimates racing on one server ---
+    let insert_clients = 2usize;
+    let estimate_clients = 2usize;
+    let inserts_per_client = if args.quick { 150 } else { 400 };
+    let estimates_per_client = if args.quick { 300 } else { 800 };
+    eprintln!(
+        "loadgen --ingest: mixed phase ({insert_clients}x{inserts_per_client} inserts vs {estimate_clients}x{estimates_per_client} estimates)"
+    );
+    let ins_bodies = Arc::new(insert_bodies);
+    let est_bodies = Arc::new(estimate_bodies);
+    let t_ins = {
+        let b = Arc::clone(&ins_bodies);
+        std::thread::spawn(move || {
+            closed_loop(addr, b, insert_clients, inserts_per_client, "/insert")
+        })
+    };
+    let t_est = {
+        let b = Arc::clone(&est_bodies);
+        std::thread::spawn(move || {
+            closed_loop(addr, b, estimate_clients, estimates_per_client, "/estimate")
+        })
+    };
+    let (ins_lat, ins_elapsed) = t_ins.join().unwrap();
+    let (est_lat, est_elapsed) = t_est.join().unwrap();
+    let mixed_insert = lat_summary(&ins_lat, insert_clients * inserts_per_client, ins_elapsed);
+    let mixed_estimate = lat_summary(
+        &est_lat,
+        estimate_clients * estimates_per_client,
+        est_elapsed,
+    );
+
+    let ingest_snap = handle.ingest().unwrap().snapshot();
+    let total_inserts = (insert_clients * inserts_per_client) as u64;
+    assert_eq!(ingest_snap.inserts, total_inserts, "an insert was dropped");
+    let server_stats_text = HttpClient::connect(addr)
+        .unwrap()
+        .get("/stats")
+        .unwrap()
+        .text();
+    let server_stats: Value = serde_json::from_str(&server_stats_text).unwrap();
+    handle.shutdown();
+
+    // --- recovery time vs WAL length (store layer, no HTTP) ---
+    // Same base state each round, increasingly long un-snapshotted WALs:
+    // recovery = snapshot load + replay, so cost should grow linearly in
+    // the record count.
+    let wal_lens: &[usize] = if args.quick {
+        &[100, 400]
+    } else {
+        &[100, 400, 1600]
+    };
+    let mut recovery = Vec::new();
+    for &k in wal_lens {
+        let updk = UpdatableGl::from_snapshot_json(&base_state).unwrap();
+        let point = dense_row(&updk, 3);
+        let dirk = dir.join(format!("recover-{k}"));
+        let mut store = DurableIngest::create(
+            &dirk,
+            updk,
+            StoreConfig {
+                snapshot_every: 0,
+                sync_writes: false,
+                retain_wal: true,
+            },
+        )
+        .unwrap();
+        for _ in 0..k {
+            store.insert(VectorView::Dense(&point)).unwrap();
+        }
+        let wal_bytes = store.wal_len_bytes();
+        drop(store);
+        let t0 = Instant::now();
+        let (_store, report) = DurableIngest::open(
+            &dirk,
+            StoreConfig {
+                snapshot_every: 0,
+                sync_writes: false,
+                retain_wal: true,
+            },
+        )
+        .unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.replayed, k, "recovery lost records");
+        eprintln!("loadgen --ingest: recovery of {k:>5} records ({wal_bytes} B) in {ms:.1} ms");
+        recovery.push(Value::Map(vec![
+            ("wal_records".to_string(), Value::UInt(k as u64)),
+            ("wal_bytes".to_string(), Value::UInt(wal_bytes)),
+            ("recover_ms".to_string(), Value::Float(ms)),
+        ]));
+    }
+
+    let report = Value::Map(vec![
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                (
+                    "dataset".to_string(),
+                    Value::Str("GloVe300 (synthetic)".to_string()),
+                ),
+                ("dim".to_string(), Value::UInt(spec.dim as u64)),
+                ("n_data".to_string(), Value::UInt(n_data as u64)),
+                ("workers".to_string(), Value::UInt(6)),
+                ("sync_writes".to_string(), Value::Bool(true)),
+                ("quick".to_string(), Value::Bool(args.quick)),
+            ]),
+        ),
+        ("mixed_insert".to_string(), mixed_insert),
+        ("mixed_estimate".to_string(), mixed_estimate),
+        ("recovery".to_string(), Value::Seq(recovery)),
+        ("server_stats".to_string(), server_stats),
+    ]);
+    std::fs::write(&args.out, serde_json::to_string(&report).unwrap()).unwrap();
+    eprintln!("loadgen --ingest: wrote {}", args.out.display());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn main() {
     let args = parse_args();
+    if args.ingest {
+        run_ingest(&args);
+        return;
+    }
     let bench = setup(args.quick);
     let addr = bench.addr;
     let bodies = Arc::new(bench.bodies.clone());

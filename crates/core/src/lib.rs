@@ -28,13 +28,17 @@
 //! * [`join`] — similarity-join estimation (§4): **CNNJoin**, **GLJoin**,
 //!   **GLJoin+**, with mask-based routing and sum-pooled query-set
 //!   embeddings, transferred from search models and fine-tuned,
-//! * [`update`] — incremental training for data updates (§5.3).
+//! * [`update`] — incremental training for data updates (§5.3),
+//! * [`drift`] — estimate-quality drift detection that decides when the
+//!   online ingestion path should fine-tune (per-segment probe Q-error
+//!   against a median-normalized baseline).
 //!
 //! Every estimator implements
 //! [`cardest_baselines::traits::CardinalityEstimator`], so the bench
 //! harness treats our models and the baselines uniformly.
 
 pub mod arch;
+pub mod drift;
 pub mod gl;
 pub mod global;
 pub mod join;
@@ -44,6 +48,7 @@ pub mod tuning;
 pub mod update;
 
 pub use arch::{ModelDims, QueryEmbed};
+pub use drift::{DriftConfig, DriftMonitor, DriftVerdict};
 pub use gl::{GlConfig, GlEstimator, GlVariant};
 pub use global::{GlobalConfig, GlobalModel};
 pub use join::{JoinConfig, JoinEstimator, JoinVariant};

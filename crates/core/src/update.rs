@@ -44,6 +44,21 @@ impl Default for UpdateConfig {
     }
 }
 
+/// The serialized form of [`UpdatableGl`] — everything a recovery needs,
+/// minus the rebuildable feature caches.
+#[derive(Serialize, Deserialize)]
+struct SnapshotState {
+    data: VectorData,
+    metric: Metric,
+    gl: GlEstimator,
+    queries: VectorData,
+    train: Vec<SearchSample>,
+    test: Vec<SearchSample>,
+    seg_cards: Vec<Vec<f32>>,
+    deleted: Vec<bool>,
+    cfg: UpdateConfig,
+}
+
 /// A GL estimator that supports incremental inserts with label patching
 /// and partial fine-tuning.
 pub struct UpdatableGl {
@@ -124,6 +139,11 @@ impl UpdatableGl {
         &self.queries
     }
 
+    /// The wrapped estimator (shared by serving and the drift monitor).
+    pub fn gl(&self) -> &GlEstimator {
+        &self.gl
+    }
+
     pub fn gl_mut(&mut self) -> &mut GlEstimator {
         &mut self.gl
     }
@@ -134,6 +154,45 @@ impl UpdatableGl {
 
     pub fn test_samples(&self) -> &[SearchSample] {
         &self.test
+    }
+
+    /// The pure insert step shared by the offline experiment and the WAL
+    /// replay path (§5.3 routing + label patching, *no* fine-tuning, no
+    /// I/O, no randomness): appends the point to the dataset, routes it to
+    /// its nearest segment, and patches every cached label. Returns the
+    /// owning segment. Replaying the same point sequence through this
+    /// method always reproduces bit-identical state, which is what makes
+    /// snapshot-load + WAL-replay recovery exact.
+    pub fn apply_insert(&mut self, p: VectorView<'_>) -> usize {
+        assert_eq!(
+            p.dim(),
+            self.data.dim(),
+            "inserted point has wrong dimension"
+        );
+        let idx = self.data.len();
+        let seg = self.gl.segmentation_mut().insert_point(idx, p);
+        self.data.push_view(p);
+        self.deleted.push(false);
+        self.patch_labels(p, seg, 1.0);
+        seg
+    }
+
+    /// The pure delete step (tombstone + membership removal + label
+    /// patching, no fine-tuning). Returns the segment the point left, or
+    /// `None` if the row was already tombstoned. Deterministic, like
+    /// [`UpdatableGl::apply_insert`].
+    pub fn apply_delete(&mut self, idx: usize) -> Option<usize> {
+        assert!(idx < self.data.len(), "delete index {idx} out of range");
+        if std::mem::replace(&mut self.deleted[idx], true) {
+            return None;
+        }
+        let seg = self.gl.segmentation_mut().remove_point(idx);
+        // Borrow-friendly dense copy of the row for label patching.
+        let mut buf = Vec::with_capacity(self.data.dim());
+        self.data.view(idx).write_dense(&mut buf);
+        let owned = cardest_data::vector::DenseData::from_flat(self.data.dim(), buf);
+        self.patch_labels(VectorView::Dense(owned.row(0)), seg, -1.0);
+        Some(seg)
     }
 
     /// Inserts a batch of points: routes each to its nearest segment,
@@ -148,13 +207,7 @@ impl UpdatableGl {
         );
         let mut affected: BTreeSet<usize> = BTreeSet::new();
         for i in 0..points.len() {
-            let view = points.view(i);
-            let idx = self.data.len();
-            let seg = self.gl.segmentation_mut().insert_point(idx, view);
-            affected.insert(seg);
-            self.data.extend_from(&points.gather(&[i]));
-            self.deleted.push(false);
-            self.patch_labels(view, seg, 1.0);
+            affected.insert(self.apply_insert(points.view(i)));
         }
         let affected: Vec<usize> = affected.into_iter().collect();
         if finetune {
@@ -173,17 +226,9 @@ impl UpdatableGl {
     pub fn delete(&mut self, ids: &[usize], finetune: bool) -> Vec<usize> {
         let mut affected: BTreeSet<usize> = BTreeSet::new();
         for &idx in ids {
-            assert!(idx < self.data.len(), "delete index {idx} out of range");
-            if std::mem::replace(&mut self.deleted[idx], true) {
-                continue;
+            if let Some(seg) = self.apply_delete(idx) {
+                affected.insert(seg);
             }
-            let seg = self.gl.segmentation_mut().remove_point(idx);
-            affected.insert(seg);
-            // Borrow-friendly dense copy of the row for label patching.
-            let mut buf = Vec::with_capacity(self.data.dim());
-            self.data.view(idx).write_dense(&mut buf);
-            let owned = cardest_data::vector::DenseData::from_flat(self.data.dim(), buf);
-            self.patch_labels(VectorView::Dense(owned.row(0)), seg, -1.0);
         }
         let affected: Vec<usize> = affected.into_iter().collect();
         if finetune {
@@ -191,6 +236,19 @@ impl UpdatableGl {
             self.finetune_global();
         }
         affected
+    }
+
+    /// Fine-tunes the local models owning `affected` plus the global model
+    /// — the §5.3 schedule, exposed so the drift monitor's background
+    /// worker can trigger it outside an insert/delete call. The segment
+    /// list is de-duplicated here, so callers may pass raw trigger lists.
+    pub fn finetune(&mut self, affected: &[usize]) {
+        let mut segs = affected.to_vec();
+        segs.sort_unstable();
+        segs.dedup();
+        segs.retain(|&s| s < self.gl.segmentation().n_segments());
+        self.finetune_locals(&segs);
+        self.finetune_global();
     }
 
     /// Number of live (non-tombstoned) points.
@@ -370,6 +428,57 @@ impl UpdatableGl {
         }
     }
 
+    /// Serializes the full durable state — dataset, metric, model,
+    /// queries, patched labels, segment shares, tombstones, and the
+    /// fine-tune schedule — as the JSON payload a `cardest-store` snapshot
+    /// persists. The query-feature caches are *not* included: they are a
+    /// deterministic function of the (fixed) queries and the segmentation
+    /// centroids, so [`UpdatableGl::from_snapshot_json`] rebuilds them
+    /// bit-identically.
+    pub fn snapshot_json(&self) -> serde_json::Result<String> {
+        let state = SnapshotState {
+            data: self.data.clone(),
+            metric: self.metric,
+            gl: self.gl.clone(),
+            queries: self.queries.clone(),
+            train: self.train.clone(),
+            test: self.test.clone(),
+            seg_cards: self.seg_cards.clone(),
+            deleted: self.deleted.clone(),
+            cfg: self.cfg,
+        };
+        serde_json::to_string(&state)
+    }
+
+    /// Rebuilds an [`UpdatableGl`] from a snapshot payload written by
+    /// [`UpdatableGl::snapshot_json`], recomputing the feature caches.
+    pub fn from_snapshot_json(json: &str) -> serde_json::Result<Self> {
+        let state: SnapshotState = serde_json::from_str(json)?;
+        let (xq_cache, xc_cache) = build_feature_caches(&state.queries, state.gl.segmentation());
+        Ok(UpdatableGl {
+            data: state.data,
+            metric: state.metric,
+            gl: state.gl,
+            queries: state.queries,
+            train: state.train,
+            test: state.test,
+            seg_cards: state.seg_cards,
+            xq_cache,
+            xc_cache,
+            deleted: state.deleted,
+            cfg: state.cfg,
+        })
+    }
+
+    /// FNV-1a 64 digest of the serialized state — the equality the crash
+    /// matrix pins: recovery (snapshot-load + WAL-replay) must reproduce
+    /// the never-crashed run's fingerprint exactly.
+    pub fn state_fingerprint(&self) -> serde_json::Result<u64> {
+        Ok(cardest_nn::artifact::fnv1a64(
+            self.snapshot_json()?.as_bytes(),
+        ))
+    }
+
     /// Mean Q-error over the (label-patched) test samples — the metric
     /// Fig. 15 tracks across update operations.
     pub fn mean_test_q_error(&mut self) -> f32 {
@@ -486,5 +595,42 @@ mod tests {
         let expected = upd.gl.segmentation().nearest_segment(pts.view(0));
         let affected = upd.insert(&pts, false);
         assert_eq!(affected, vec![expected]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (mut upd, _) = setup(134);
+        let pts = upd.data.gather(&[3, 7, 11]);
+        upd.insert(&pts, false);
+        upd.delete(&[5], false);
+        let json = upd.snapshot_json().unwrap();
+        let fp = upd.state_fingerprint().unwrap();
+        let restored = UpdatableGl::from_snapshot_json(&json).unwrap();
+        assert_eq!(restored.state_fingerprint().unwrap(), fp);
+        // The rebuilt feature caches match the originals exactly.
+        assert_eq!(restored.xq_cache, upd.xq_cache);
+        assert_eq!(restored.xc_cache, upd.xc_cache);
+        assert_eq!(restored.dataset_len(), upd.dataset_len());
+        assert!(restored.is_deleted(5));
+    }
+
+    #[test]
+    fn apply_insert_matches_batched_insert_bit_for_bit() {
+        // The WAL replay path (apply_insert, one point at a time) and the
+        // offline experiment (insert with a batch) must be the same code
+        // path producing the same state.
+        let (upd_a, _) = setup(135);
+        let json0 = upd_a.snapshot_json().unwrap();
+        let mut upd_b = UpdatableGl::from_snapshot_json(&json0).unwrap();
+        let mut upd_a = upd_a;
+        let pts = upd_a.data.gather(&[1, 4, 9, 16]);
+        upd_a.insert(&pts, false);
+        for i in 0..pts.len() {
+            upd_b.apply_insert(pts.view(i));
+        }
+        assert_eq!(
+            upd_a.state_fingerprint().unwrap(),
+            upd_b.state_fingerprint().unwrap()
+        );
     }
 }

@@ -232,6 +232,25 @@ impl VectorData {
         }
     }
 
+    /// Appends one vector given as a borrowed view (the online-insert hot
+    /// path: WAL replay and `POST /insert` both append row by row without
+    /// materializing a single-row collection first).
+    ///
+    /// # Panics
+    /// Panics if the view's representation or dimension does not match.
+    pub fn push_view(&mut self, v: VectorView<'_>) {
+        match (self, v) {
+            (VectorData::Dense(a), VectorView::Dense(row)) => a.push(row),
+            (VectorData::Binary(a), VectorView::Binary { words, dim }) => {
+                assert_eq!(a.dim(), dim, "dimension mismatch");
+                assert_eq!(words.len(), a.words_per_vec, "word count mismatch");
+                a.words.extend_from_slice(words);
+            }
+            // cardest-lint: allow(panic-path): mixing representations is a caller-contract violation with no recoverable meaning
+            _ => panic!("cannot push a mismatched vector representation"),
+        }
+    }
+
     /// Appends all rows of `other` (same layout required).
     ///
     /// # Panics
@@ -352,6 +371,42 @@ mod tests {
         let b = VectorData::Dense(DenseData::from_flat(2, vec![3.0, 4.0]));
         a.extend_from(&b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn push_view_appends_dense_and_binary_rows() {
+        let mut d = VectorData::Dense(DenseData::from_flat(2, vec![1.0, 2.0]));
+        d.push_view(VectorView::Dense(&[3.0, 4.0]));
+        assert_eq!(d.len(), 2);
+        match d.view(1) {
+            VectorView::Dense(v) => assert_eq!(v, &[3.0, 4.0]),
+            _ => unreachable!(),
+        }
+        let mut b = BinaryData::new(70);
+        b.push_indices(&[0, 69]);
+        let words: Vec<u64> = b.row(0).to_vec();
+        let mut data = VectorData::Binary(b);
+        data.push_view(VectorView::Binary {
+            words: &words,
+            dim: 70,
+        });
+        assert_eq!(data.len(), 2);
+        match (data.view(0), data.view(1)) {
+            (VectorView::Binary { words: a, .. }, VectorView::Binary { words: b, .. }) => {
+                assert_eq!(a, b)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push a mismatched")]
+    fn push_view_rejects_repr_mismatch() {
+        let mut d = VectorData::Dense(DenseData::new(2));
+        d.push_view(VectorView::Binary {
+            words: &[0],
+            dim: 2,
+        });
     }
 
     #[test]

@@ -15,12 +15,16 @@
 use cardest_baselines::mlp::{MlpConfig, MlpEstimator};
 use cardest_baselines::sampling::SamplingEstimator;
 use cardest_baselines::traits::TrainingSet;
+use cardest_core::drift::DriftConfig;
+use cardest_core::gl::{GlConfig, GlEstimator};
+use cardest_core::update::{UpdatableGl, UpdateConfig};
 use cardest_data::cache;
 use cardest_data::paper::PaperDataset;
 use cardest_data::workload::SearchWorkload;
 use cardest_server::coalesce::CoalesceConfig;
 use cardest_server::model::repr_of;
-use cardest_server::{ModelRegistry, RegistryConfig, Server, ServerConfig};
+use cardest_server::{IngestService, ModelRegistry, RegistryConfig, Server, ServerConfig};
+use cardest_store::{DurableIngest, StoreConfig};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -37,11 +41,14 @@ struct Args {
     model_dir: PathBuf,
     cache_dir: PathBuf,
     coalesce_window_us: u64,
+    mutable: bool,
+    store_dir: PathBuf,
 }
 
 const USAGE: &str = "usage: cardest-serve [--dataset NAME] [--port P] [--workers N] \
 [--seed S] [--n-data N] [--train-queries N] [--train-epochs N] \
-[--model-dir DIR] [--cache-dir DIR] [--coalesce-window-us U]";
+[--model-dir DIR] [--cache-dir DIR] [--coalesce-window-us U] \
+[--mutable] [--store-dir DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -55,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         model_dir: PathBuf::from(".cardest-serve/models"),
         cache_dir: PathBuf::from(".cardest-serve/cache"),
         coalesce_window_us: 500,
+        mutable: false,
+        store_dir: PathBuf::from(".cardest-serve/store"),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +93,8 @@ fn parse_args() -> Result<Args, String> {
                 args.coalesce_window_us =
                     parse_num(&value("--coalesce-window-us")?, "--coalesce-window-us")?
             }
+            "--mutable" => args.mutable = true,
+            "--store-dir" => args.store_dir = PathBuf::from(value("--store-dir")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -116,6 +127,10 @@ fn run() -> Result<(), String> {
         spec.tau_max
     );
     let data = cache::load_or_generate(&args.cache_dir, &spec, args.seed);
+
+    if args.mutable {
+        return run_mutable(&args, spec, data);
+    }
 
     // Train-once-then-reuse: the artifact is keyed like the dataset cache,
     // so restarts (and the reload smoke test) skip training.
@@ -189,6 +204,130 @@ fn run() -> Result<(), String> {
         "cardest-serve: serving on {} with {} workers (ctrl-c to stop)",
         handle.addr(),
         args.workers
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `--mutable`: serve a GL estimator behind the durable ingest layer —
+/// `POST /insert` accepted, WAL + snapshots under `--store-dir`,
+/// drift-triggered fine-tunes hot-swapped in the background. A restart
+/// with the same `--store-dir` recovers (snapshot + WAL replay) instead
+/// of retraining.
+fn run_mutable(
+    args: &Args,
+    spec: cardest_data::paper::DatasetSpec,
+    data: cardest_data::vector::VectorData,
+) -> Result<(), String> {
+    std::fs::create_dir_all(&args.model_dir)
+        .map_err(|e| format!("create {}: {e}", args.model_dir.display()))?;
+    let artifact = args.model_dir.join(format!(
+        "gl_{}_{}d_{}n_{}.cardest",
+        spec.dataset.name().to_ascii_lowercase(),
+        spec.dim,
+        spec.n_data,
+        args.seed
+    ));
+
+    let store_cfg = StoreConfig::default();
+    let has_snapshot = args
+        .store_dir
+        .join(cardest_store::ingest::SNAPSHOT_FILE)
+        .exists();
+    let store = if has_snapshot {
+        let (store, report) = DurableIngest::open(&args.store_dir, store_cfg)
+            .map_err(|e| format!("recover store {}: {e}", args.store_dir.display()))?;
+        eprintln!(
+            "cardest-serve: recovered store (snapshot seq {}, {} replayed, {} skipped{})",
+            report.snapshot_seq,
+            report.replayed,
+            report.skipped,
+            match &report.wal.defect {
+                Some(d) => format!(", torn tail truncated: {d}"),
+                None => String::new(),
+            }
+        );
+        store
+    } else {
+        eprintln!(
+            "cardest-serve: no store at {}; training GL",
+            args.store_dir.display()
+        );
+        let workload = SearchWorkload::build(&data, &spec, args.seed);
+        let training = TrainingSet::new(&workload.queries, &workload.train);
+        let mut cfg = GlConfig::default();
+        if let Some(e) = args.train_epochs {
+            cfg.local_train.epochs = e;
+            cfg.global_train.epochs = e;
+        }
+        let gl = GlEstimator::train(&data, spec.metric, &training, &workload.table, &cfg);
+        let upd = UpdatableGl::new(
+            data,
+            spec.metric,
+            gl,
+            workload.queries,
+            workload.train,
+            workload.test,
+            &workload.table,
+            UpdateConfig::default(),
+        );
+        DurableIngest::create(&args.store_dir, upd, store_cfg)
+            .map_err(|e| format!("create store {}: {e}", args.store_dir.display()))?
+    };
+
+    // The registry must serve exactly the recovered weights, so the
+    // artifact is (re)written from store state — fine-tunes overwrite the
+    // same path, making tuned weights survive restarts too.
+    store
+        .estimator()
+        .gl()
+        .save_artifact(&artifact)
+        .map_err(|e| format!("save artifact: {e}"))?;
+
+    let n_data = store.estimator().data().len();
+    let fallback = Arc::new(SamplingEstimator::with_ratio(
+        store.estimator().data(),
+        spec.metric,
+        0.01,
+        args.seed,
+        "Sampling 1%",
+    ));
+    let registry = ModelRegistry::new(
+        RegistryConfig {
+            n_data,
+            dim: spec.dim,
+            repr: repr_of(store.estimator().data()),
+            monotone: true,
+        },
+        fallback,
+        &artifact,
+    )
+    .map_err(|e| format!("load model: {e}"))?;
+
+    let svc = IngestService::new(store, DriftConfig::default(), artifact);
+    let handle = Server::start_with_ingest(
+        ServerConfig {
+            addr: format!("127.0.0.1:{}", args.port),
+            workers: args.workers,
+            coalesce: CoalesceConfig {
+                window: Duration::from_micros(args.coalesce_window_us),
+                ..CoalesceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        Arc::new(registry),
+        svc,
+    )
+    .map_err(|e| format!("bind server: {e}"))?;
+
+    println!("LISTENING {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "cardest-serve: mutable serving on {} ({} rows, store {})",
+        handle.addr(),
+        n_data,
+        args.store_dir.display()
     );
     loop {
         std::thread::park();

@@ -1,0 +1,225 @@
+//! Serving-side online ingestion: the durable store plus the drift
+//! monitor, with fine-tunes pushed off the request path.
+//!
+//! The request thread does only the durable part of an insert — validate,
+//! WAL append, pure apply (see `cardest_store::DurableIngest`) — and a
+//! drift *check* every `check_every` inserts (one probe-set evaluation).
+//! When a check fires, the affected segment ids are queued and a single
+//! background worker does the expensive half: fine-tune the fired locals
+//! plus the global model, save the result as a GL artifact, snapshot the
+//! store (making the new weights durable), rebaseline the monitor, and
+//! hot-swap the serving model through [`ModelRegistry::reload`] — so
+//! in-flight estimates never observe a half-tuned model; they keep the
+//! generation they started with until the swap.
+//!
+//! Lock order: `inner` (store + monitor) is never held while calling into
+//! the registry, and the `pending` queue lock never nests inside `inner`
+//! on the worker side.
+
+use crate::model::OwnedQuery;
+use crate::registry::ModelRegistry;
+use cardest_core::drift::{DriftConfig, DriftMonitor};
+use cardest_store::{DurableIngest, InsertReceipt, StoreError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Store + monitor, mutated together under one lock: a drift check must
+/// see exactly the state the inserts left behind.
+struct Inner {
+    store: DurableIngest,
+    monitor: DriftMonitor,
+}
+
+/// Point-in-time ingestion counters for `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Inserts acknowledged since startup.
+    pub inserts: u64,
+    /// Sequence number of the last durable WAL record.
+    pub last_seq: u64,
+    /// Current WAL size in bytes.
+    pub wal_bytes: u64,
+    /// Live (non-tombstoned) dataset rows.
+    pub live_rows: u64,
+    /// Drift checks run.
+    pub drift_checks: u64,
+    /// Drift checks that fired at least one segment.
+    pub drift_triggers: u64,
+    /// Background fine-tunes that completed and hot-swapped.
+    pub finetunes_ok: u64,
+    /// Background fine-tunes that failed (artifact, snapshot, or reload).
+    pub finetunes_failed: u64,
+}
+
+/// The mutable half of the server: durable inserts with drift-triggered
+/// background fine-tuning.
+pub struct IngestService {
+    inner: Mutex<Inner>,
+    /// Segment ids awaiting a background fine-tune (deduplicated).
+    pending: Mutex<Vec<usize>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    /// Where the worker saves fine-tuned GL artifacts for hot reload.
+    artifact_path: PathBuf,
+    inserts: AtomicU64,
+    finetunes_ok: AtomicU64,
+    finetunes_failed: AtomicU64,
+}
+
+impl IngestService {
+    /// Wraps an opened (or freshly created) durable store. The drift
+    /// monitor baselines against the store's current state; `artifact_path`
+    /// is where fine-tuned models land before each hot swap.
+    pub fn new(store: DurableIngest, drift: DriftConfig, artifact_path: PathBuf) -> Arc<Self> {
+        let monitor = DriftMonitor::new(store.estimator(), drift);
+        Arc::new(IngestService {
+            inner: Mutex::new(Inner { store, monitor }),
+            pending: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            artifact_path,
+            inserts: AtomicU64::new(0),
+            finetunes_ok: AtomicU64::new(0),
+            finetunes_failed: AtomicU64::new(0),
+        })
+    }
+
+    /// Durably inserts one point and runs a drift check when one is due.
+    /// Returns the store's receipt plus whether this insert scheduled a
+    /// background fine-tune.
+    pub fn insert(&self, point: &OwnedQuery) -> Result<(InsertReceipt, bool), StoreError> {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let inner = &mut *guard;
+        let receipt = inner.store.insert(point.view())?;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let mut scheduled = false;
+        if inner.monitor.note_inserts(1) {
+            let verdict = inner.monitor.check(inner.store.estimator());
+            if verdict.triggered() {
+                drop(guard);
+                let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+                for s in verdict.fired {
+                    if !pending.contains(&s) {
+                        pending.push(s);
+                    }
+                }
+                drop(pending);
+                self.wake.notify_one();
+                scheduled = true;
+            }
+        }
+        Ok((receipt, scheduled))
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        IngestSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            last_seq: inner.store.last_seq(),
+            wal_bytes: inner.store.wal_len_bytes(),
+            live_rows: inner.store.estimator().live_len() as u64,
+            drift_checks: inner.monitor.checks(),
+            drift_triggers: inner.monitor.triggers(),
+            finetunes_ok: self.finetunes_ok.load(Ordering::Relaxed),
+            finetunes_failed: self.finetunes_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Dataset rows including tombstones — the guard clamp the registry
+    /// should carry into its next generation.
+    pub fn dataset_len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+            .estimator()
+            .dataset_len()
+    }
+
+    /// Writes a snapshot covering everything applied so far (exposed for
+    /// orderly shutdown; inserts also auto-snapshot per `StoreConfig`).
+    pub fn snapshot_store(&self) -> Result<(), StoreError> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+            .snapshot_now()
+    }
+
+    /// Asks the background worker to exit at its next wakeup.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// Spawns the background fine-tune worker. One worker per service:
+    /// fine-tunes are serialized, each ending in a snapshot + hot swap.
+    pub(crate) fn spawn_worker(
+        self: &Arc<Self>,
+        registry: Arc<ModelRegistry>,
+    ) -> std::io::Result<JoinHandle<()>> {
+        let svc = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("cardest-finetune".to_string())
+            .spawn(move || svc.worker_loop(&registry))
+    }
+
+    fn worker_loop(&self, registry: &Arc<ModelRegistry>) {
+        loop {
+            let segments = {
+                let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if !pending.is_empty() {
+                        break std::mem::take(&mut *pending);
+                    }
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (next, _) = self
+                        .wake
+                        .wait_timeout(pending, Duration::from_millis(100))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    pending = next;
+                }
+            };
+            match self.finetune_and_persist(&segments) {
+                Ok(n_data) => {
+                    // Publish the grown dataset size, then swap. A reload
+                    // failure leaves the old model serving — correct, just
+                    // staler — so it only bumps the failure counter.
+                    registry.set_n_data(n_data);
+                    match registry.reload(&self.artifact_path) {
+                        Ok(_) => self.finetunes_ok.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => self.finetunes_failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+                Err(_) => {
+                    self.finetunes_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The expensive half, under the store lock: fine-tune the fired
+    /// locals + global, save the artifact, snapshot (weights become
+    /// durable), rebaseline the monitor. Returns the dataset size for the
+    /// registry's next guard clamp.
+    fn finetune_and_persist(&self, segments: &[usize]) -> Result<usize, StoreError> {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let inner = &mut *guard;
+        inner.store.estimator_mut().finetune(segments);
+        inner
+            .store
+            .estimator()
+            .gl()
+            .save_artifact(&self.artifact_path)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        inner.store.snapshot_now()?;
+        inner.monitor.rebaseline(inner.store.estimator());
+        Ok(inner.store.estimator().dataset_len())
+    }
+}

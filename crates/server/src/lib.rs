@@ -23,6 +23,11 @@
 //!   in-flight requests finish on the model generation they started
 //!   with, a corrupt artifact is rejected with a typed error while the
 //!   old model stays live, and guard counters stay exact across swaps,
+//! * [`ingest`] — online mutation behind `POST /insert`: durable inserts
+//!   through `cardest_store::DurableIngest` (WAL-ahead, crash-safe), a
+//!   drift monitor on the request path, and a background worker that
+//!   fine-tunes drifted segments and hot-swaps the result through the
+//!   registry,
 //! * [`coalesce`] — single-query requests queue briefly and flush as one
 //!   `estimate_batch` call (feeding the PR 1 batched path), with a
 //!   bounded queue for admission control,
@@ -41,10 +46,12 @@ pub mod client;
 mod clock;
 pub mod coalesce;
 pub mod http;
+pub mod ingest;
 pub mod model;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
+pub use ingest::{IngestService, IngestSnapshot};
 pub use registry::{ModelRegistry, RegistryConfig, ReloadError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -25,7 +25,7 @@ use cardest_baselines::traits::CardinalityEstimator;
 use cardest_nn::artifact::ArtifactError;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use crate::model::{LoadedModel, QueryRepr};
@@ -118,6 +118,10 @@ struct Inner {
 /// Hot-swappable holder of the active [`ServingModel`].
 pub struct ModelRegistry {
     cfg: RegistryConfig,
+    /// Live dataset size — online inserts grow it past `cfg.n_data`, and
+    /// each reload bakes the current value in as the new generation's
+    /// guard clamp (the clamp tracks growth at swap granularity).
+    n_data_live: AtomicUsize,
     fallback: SharedFallback,
     active: RwLock<Arc<ServingModel>>,
     inner: Mutex<Inner>,
@@ -140,8 +144,9 @@ impl ModelRegistry {
         fallback: SharedFallback,
         path: &Path,
     ) -> Result<Self, ReloadError> {
-        let first = Self::build_generation(&cfg, &fallback, path, 1)?;
+        let first = Self::build_generation(&cfg, &fallback, path, 1, cfg.n_data)?;
         Ok(ModelRegistry {
+            n_data_live: AtomicUsize::new(cfg.n_data),
             cfg,
             fallback,
             active: RwLock::new(Arc::new(first)),
@@ -160,6 +165,7 @@ impl ModelRegistry {
         fallback: &SharedFallback,
         path: &Path,
         version: u64,
+        n_data: usize,
     ) -> Result<ServingModel, ReloadError> {
         let (model, kind) = LoadedModel::load(path)?;
         if let Some(model_dim) = model.expected_dim() {
@@ -171,7 +177,7 @@ impl ModelRegistry {
             }
         }
         let guarded =
-            GuardedEstimator::new(model, fallback.clone(), cfg.n_data).with_monotone(cfg.monotone);
+            GuardedEstimator::new(model, fallback.clone(), n_data).with_monotone(cfg.monotone);
         Ok(ServingModel {
             version,
             kind,
@@ -199,7 +205,8 @@ impl ModelRegistry {
     pub fn reload(&self, path: &Path) -> Result<u64, ReloadError> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let version = inner.next_version;
-        let next = match Self::build_generation(&self.cfg, &self.fallback, path, version) {
+        let n_data = self.n_data_live.load(Ordering::Relaxed);
+        let next = match Self::build_generation(&self.cfg, &self.fallback, path, version, n_data) {
             Ok(m) => m,
             Err(e) => {
                 self.reloads_rejected.fetch_add(1, Ordering::Relaxed);
@@ -265,5 +272,17 @@ impl ModelRegistry {
     /// The serving configuration (dataset size, dim, representation).
     pub fn config(&self) -> &RegistryConfig {
         &self.cfg
+    }
+
+    /// Publishes a new dataset size after online inserts. Takes effect as
+    /// the guard clamp at the *next* reload — generations are immutable,
+    /// so an already-serving model keeps the clamp it was built with.
+    pub fn set_n_data(&self, n: usize) {
+        self.n_data_live.store(n, Ordering::Relaxed);
+    }
+
+    /// The dataset size the next generation will be clamped to.
+    pub fn n_data(&self) -> usize {
+        self.n_data_live.load(Ordering::Relaxed)
     }
 }

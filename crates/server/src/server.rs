@@ -26,9 +26,11 @@ use std::time::Duration;
 use crate::clock;
 use crate::coalesce::{CoalesceConfig, Coalescer, SubmitError};
 use crate::http::{HttpConnection, HttpError, NextRequest, Request};
+use crate::ingest::IngestService;
 use crate::model::OwnedQuery;
 use crate::registry::ModelRegistry;
 use crate::stats::{Route, ServerStats};
+use cardest_store::StoreError;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +67,9 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     stats: Arc<ServerStats>,
     coalescer: Arc<Coalescer>,
+    /// `Some` when the server was started with a durable store; `None`
+    /// servers answer `POST /insert` with 404 (read-only serving).
+    ingest: Option<Arc<IngestService>>,
     shutdown: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
     conn_wake: Condvar,
@@ -84,7 +89,27 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds, spawns the acceptor / workers / batcher, and returns.
+    /// The resulting server is read-only: `POST /insert` answers 404.
     pub fn start(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+        Self::start_inner(cfg, registry, None)
+    }
+
+    /// Like [`Server::start`], but with a mutable serving dataset: the
+    /// ingest service backs `POST /insert`, and its background fine-tune
+    /// worker hot-swaps drift-adapted models through the registry.
+    pub fn start_with_ingest(
+        cfg: ServerConfig,
+        registry: Arc<ModelRegistry>,
+        ingest: Arc<IngestService>,
+    ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(cfg, registry, Some(ingest))
+    }
+
+    fn start_inner(
+        cfg: ServerConfig,
+        registry: Arc<ModelRegistry>,
+        ingest: Option<Arc<IngestService>>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
@@ -97,14 +122,18 @@ impl Server {
             registry,
             stats,
             coalescer: Arc::clone(&coalescer),
+            ingest,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(VecDeque::new()),
             conn_wake: Condvar::new(),
             cfg: cfg.clone(),
         });
 
-        let mut threads = Vec::with_capacity(cfg.workers + 2);
+        let mut threads = Vec::with_capacity(cfg.workers + 3);
         threads.push(coalescer.spawn_batcher()?);
+        if let Some(svc) = &shared.ingest {
+            threads.push(svc.spawn_worker(Arc::clone(&shared.registry))?);
+        }
         {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -145,11 +174,19 @@ impl ServerHandle {
         &self.shared.registry
     }
 
+    /// The ingest service, when this server was started with one.
+    pub fn ingest(&self) -> Option<&Arc<IngestService>> {
+        self.shared.ingest.as_ref()
+    }
+
     /// Stops accepting, drains the coalescing queue, and joins every
     /// thread. Idempotent in effect; consumes the handle.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.coalescer.shutdown();
+        if let Some(svc) = &self.shared.ingest {
+            svc.shutdown();
+        }
         self.shared.conn_wake.notify_all();
         // Unblock the acceptor's blocking accept() with a throwaway
         // connection; if it fails the acceptor still exits at the next
@@ -276,7 +313,8 @@ fn route_request(shared: &Shared, req: &Request) -> (u16, String) {
         ("GET", "/health") => (Some(Route::Health), handle_health(shared)),
         ("GET", "/stats") => (Some(Route::Stats), handle_stats(shared)),
         ("POST", "/admin/reload") => (Some(Route::Reload), handle_reload(shared, &req.body)),
-        ("GET", "/estimate" | "/estimate_batch" | "/admin/reload")
+        ("POST", "/insert") => (Some(Route::Insert), handle_insert(shared, &req.body)),
+        ("GET", "/estimate" | "/estimate_batch" | "/admin/reload" | "/insert")
         | ("POST", "/health" | "/stats") => {
             (None, (405, error_body("method not allowed for this path")))
         }
@@ -393,6 +431,51 @@ fn handle_estimate_batch(shared: &Shared, body: &[u8]) -> (u16, String) {
     )
 }
 
+/// `POST /insert`: durably adds one point to the served dataset. The
+/// validate step (dimension, representation, finiteness) runs *before*
+/// the WAL append, so a rejected point never reaches disk; a 200 means
+/// the point is durable and already routed to its segment.
+fn handle_insert(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let Some(svc) = &shared.ingest else {
+        return (404, error_body("ingestion is not enabled on this server"));
+    };
+    let parsed = parse_body(body).and_then(|v| {
+        let map = v.expect_map("insert body").map_err(|e| e.to_string())?;
+        let components: Vec<f32> =
+            serde::get_field(map, "point", "insert body").map_err(|e| e.to_string())?;
+        OwnedQuery::from_components(&components, shared.registry.config().repr)
+    });
+    let point = match parsed {
+        Ok(p) => p,
+        Err(m) => return (400, error_body(&m)),
+    };
+    match svc.insert(&point) {
+        Ok((receipt, finetune_scheduled)) => {
+            // The dataset grew; the next model swap clamps to the new size.
+            shared.registry.set_n_data(receipt.index + 1);
+            (
+                200,
+                json(&Value::Map(vec![
+                    ("seq".to_string(), Value::UInt(receipt.seq)),
+                    ("index".to_string(), Value::UInt(receipt.index as u64)),
+                    ("segment".to_string(), Value::UInt(receipt.segment as u64)),
+                    (
+                        "finetune_scheduled".to_string(),
+                        Value::Bool(finetune_scheduled),
+                    ),
+                ])),
+            )
+        }
+        Err(
+            e @ (StoreError::DimensionMismatch { .. }
+            | StoreError::ReprMismatch { .. }
+            | StoreError::NonFinite { .. }
+            | StoreError::OutOfRange { .. }),
+        ) => (400, error_body(&e.to_string())),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
 fn handle_health(shared: &Shared) -> (u16, String) {
     let model = shared.registry.active();
     (
@@ -415,6 +498,26 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
         .iter()
         .map(|r| (r.name().to_string(), s.route(*r).snapshot().serialize()))
         .collect();
+    let ingest = match &shared.ingest {
+        None => Value::Map(vec![("enabled".to_string(), Value::Bool(false))]),
+        Some(svc) => {
+            let i = svc.snapshot();
+            Value::Map(vec![
+                ("enabled".to_string(), Value::Bool(true)),
+                ("inserts".to_string(), Value::UInt(i.inserts)),
+                ("last_seq".to_string(), Value::UInt(i.last_seq)),
+                ("wal_bytes".to_string(), Value::UInt(i.wal_bytes)),
+                ("live_rows".to_string(), Value::UInt(i.live_rows)),
+                ("drift_checks".to_string(), Value::UInt(i.drift_checks)),
+                ("drift_triggers".to_string(), Value::UInt(i.drift_triggers)),
+                ("finetunes_ok".to_string(), Value::UInt(i.finetunes_ok)),
+                (
+                    "finetunes_failed".to_string(),
+                    Value::UInt(i.finetunes_failed),
+                ),
+            ])
+        }
+    };
     let body = Value::Map(vec![
         (
             "model".to_string(),
@@ -428,6 +531,7 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
             ]),
         ),
         ("routes".to_string(), Value::Map(routes)),
+        ("ingest".to_string(), ingest),
         (
             "guard".to_string(),
             Value::Map(vec![

@@ -96,15 +96,17 @@ pub enum Route {
     Health,
     Stats,
     Reload,
+    Insert,
 }
 
 impl Route {
-    pub const ALL: [Route; 5] = [
+    pub const ALL: [Route; 6] = [
         Route::Estimate,
         Route::EstimateBatch,
         Route::Health,
         Route::Stats,
         Route::Reload,
+        Route::Insert,
     ];
 
     pub fn name(self) -> &'static str {
@@ -114,6 +116,7 @@ impl Route {
             Route::Health => "health",
             Route::Stats => "stats",
             Route::Reload => "reload",
+            Route::Insert => "insert",
         }
     }
 
@@ -124,6 +127,7 @@ impl Route {
             Route::Health => 2,
             Route::Stats => 3,
             Route::Reload => 4,
+            Route::Insert => 5,
         }
     }
 }
@@ -131,7 +135,7 @@ impl Route {
 /// All serving counters, shared across worker threads.
 #[derive(Default)]
 pub struct ServerStats {
-    routes: [LatencyHistogram; 5],
+    routes: [LatencyHistogram; 6],
     pub http_400: AtomicU64,
     pub http_404: AtomicU64,
     pub http_409: AtomicU64,

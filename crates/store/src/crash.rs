@@ -1,0 +1,128 @@
+//! Deterministic crash injection for the WAL, in the style of
+//! `cardest_nn::faults`: every schedule is a pure function of a seed, so
+//! a failing crash-matrix run replays exactly.
+//!
+//! The crash model is byte-level: a process killed mid-append leaves an
+//! arbitrary prefix of the record on disk. The harness therefore builds
+//! the full WAL byte stream up front, picks kill offsets (every record
+//! boundary, boundary ± 1, each header field's interior, payload
+//! midpoints, plus seeded random offsets), installs the prefix as the
+//! on-disk WAL, and recovers — asserting the recovered state equals the
+//! incremental in-memory state after the last fully-durable record.
+
+use crate::wal::{encode_record, HEADER_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+/// Encodes a run of `(kind, payload)` operations as one contiguous WAL
+/// byte stream with sequence numbers from `first_seq`. Returns the bytes
+/// and the end offset of each record (record `i` occupies
+/// `ends[i-1]..ends[i]`, with `ends[-1]` read as 0).
+pub fn encode_stream(ops: &[(u8, Vec<u8>)], first_seq: u64) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut ends = Vec::with_capacity(ops.len());
+    for (i, (kind, payload)) in ops.iter().enumerate() {
+        bytes.extend_from_slice(&encode_record(first_seq + i as u64, *kind, payload));
+        ends.push(bytes.len());
+    }
+    (bytes, ends)
+}
+
+/// Builds the kill-offset schedule for a WAL of `record_ends` layout:
+/// every record boundary (a crash exactly between appends), each boundary
+/// ± 1 byte, offsets inside every header field (length, checksum, seq,
+/// kind), each payload's midpoint, and `extra_random` seeded offsets.
+/// Sorted and de-duplicated; every offset is `<= total_len`.
+pub fn kill_offsets(record_ends: &[usize], seed: u64, extra_random: usize) -> Vec<usize> {
+    let total_len = record_ends.last().copied().unwrap_or(0);
+    let mut offsets = vec![0usize];
+    let mut start = 0usize;
+    for &end in record_ends {
+        // Clean boundary and off-by-one on both sides.
+        offsets.push(end);
+        offsets.push(end.saturating_sub(1));
+        offsets.push((end + 1).min(total_len));
+        // Mid-header cuts: inside the length field (2), the checksum (8),
+        // the sequence number (14), and right before the kind byte (20).
+        for field_off in [2usize, 8, 14, HEADER_LEN - 1] {
+            offsets.push((start + field_off).min(end));
+        }
+        // Mid-payload cut.
+        let payload_start = start + HEADER_LEN;
+        if payload_start < end {
+            offsets.push(payload_start + (end - payload_start) / 2);
+        }
+        start = end;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    for _ in 0..extra_random {
+        offsets.push(rng.gen_range(0..=total_len));
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+/// Installs the first `keep` bytes of `full` as the WAL file at `path` —
+/// the on-disk picture a kill at byte offset `keep` leaves behind.
+pub fn install_torn_wal(path: &Path, full: &[u8], keep: usize) -> std::io::Result<()> {
+    std::fs::write(path, &full[..keep.min(full.len())])
+}
+
+/// The number of whole records a kill at `offset` leaves durable.
+pub fn records_surviving(record_ends: &[usize], offset: usize) -> usize {
+    record_ends.iter().take_while(|&&end| end <= offset).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::scan;
+
+    fn ops(n: usize) -> Vec<(u8, Vec<u8>)> {
+        (0..n).map(|i| (1u8, vec![i as u8; 3 + (i % 5)])).collect()
+    }
+
+    #[test]
+    fn encode_stream_scans_back_exactly() {
+        let ops = ops(4);
+        let (bytes, ends) = encode_stream(&ops, 1);
+        assert_eq!(ends.len(), 4);
+        assert_eq!(*ends.last().unwrap(), bytes.len());
+        let s = scan(&bytes);
+        assert_eq!(s.defect, None);
+        assert_eq!(s.records.len(), 4);
+        for (i, r) in s.records.iter().enumerate() {
+            assert_eq!(r.seq, 1 + i as u64);
+            assert_eq!(r.payload, ops[i].1);
+        }
+    }
+
+    #[test]
+    fn kill_schedule_is_deterministic_and_bounded() {
+        let (_, ends) = encode_stream(&ops(5), 1);
+        let a = kill_offsets(&ends, 42, 16);
+        let b = kill_offsets(&ends, 42, 16);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = kill_offsets(&ends, 43, 16);
+        assert_ne!(a, c, "different seed moves the random offsets");
+        let total = *ends.last().unwrap();
+        assert!(a.iter().all(|&o| o <= total));
+        assert!(a.contains(&0) && a.contains(&total));
+        // Every record boundary and its neighbours are in the schedule.
+        for &end in &ends {
+            assert!(a.contains(&end) && a.contains(&(end - 1)));
+        }
+    }
+
+    #[test]
+    fn records_surviving_counts_whole_records_only() {
+        let (_, ends) = encode_stream(&ops(3), 1);
+        assert_eq!(records_surviving(&ends, 0), 0);
+        assert_eq!(records_surviving(&ends, ends[0] - 1), 0);
+        assert_eq!(records_surviving(&ends, ends[0]), 1);
+        assert_eq!(records_surviving(&ends, ends[0] + 1), 1);
+        assert_eq!(records_surviving(&ends, ends[2]), 3);
+    }
+}

@@ -1,0 +1,36 @@
+// Library (non-test) code must not panic on malformed input: surface
+// typed errors instead. Tests may unwrap freely.
+// The workspace is 100% safe Rust; `cardest-lint` (unsafe-block rule) and
+// this forbid cross-check each other.
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+//! # cardest-store
+//!
+//! Crash-safe durability for online ingestion (ROADMAP item 2: the §5.3
+//! incremental-update experiment, made mutable *under serving*):
+//!
+//! * [`wal`] — an append-only write-ahead log with a fixed 21-byte record
+//!   header (length, FNV-1a checksum over seq‖kind‖payload, sequence
+//!   number, kind), torn-tail detection, and physical truncation on
+//!   recovery,
+//! * [`snapshot`] — periodic full-state checkpoints in the
+//!   `cardest_nn::artifact` container (magic/version/kind/checksum,
+//!   atomic temp-file rename), prefixed with the WAL sequence number they
+//!   cover,
+//! * [`ingest`] — [`DurableIngest`]: validate → WAL append → pure apply →
+//!   ack, with recovery = snapshot-load + WAL-replay through the same
+//!   deterministic [`cardest_core::UpdatableGl::apply_insert`] path, so
+//!   recovered state is bit-identical to the never-crashed run,
+//! * [`crash`] — deterministic byte-offset kill schedules for the crash
+//!   matrix (`cardest_nn::faults` style: everything is seed-driven).
+
+pub mod crash;
+pub mod ingest;
+pub mod snapshot;
+pub mod wal;
+
+pub use ingest::{DurableIngest, InsertReceipt, RecoveryReport, StoreConfig, StoreError};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotError, SNAPSHOT_KIND};
+pub use wal::{scan, TailDefect, Wal, WalError, WalRecord, WalRecovery};
