@@ -38,6 +38,13 @@
 #                drift-triggered fine-tune over real HTTP, and the e2e
 #                insert-under-load / crash / recover / re-serve test —
 #                again deadline-bounded; a hang here is a recovery bug;
+#   replicate    the warm-standby lane: replication frame-codec proptests,
+#                the network-fault chaos battery (drops, delays, truncated /
+#                duplicated frames, bit flips — standby must converge
+#                bit-identically), and the HTTP failover e2e (standby 503s
+#                writes with Retry-After, /ready gates on lag, promote
+#                continues the sequence chain) — every wait is
+#                deadline-bounded, so a wedged stream fails, not hangs;
 #   heavy        the `--ignored` lane — heavyweight configurations
 #                (multi-variant / multi-dataset trainings) that pin broader
 #                behavior but cost minutes.
@@ -81,4 +88,6 @@ lane serve        cargo test -p cardest-server ${CARGO_FLAGS:-} -q --test http_s
 lane ingest       sh -c "cargo test -p cardest-store ${CARGO_FLAGS:-} -q \
                       && cargo test -p cardest-server ${CARGO_FLAGS:-} -q --test http_ingest \
                       && cargo test -p cardest ${CARGO_FLAGS:-} -q --test online_ingestion"
+lane replicate    sh -c "cargo test -p cardest-store ${CARGO_FLAGS:-} -q --test frame_props --test replication_chaos \
+                      && cargo test -p cardest-server ${CARGO_FLAGS:-} -q --test http_replication"
 lane heavy        cargo test --workspace ${CARGO_FLAGS:-} -q -- --ignored

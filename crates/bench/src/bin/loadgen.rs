@@ -20,8 +20,14 @@
 //! (client-observed insert p50/p99 while estimates run concurrently) and
 //! a recovery-time-vs-WAL-length sweep at the store layer.
 //!
+//! A sixth mode, `--replicate`, benchmarks the warm-standby pair and
+//! writes `BENCH_replication.json`: primary insert latency solo vs with
+//! a live streaming standby vs with a dead (stalled) standby session,
+//! steady-state catch-up time, and failover time (promote + first
+//! accepted insert on the promoted node).
+//!
 //! Usage: `cargo run --release -p cardest-bench --bin loadgen [--quick]
-//! [--ingest] [--out PATH]`.
+//! [--ingest] [--replicate] [--out PATH]`.
 
 use cardest_baselines::mlp::{MlpConfig, MlpEstimator};
 use cardest_baselines::sampling::SamplingEstimator;
@@ -53,31 +59,43 @@ struct Args {
     out: PathBuf,
     quick: bool,
     ingest: bool,
+    replicate: bool,
 }
 
 fn parse_args() -> Args {
     let mut out: Option<PathBuf> = None;
     let mut quick = false;
     let mut ingest = false;
+    let mut replicate = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a value"))),
             "--quick" => quick = true,
             "--ingest" => ingest = true,
+            "--replicate" => replicate = true,
             other => {
-                panic!("unknown flag {other:?} (usage: loadgen [--quick] [--ingest] [--out PATH])")
+                panic!(
+                    "unknown flag {other:?} (usage: loadgen [--quick] [--ingest] [--replicate] [--out PATH])"
+                )
             }
         }
     }
     let out = out.unwrap_or_else(|| {
-        PathBuf::from(if ingest {
+        PathBuf::from(if replicate {
+            "BENCH_replication.json"
+        } else if ingest {
             "BENCH_ingest.json"
         } else {
             "BENCH_serving.json"
         })
     });
-    Args { out, quick, ingest }
+    Args {
+        out,
+        quick,
+        ingest,
+        replicate,
+    }
 }
 
 struct Bench {
@@ -353,6 +371,7 @@ fn run_ingest(args: &Args) {
             snapshot_every: 1024,
             sync_writes: true,
             retain_wal: false,
+            rotate_bytes: 0,
         },
     )
     .unwrap();
@@ -440,6 +459,7 @@ fn run_ingest(args: &Args) {
                 snapshot_every: 0,
                 sync_writes: false,
                 retain_wal: true,
+                rotate_bytes: 0,
             },
         )
         .unwrap();
@@ -455,6 +475,7 @@ fn run_ingest(args: &Args) {
                 snapshot_every: 0,
                 sync_writes: false,
                 retain_wal: true,
+                rotate_bytes: 0,
             },
         )
         .unwrap();
@@ -493,8 +514,322 @@ fn run_ingest(args: &Args) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One node of a replication pair, hydrated from a shared snapshot so
+/// the bench trains exactly once.
+struct ReplNode {
+    svc: Arc<IngestService>,
+    handle: Option<ServerHandle>,
+}
+
+/// The pieces every bench node shares: one trained state, one artifact,
+/// one fallback.
+struct ReplFixture {
+    dir: PathBuf,
+    base_state: String,
+    model_path: PathBuf,
+    fallback: SharedFallback,
+    dim: usize,
+    n_data: usize,
+}
+
+impl ReplFixture {
+    fn node(&self, tag: &str, repl: Arc<cardest_server::ReplicationState>) -> ReplNode {
+        let upd = UpdatableGl::from_snapshot_json(&self.base_state).unwrap();
+        let store = DurableIngest::create(
+            &self.dir.join(format!("store-{tag}")),
+            upd,
+            StoreConfig {
+                snapshot_every: 0,
+                sync_writes: false,
+                retain_wal: true,
+                rotate_bytes: 1 << 16,
+            },
+        )
+        .unwrap();
+        let svc = IngestService::new(
+            store,
+            DriftConfig::default(),
+            self.dir.join(format!("model_tuned-{tag}.cardest")),
+        );
+        let registry = Arc::new(
+            ModelRegistry::new(
+                RegistryConfig {
+                    n_data: self.n_data,
+                    dim: self.dim,
+                    repr: cardest_server::model::QueryRepr::Dense,
+                    monotone: true,
+                },
+                Arc::clone(&self.fallback),
+                &self.model_path,
+            )
+            .unwrap(),
+        );
+        let handle = Server::start_replicated(
+            ServerConfig {
+                workers: 4,
+                coalesce: CoalesceConfig {
+                    window: Duration::from_micros(200),
+                    max_batch: 64,
+                    cap: 4096,
+                },
+                ..ServerConfig::default()
+            },
+            registry,
+            Arc::clone(&svc),
+            repl,
+        )
+        .unwrap();
+        ReplNode {
+            svc,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// `--replicate`: warm-standby pair benchmark; writes
+/// `BENCH_replication.json`.
+fn run_replicate(args: &Args) {
+    use cardest_server::{ReplicationState, StandbyBridge};
+    use cardest_store::replicate::{
+        ListenerConfig, ReplicaClient, ReplicaClientConfig, ReplicaSource, ReplicationListener,
+        StandbyTarget,
+    };
+
+    let n_data = if args.quick { 800 } else { 2_000 };
+    let spec = DatasetSpec {
+        dataset: PaperDataset::GloVe300,
+        dim: 16,
+        n_data,
+        n_train_queries: 30,
+        n_test_queries: 10,
+        metric: Metric::Angular,
+        tau_max: 0.6,
+    };
+    eprintln!("loadgen --replicate: training the {n_data}-row GL serving model");
+    let upd = build_updatable(&spec, 17);
+    let base_state = upd.snapshot_json().unwrap();
+
+    let dir = std::env::temp_dir().join(format!("cardest-loadgen-repl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.cardest");
+    upd.gl().save_artifact(&model_path).unwrap();
+    let fallback: SharedFallback = Arc::new(SamplingEstimator::with_ratio(
+        upd.data(),
+        spec.metric,
+        0.01,
+        17,
+        "Sampling 1%",
+    ));
+    let insert_bodies: Vec<String> = (0..256)
+        .map(|i| {
+            let row = dense_row(&upd, (i * 37 + 11) % n_data);
+            let comps: Vec<String> = row.iter().map(|v| format!("{v:.5}")).collect();
+            format!("{{\"point\":[{}]}}", comps.join(","))
+        })
+        .collect();
+    drop(upd);
+    let bodies = Arc::new(insert_bodies);
+    let insert_clients = 2usize;
+    let per_client = if args.quick { 150 } else { 400 };
+    let total = (insert_clients * per_client) as u64;
+    let fx = ReplFixture {
+        dir: dir.clone(),
+        base_state,
+        model_path,
+        fallback,
+        dim: spec.dim,
+        n_data,
+    };
+    let node = |tag: &str, repl| fx.node(tag, repl);
+
+    // --- 1. solo baseline: no listener, no standby ---
+    eprintln!("loadgen --replicate: solo baseline ({insert_clients}x{per_client} inserts)");
+    let solo = node("solo", ReplicationState::primary());
+    let (lat, elapsed) = closed_loop(
+        solo.handle.as_ref().unwrap().addr(),
+        Arc::clone(&bodies),
+        insert_clients,
+        per_client,
+        "/insert",
+    );
+    let baseline_insert = lat_summary(&lat, total as usize, elapsed);
+    if let Some(h) = solo.handle {
+        h.shutdown();
+    }
+
+    // --- 2. live standby streaming while the primary takes writes ---
+    eprintln!("loadgen --replicate: live-standby phase");
+    let primary_repl = ReplicationState::primary();
+    let primary = node("primary", Arc::clone(&primary_repl));
+    let source: Arc<dyn ReplicaSource> = Arc::clone(&primary.svc) as Arc<dyn ReplicaSource>;
+    let listener =
+        ReplicationListener::start("127.0.0.1:0", source, ListenerConfig::default()).unwrap();
+    primary_repl.attach_listener_stats(listener.stats());
+
+    let standby_repl = ReplicationState::standby(Some(format!(
+        "http://{}",
+        primary.handle.as_ref().unwrap().addr()
+    )));
+    let standby = node("standby", Arc::clone(&standby_repl));
+    // The standby's server holds svc + registry; the bridge needs them
+    // too, so reach through the handle's accessors.
+    let bridge: Arc<dyn StandbyTarget> = StandbyBridge::new(
+        Arc::clone(&standby.svc),
+        Arc::clone(standby.handle.as_ref().unwrap().registry()),
+    );
+    let client = ReplicaClient::start(
+        listener.addr().to_string(),
+        bridge,
+        ReplicaClientConfig::default(),
+    );
+    standby_repl.attach_client(client);
+
+    let (lat, elapsed) = closed_loop(
+        primary.handle.as_ref().unwrap().addr(),
+        Arc::clone(&bodies),
+        insert_clients,
+        per_client,
+        "/insert",
+    );
+    let replicated_insert = lat_summary(&lat, total as usize, elapsed);
+
+    // Steady state: how long from last ack'd write to a fully drained
+    // standby.
+    let t0 = Instant::now();
+    let catchup_deadline = Duration::from_secs(60);
+    while standby.svc.last_seq() < total {
+        assert!(
+            t0.elapsed() < catchup_deadline,
+            "standby stuck at seq {} of {total}",
+            standby.svc.last_seq()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let catch_up_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "loadgen --replicate: standby drained {total} records {catch_up_ms:.1} ms after last ack"
+    );
+    let stats = listener.stats();
+    let steady_state = Value::Map(vec![
+        ("records".to_string(), Value::UInt(total)),
+        ("catch_up_ms".to_string(), Value::Float(catch_up_ms)),
+        (
+            "records_sent".to_string(),
+            Value::UInt(
+                stats
+                    .records_sent
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        ),
+        (
+            "snapshots_sent".to_string(),
+            Value::UInt(
+                stats
+                    .snapshots_sent
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        ),
+    ]);
+
+    // --- 3. failover: kill the primary, promote the standby ---
+    eprintln!("loadgen --replicate: failover phase");
+    drop(listener);
+    if let Some(h) = primary.handle {
+        h.shutdown();
+    }
+    let standby_addr = standby.handle.as_ref().unwrap().addr();
+    let mut admin = HttpClient::connect(standby_addr).unwrap();
+    let t0 = Instant::now();
+    let r = admin.post_json("/admin/promote", "").unwrap();
+    let promote_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(r.status, 200, "promote failed: {}", r.text());
+    let r = admin.post_json("/insert", &bodies[0]).unwrap();
+    let failover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(r.status, 200, "post-promote insert failed: {}", r.text());
+    let promoted_seq = standby.svc.last_seq();
+    assert_eq!(promoted_seq, total + 1, "failover broke the seq chain");
+    eprintln!(
+        "loadgen --replicate: promoted in {promote_ms:.1} ms, first insert accepted at {failover_ms:.1} ms"
+    );
+    let failover = Value::Map(vec![
+        ("promote_ms".to_string(), Value::Float(promote_ms)),
+        (
+            "first_insert_accepted_ms".to_string(),
+            Value::Float(failover_ms),
+        ),
+        (
+            "acked_records_before_failover".to_string(),
+            Value::UInt(total),
+        ),
+        (
+            "seq_after_first_insert".to_string(),
+            Value::UInt(promoted_seq),
+        ),
+    ]);
+    if let Some(h) = standby.handle {
+        h.shutdown();
+    }
+
+    // --- 4. dead standby: a stalled session must not slow inserts ---
+    eprintln!("loadgen --replicate: dead-standby phase");
+    let dead_repl = ReplicationState::primary();
+    let dead = node("dead", Arc::clone(&dead_repl));
+    let source: Arc<dyn ReplicaSource> = Arc::clone(&dead.svc) as Arc<dyn ReplicaSource>;
+    let listener =
+        ReplicationListener::start("127.0.0.1:0", source, ListenerConfig::default()).unwrap();
+    // A connected socket that never sends HELLO and never reads: the
+    // worst kind of peer.
+    let stalled = std::net::TcpStream::connect(listener.addr()).unwrap();
+    let (lat, elapsed) = closed_loop(
+        dead.handle.as_ref().unwrap().addr(),
+        Arc::clone(&bodies),
+        insert_clients,
+        per_client,
+        "/insert",
+    );
+    let dead_standby_insert = lat_summary(&lat, total as usize, elapsed);
+    drop(stalled);
+    drop(listener);
+    if let Some(h) = dead.handle {
+        h.shutdown();
+    }
+
+    let report = Value::Map(vec![
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                (
+                    "dataset".to_string(),
+                    Value::Str("GloVe300 (synthetic)".to_string()),
+                ),
+                ("dim".to_string(), Value::UInt(spec.dim as u64)),
+                ("n_data".to_string(), Value::UInt(n_data as u64)),
+                (
+                    "insert_clients".to_string(),
+                    Value::UInt(insert_clients as u64),
+                ),
+                ("inserts_per_phase".to_string(), Value::UInt(total)),
+                ("sync_writes".to_string(), Value::Bool(false)),
+                ("quick".to_string(), Value::Bool(args.quick)),
+            ]),
+        ),
+        ("baseline_insert".to_string(), baseline_insert),
+        ("replicated_insert".to_string(), replicated_insert),
+        ("dead_standby_insert".to_string(), dead_standby_insert),
+        ("steady_state".to_string(), steady_state),
+        ("failover".to_string(), failover),
+    ]);
+    std::fs::write(&args.out, serde_json::to_string(&report).unwrap()).unwrap();
+    eprintln!("loadgen --replicate: wrote {}", args.out.display());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn main() {
     let args = parse_args();
+    if args.replicate {
+        run_replicate(&args);
+        return;
+    }
     if args.ingest {
         run_ingest(&args);
         return;

@@ -1,0 +1,204 @@
+//! Jittered exponential backoff with deadline clamping — the one retry
+//! policy every reconnect/retry loop in the workspace shares.
+//!
+//! Delays grow as `base * 2^attempt`, capped at `max`, with a
+//! multiplicative jitter drawn from `[1 - jitter, 1]` so a fleet of
+//! clients that all lost the same primary does not reconnect in
+//! lockstep. Randomness comes from an internal xorshift64* stream seeded
+//! by the caller — same seed, same schedule — keeping the workspace's
+//! bit-reproducibility contract intact (no OS entropy, no clock reads).
+//!
+//! Users: the replication client's reconnect loop
+//! (`cardest_store::replicate`) and the serving-side fine-tune worker's
+//! retry-after-failure path (`cardest_server::ingest`).
+
+use std::time::Duration;
+
+/// Shape of a backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// First (pre-jitter) delay.
+    pub base: Duration,
+    /// Upper bound every delay is clamped to (pre-jitter).
+    pub max: Duration,
+    /// Fraction of each delay the jitter may remove: the delay is drawn
+    /// uniformly from `[(1 - jitter) * d, d]`. Clamped to `[0, 1]`.
+    pub jitter: f64,
+    /// Attempts before [`Backoff::next_delay`] starts answering `None`;
+    /// 0 means unbounded.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(5),
+            jitter: 0.5,
+            max_attempts: 0,
+        }
+    }
+}
+
+/// One retry loop's backoff state.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    cfg: BackoffConfig,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule. `seed` drives the jitter stream deterministically.
+    pub fn new(cfg: BackoffConfig, seed: u64) -> Self {
+        Backoff {
+            cfg,
+            attempt: 0,
+            // xorshift64* must never sit at 0; fold the seed into a
+            // non-zero state the same way splitmix64 primes generators.
+            rng_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// The next delay to sleep before retrying, or `None` once the
+    /// attempt budget is spent. Advances the attempt counter.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.cfg.max_attempts > 0 && self.attempt >= self.cfg.max_attempts {
+            return None;
+        }
+        let exp = self.attempt.min(32);
+        self.attempt = self.attempt.saturating_add(1);
+        let unjittered = self
+            .cfg
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cfg.max);
+        let jitter = self.cfg.jitter.clamp(0.0, 1.0);
+        let u = self.next_unit();
+        let scale = 1.0 - jitter * u;
+        Some(Duration::from_secs_f64(unjittered.as_secs_f64() * scale))
+    }
+
+    /// Resets after a success, so the next failure starts from `base`.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Attempts consumed since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether the attempt budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.cfg.max_attempts > 0 && self.attempt >= self.cfg.max_attempts
+    }
+
+    /// xorshift64*: tiny, deterministic, good enough for jitter.
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Clamps a proposed delay so it never overshoots the time left before a
+/// deadline: `min(delay, remaining)`. A spent deadline clamps to zero —
+/// the caller's next deadline check fails immediately instead of after
+/// one more full backoff sleep.
+pub fn clamp_to_deadline(delay: Duration, remaining: Duration) -> Duration {
+    delay.min(remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(base_ms: u64, max_ms: u64, jitter: f64, max_attempts: u32) -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(base_ms),
+            max: Duration::from_millis(max_ms),
+            jitter,
+            max_attempts,
+        }
+    }
+
+    #[test]
+    fn grows_exponentially_without_jitter() {
+        let mut b = Backoff::new(cfg(10, 1000, 0.0, 0), 1);
+        let delays: Vec<u64> = (0..5)
+            .map(|_| b.next_delay().unwrap().as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![10, 20, 40, 80, 160]);
+    }
+
+    #[test]
+    fn caps_at_max() {
+        let mut b = Backoff::new(cfg(10, 55, 0.0, 0), 1);
+        let d: Vec<u64> = (0..6)
+            .map(|_| b.next_delay().unwrap().as_millis() as u64)
+            .collect();
+        assert_eq!(d, vec![10, 20, 40, 55, 55, 55]);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_declared_band() {
+        let mut b = Backoff::new(cfg(100, 10_000, 0.5, 0), 42);
+        for attempt in 0..8u32 {
+            let unjittered = (100u64 << attempt.min(31)).min(10_000) as f64;
+            let d = b.next_delay().unwrap().as_secs_f64() * 1e3;
+            assert!(
+                d >= unjittered * 0.5 - 1e-6 && d <= unjittered + 1e-6,
+                "attempt {attempt}: {d} ms outside [{}, {unjittered}]",
+                unjittered * 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_diverges() {
+        let mk = |seed| {
+            let mut b = Backoff::new(cfg(100, 10_000, 0.9, 0), seed);
+            (0..6).map(|_| b.next_delay().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn attempt_budget_is_enforced_and_reset_restores_it() {
+        let mut b = Backoff::new(cfg(1, 100, 0.0, 3), 1);
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.exhausted());
+        assert_eq!(b.next_delay(), None);
+        b.reset();
+        assert!(!b.exhausted());
+        assert_eq!(b.next_delay().unwrap(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let mut b = Backoff::new(cfg(1_000, 3_000, 0.0, 0), 1);
+        for _ in 0..100 {
+            let d = b.next_delay().unwrap();
+            assert!(d <= Duration::from_secs(3));
+        }
+    }
+
+    #[test]
+    fn deadline_clamp_never_overshoots() {
+        let d = Duration::from_millis(400);
+        assert_eq!(
+            clamp_to_deadline(d, Duration::from_millis(90)),
+            Duration::from_millis(90)
+        );
+        assert_eq!(clamp_to_deadline(d, Duration::from_secs(10)), d);
+        assert_eq!(clamp_to_deadline(d, Duration::ZERO), Duration::ZERO);
+    }
+}

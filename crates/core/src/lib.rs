@@ -31,13 +31,16 @@
 //! * [`update`] — incremental training for data updates (§5.3),
 //! * [`drift`] — estimate-quality drift detection that decides when the
 //!   online ingestion path should fine-tune (per-segment probe Q-error
-//!   against a median-normalized baseline).
+//!   against a median-normalized baseline),
+//! * [`backoff`] — the shared jittered-exponential-backoff policy every
+//!   retry/reconnect loop (replication client, fine-tune worker) uses.
 //!
 //! Every estimator implements
 //! [`cardest_baselines::traits::CardinalityEstimator`], so the bench
 //! harness treats our models and the baselines uniformly.
 
 pub mod arch;
+pub mod backoff;
 pub mod drift;
 pub mod gl;
 pub mod global;
@@ -48,6 +51,7 @@ pub mod tuning;
 pub mod update;
 
 pub use arch::{ModelDims, QueryEmbed};
+pub use backoff::{Backoff, BackoffConfig};
 pub use drift::{DriftConfig, DriftMonitor, DriftVerdict};
 pub use gl::{GlConfig, GlEstimator, GlVariant};
 pub use global::{GlobalConfig, GlobalModel};

@@ -23,7 +23,14 @@ use cardest_data::paper::PaperDataset;
 use cardest_data::workload::SearchWorkload;
 use cardest_server::coalesce::CoalesceConfig;
 use cardest_server::model::repr_of;
-use cardest_server::{IngestService, ModelRegistry, RegistryConfig, Server, ServerConfig};
+use cardest_server::{
+    IngestService, ModelRegistry, RegistryConfig, ReplicationState, Server, ServerConfig,
+    StandbyBridge,
+};
+use cardest_store::replicate::{
+    ListenerConfig, ReplicaClient, ReplicaClientConfig, ReplicaSource, ReplicationListener,
+    StandbyTarget,
+};
 use cardest_store::{DurableIngest, StoreConfig};
 use std::io::Write;
 use std::path::PathBuf;
@@ -43,12 +50,16 @@ struct Args {
     coalesce_window_us: u64,
     mutable: bool,
     store_dir: PathBuf,
+    replication_listen: Option<String>,
+    replicate_from: Option<String>,
+    primary_url: Option<String>,
 }
 
 const USAGE: &str = "usage: cardest-serve [--dataset NAME] [--port P] [--workers N] \
 [--seed S] [--n-data N] [--train-queries N] [--train-epochs N] \
 [--model-dir DIR] [--cache-dir DIR] [--coalesce-window-us U] \
-[--mutable] [--store-dir DIR]";
+[--mutable] [--store-dir DIR] \
+[--replication-listen ADDR] [--replicate-from ADDR] [--primary-url URL]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -64,6 +75,9 @@ fn parse_args() -> Result<Args, String> {
         coalesce_window_us: 500,
         mutable: false,
         store_dir: PathBuf::from(".cardest-serve/store"),
+        replication_listen: None,
+        replicate_from: None,
+        primary_url: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,6 +109,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--mutable" => args.mutable = true,
             "--store-dir" => args.store_dir = PathBuf::from(value("--store-dir")?),
+            "--replication-listen" => {
+                args.replication_listen = Some(value("--replication-listen")?);
+                args.mutable = true; // streaming a WAL requires having one
+            }
+            "--replicate-from" => {
+                args.replicate_from = Some(value("--replicate-from")?);
+                args.mutable = true;
+            }
+            "--primary-url" => args.primary_url = Some(value("--primary-url")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -305,8 +328,39 @@ fn run_mutable(
     )
     .map_err(|e| format!("load model: {e}"))?;
 
+    let registry = Arc::new(registry);
     let svc = IngestService::new(store, DriftConfig::default(), artifact);
-    let handle = Server::start_with_ingest(
+
+    let repl = if args.replicate_from.is_some() {
+        ReplicationState::standby(args.primary_url.clone())
+    } else {
+        ReplicationState::primary()
+    };
+
+    // Primary side: stream the WAL to any standby that connects.
+    let _repl_listener = match &args.replication_listen {
+        Some(listen) => {
+            let source: Arc<dyn ReplicaSource> = Arc::clone(&svc) as Arc<dyn ReplicaSource>;
+            let l = ReplicationListener::start(listen, source, ListenerConfig::default())
+                .map_err(|e| format!("bind replication listener {listen}: {e}"))?;
+            println!("REPLICATION {}", l.addr());
+            let _ = std::io::stdout().flush();
+            repl.attach_listener_stats(l.stats());
+            Some(l)
+        }
+        None => None,
+    };
+
+    // Standby side: replay the primary's stream into this process.
+    if let Some(from) = &args.replicate_from {
+        let bridge: Arc<dyn StandbyTarget> =
+            StandbyBridge::new(Arc::clone(&svc), Arc::clone(&registry));
+        let client = ReplicaClient::start(from.clone(), bridge, ReplicaClientConfig::default());
+        repl.attach_client(client);
+        eprintln!("cardest-serve: standby replicating from {from}");
+    }
+
+    let handle = Server::start_replicated(
         ServerConfig {
             addr: format!("127.0.0.1:{}", args.port),
             workers: args.workers,
@@ -316,8 +370,9 @@ fn run_mutable(
             },
             ..ServerConfig::default()
         },
-        Arc::new(registry),
+        registry,
         svc,
+        repl,
     )
     .map_err(|e| format!("bind server: {e}"))?;
 

@@ -11,12 +11,23 @@ use std::time::Duration;
 pub struct Response {
     pub status: u16,
     pub body: Vec<u8>,
+    /// Response headers, lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// The body as UTF-8 (estimation responses are always JSON text).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -102,14 +113,17 @@ impl HttpClient {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
                     content_length = value
-                        .trim()
                         .parse()
                         .map_err(|_| Error::new(ErrorKind::InvalidData, "bad content-length"))?;
                 }
+                headers.push((name, value));
             }
         }
         let body_start = header_end + 4;
@@ -118,6 +132,10 @@ impl HttpClient {
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
         self.buf.drain(..body_start + content_length);
-        Ok(Some(Response { status, body }))
+        Ok(Some(Response {
+            status,
+            body,
+            headers,
+        }))
     }
 }

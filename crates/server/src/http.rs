@@ -211,6 +211,18 @@ impl HttpConnection {
     ) -> std::io::Result<()> {
         write_response_to(&mut self.stream, status, body, keep_alive)
     }
+
+    /// Writes one JSON response with extra headers (e.g. `Retry-After`
+    /// on a standby's 503).
+    pub fn write_response_with_headers(
+        &mut self,
+        status: u16,
+        body: &[u8],
+        keep_alive: bool,
+        extra: &[(String, String)],
+    ) -> std::io::Result<()> {
+        write_response_headers_to(&mut self.stream, status, body, keep_alive, extra)
+    }
 }
 
 /// Writes one JSON response to any stream (shared with the admission-
@@ -221,12 +233,32 @@ pub fn write_response_to<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_headers_to(w, status, body, keep_alive, &[])
+}
+
+/// [`write_response_to`] plus arbitrary extra headers. Header names and
+/// values must already be line-safe (no CR/LF) — callers only pass
+/// compile-time names and numeric/address values.
+pub fn write_response_headers_to<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(String, String)],
+) -> std::io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -341,5 +373,26 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"), "{text}");
         assert!(text.contains("connection: keep-alive\r\n"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_headers_to(
+            &mut out,
+            503,
+            b"{}",
+            false,
+            &[("retry-after".to_string(), "1".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text[..head_end].contains("retry-after: 1"), "{text}");
+        assert!(text.ends_with("{}"), "{text}");
     }
 }

@@ -18,9 +18,12 @@
 
 use crate::model::OwnedQuery;
 use crate::registry::ModelRegistry;
+use cardest_core::backoff::{Backoff, BackoffConfig};
 use cardest_core::drift::{DriftConfig, DriftMonitor};
-use cardest_store::{DurableIngest, InsertReceipt, StoreError};
-use std::path::PathBuf;
+use cardest_store::replicate::{ReplicaSource, StandbyTarget};
+use cardest_store::wal::WalRecord;
+use cardest_store::{DurableIngest, InsertReceipt, ReplicatedApply, ReplicationFetch, StoreError};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -52,12 +55,17 @@ pub struct IngestSnapshot {
     pub finetunes_ok: u64,
     /// Background fine-tunes that failed (artifact, snapshot, or reload).
     pub finetunes_failed: u64,
+    /// Fine-tune attempts retried with backoff before succeeding/failing.
+    pub finetune_retries: u64,
 }
 
 /// The mutable half of the server: durable inserts with drift-triggered
 /// background fine-tuning.
 pub struct IngestService {
     inner: Mutex<Inner>,
+    /// Notified (with `inner`) whenever the WAL head advances — the
+    /// replication listener's `wait_growth` parks here.
+    grew: Condvar,
     /// Segment ids awaiting a background fine-tune (deduplicated).
     pending: Mutex<Vec<usize>>,
     wake: Condvar,
@@ -67,6 +75,8 @@ pub struct IngestService {
     inserts: AtomicU64,
     finetunes_ok: AtomicU64,
     finetunes_failed: AtomicU64,
+    /// Fine-tune attempts that failed and were retried with backoff.
+    finetune_retries: AtomicU64,
 }
 
 impl IngestService {
@@ -77,6 +87,7 @@ impl IngestService {
         let monitor = DriftMonitor::new(store.estimator(), drift);
         Arc::new(IngestService {
             inner: Mutex::new(Inner { store, monitor }),
+            grew: Condvar::new(),
             pending: Mutex::new(Vec::new()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -84,6 +95,7 @@ impl IngestService {
             inserts: AtomicU64::new(0),
             finetunes_ok: AtomicU64::new(0),
             finetunes_failed: AtomicU64::new(0),
+            finetune_retries: AtomicU64::new(0),
         })
     }
 
@@ -95,6 +107,7 @@ impl IngestService {
         let inner = &mut *guard;
         let receipt = inner.store.insert(point.view())?;
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.grew.notify_all();
         let mut scheduled = false;
         if inner.monitor.note_inserts(1) {
             let verdict = inner.monitor.check(inner.store.estimator());
@@ -126,6 +139,7 @@ impl IngestService {
             drift_triggers: inner.monitor.triggers(),
             finetunes_ok: self.finetunes_ok.load(Ordering::Relaxed),
             finetunes_failed: self.finetunes_failed.load(Ordering::Relaxed),
+            finetune_retries: self.finetune_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -150,6 +164,60 @@ impl IngestService {
             .snapshot_now()
     }
 
+    /// Sequence number of the last durable WAL record.
+    pub fn last_seq(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+            .last_seq()
+    }
+
+    /// FNV-1a fingerprint of the full serialized state — the value the
+    /// failover runbook compares across primary and standby.
+    pub fn fingerprint(&self) -> Result<u64, StoreError> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+            .fingerprint()
+    }
+
+    /// Where fine-tuned artifacts land (shared with the standby bridge,
+    /// which reuses the path when installing a bootstrap snapshot).
+    pub fn artifact_path(&self) -> &Path {
+        &self.artifact_path
+    }
+
+    /// Applies one record streamed from a primary (standby path). No
+    /// drift checks run — a standby never fine-tunes; its monitor
+    /// rebaselines at promote time instead.
+    pub fn apply_replicated(&self, rec: &WalRecord) -> Result<ReplicatedApply, StoreError> {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let applied = guard.store.apply_replicated(rec)?;
+        if matches!(applied, ReplicatedApply::Applied) {
+            self.grew.notify_all();
+        }
+        Ok(applied)
+    }
+
+    /// Installs a bootstrap snapshot from a primary (standby path).
+    pub fn install_replicated_snapshot(&self, seq: u64, state: &[u8]) -> Result<(), StoreError> {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.store.install_snapshot(seq, state)?;
+        self.grew.notify_all();
+        Ok(())
+    }
+
+    /// Promotion: rebaseline the drift monitor against the replicated
+    /// state so the new primary's first drift check measures drift since
+    /// *now*, not since the standby was started.
+    pub fn rebaseline_monitor(&self) {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let inner = &mut *guard;
+        inner.monitor.rebaseline(inner.store.estimator());
+    }
+
     /// Asks the background worker to exit at its next wakeup.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -169,6 +237,19 @@ impl IngestService {
     }
 
     fn worker_loop(&self, registry: &Arc<ModelRegistry>) {
+        // Persist failures (artifact or snapshot I/O) are usually
+        // transient — a full disk being cleared, a slow NFS mount — so
+        // the worker retries the same segment set through the shared
+        // backoff policy before declaring the fine-tune failed.
+        let mut backoff = Backoff::new(
+            BackoffConfig {
+                base: Duration::from_millis(200),
+                max: Duration::from_secs(5),
+                jitter: 0.5,
+                max_attempts: 4,
+            },
+            0xF1E7_0B0F,
+        );
         loop {
             let segments = {
                 let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
@@ -188,6 +269,7 @@ impl IngestService {
             };
             match self.finetune_and_persist(&segments) {
                 Ok(n_data) => {
+                    backoff.reset();
                     // Publish the grown dataset size, then swap. A reload
                     // failure leaves the old model serving — correct, just
                     // staler — so it only bumps the failure counter.
@@ -197,10 +279,43 @@ impl IngestService {
                         Err(_) => self.finetunes_failed.fetch_add(1, Ordering::Relaxed),
                     };
                 }
-                Err(_) => {
-                    self.finetunes_failed.fetch_add(1, Ordering::Relaxed);
-                }
+                Err(_) => match backoff.next_delay() {
+                    Some(delay) => {
+                        self.finetune_retries.fetch_add(1, Ordering::Relaxed);
+                        self.requeue(&segments);
+                        self.sleep_stop_aware(delay);
+                    }
+                    None => {
+                        // Budget exhausted: count the failure, drop the
+                        // batch, and start fresh for the next trigger.
+                        backoff.reset();
+                        self.finetunes_failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
             }
+        }
+    }
+
+    /// Puts a failed batch back at the head of the queue (deduplicated),
+    /// so the retry runs before any newly-fired segments.
+    fn requeue(&self, segments: &[usize]) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut merged: Vec<usize> = segments.to_vec();
+        for s in pending.drain(..) {
+            if !merged.contains(&s) {
+                merged.push(s);
+            }
+        }
+        *pending = merged;
+    }
+
+    /// Sleeps `delay` in slices, returning early if shutdown was asked.
+    fn sleep_stop_aware(&self, delay: Duration) {
+        let mut remaining = delay;
+        while !remaining.is_zero() && !self.stop.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
         }
     }
 
@@ -221,5 +336,86 @@ impl IngestService {
         inner.store.snapshot_now()?;
         inner.monitor.rebaseline(inner.store.estimator());
         Ok(inner.store.estimator().dataset_len())
+    }
+}
+
+/// The primary side of replication: the listener streams this service's
+/// WAL to connected standbys.
+impl ReplicaSource for IngestService {
+    fn head_seq(&self) -> u64 {
+        self.last_seq()
+    }
+
+    fn fetch_since(&self, after_seq: u64, max: usize) -> Result<ReplicationFetch, StoreError> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+            .replication_fetch(after_seq, max)
+    }
+
+    fn wait_growth(&self, after_seq: u64, timeout: Duration) -> u64 {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.store.last_seq() > after_seq {
+            return guard.store.last_seq();
+        }
+        let (guard, _) = self
+            .grew
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.store.last_seq()
+    }
+}
+
+/// The standby side of replication: applies the primary's stream into the
+/// local [`IngestService`] and keeps the serving registry in step — the
+/// dataset-size clamp follows every applied insert, and a bootstrap
+/// snapshot re-publishes the primary's weights through a hot reload.
+pub struct StandbyBridge {
+    svc: Arc<IngestService>,
+    registry: Arc<ModelRegistry>,
+}
+
+impl StandbyBridge {
+    pub fn new(svc: Arc<IngestService>, registry: Arc<ModelRegistry>) -> Arc<Self> {
+        Arc::new(StandbyBridge { svc, registry })
+    }
+}
+
+impl StandbyTarget for StandbyBridge {
+    fn last_applied(&self) -> u64 {
+        self.svc.last_seq()
+    }
+
+    fn apply(&self, rec: &WalRecord) -> Result<ReplicatedApply, StoreError> {
+        let applied = self.svc.apply_replicated(rec)?;
+        if matches!(applied, ReplicatedApply::Applied) {
+            self.registry.set_n_data(self.svc.dataset_len());
+        }
+        Ok(applied)
+    }
+
+    fn install_snapshot(&self, seq: u64, state: &[u8]) -> Result<(), StoreError> {
+        self.svc.install_replicated_snapshot(seq, state)?;
+        self.registry.set_n_data(self.svc.dataset_len());
+        // The snapshot carries the primary's (possibly fine-tuned)
+        // weights: publish them. A reload failure keeps the old model
+        // serving — the data is installed either way.
+        let save = {
+            let guard = self
+                .svc
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            guard
+                .store
+                .estimator()
+                .gl()
+                .save_artifact(self.svc.artifact_path())
+        };
+        if save.is_ok() {
+            let _ = self.registry.reload(self.svc.artifact_path());
+        }
+        Ok(())
     }
 }

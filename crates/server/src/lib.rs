@@ -28,6 +28,10 @@
 //!   drift monitor on the request path, and a background worker that
 //!   fine-tunes drifted segments and hot-swaps the result through the
 //!   registry,
+//! * [`replicate`] — the primary / warm-standby role switch behind
+//!   `GET /ready` and `POST /admin/promote`: a standby replays the
+//!   primary's WAL stream (`cardest_store::replicate`), serves read-only
+//!   estimates, and flips to writable without a restart,
 //! * [`coalesce`] — single-query requests queue briefly and flush as one
 //!   `estimate_batch` call (feeding the PR 1 batched path), with a
 //!   bounded queue for admission control,
@@ -49,9 +53,11 @@ pub mod http;
 pub mod ingest;
 pub mod model;
 pub mod registry;
+pub mod replicate;
 pub mod server;
 pub mod stats;
 
-pub use ingest::{IngestService, IngestSnapshot};
+pub use ingest::{IngestService, IngestSnapshot, StandbyBridge};
 pub use registry::{ModelRegistry, RegistryConfig, ReloadError};
+pub use replicate::ReplicationState;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,134 @@
+//! Server-side replication role: who this process is in a primary /
+//! warm-standby pair, and the handles the HTTP routes report on.
+//!
+//! A **primary** owns writes and (optionally) runs a
+//! [`cardest_store::ReplicationListener`] streaming its WAL; a
+//! **standby** runs a [`cardest_store::ReplicaClient`], serves read-only
+//! estimates, answers `POST /insert` with `503` + `Retry-After`, and
+//! flips to primary on `POST /admin/promote` — the client is stopped,
+//! the drift monitor rebaselines, and inserts start being accepted, all
+//! without restarting the process.
+
+use cardest_store::replicate::{PrimaryReplStats, ReplicaClient, ReplicaStatus};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Replication role + live handles, shared with every worker thread.
+pub struct ReplicationState {
+    standby: AtomicBool,
+    /// Where a standby's 503 should point writers (`Retry-After` body).
+    primary_url: Option<String>,
+    /// The standby's replication client; taken (stopped) on promote.
+    client: Mutex<Option<ReplicaClient>>,
+    /// The standby client's live counters, kept after promote for /stats.
+    client_status: Mutex<Option<Arc<ReplicaStatus>>>,
+    /// The primary listener's counters, when streaming is enabled.
+    listener_stats: Mutex<Option<Arc<PrimaryReplStats>>>,
+}
+
+impl ReplicationState {
+    /// A writable primary (the default role).
+    pub fn primary() -> Arc<Self> {
+        Arc::new(ReplicationState {
+            standby: AtomicBool::new(false),
+            primary_url: None,
+            client: Mutex::new(None),
+            client_status: Mutex::new(None),
+            listener_stats: Mutex::new(None),
+        })
+    }
+
+    /// A read-only standby; `primary_url` is advertised on rejected
+    /// writes so clients know where to go.
+    pub fn standby(primary_url: Option<String>) -> Arc<Self> {
+        Arc::new(ReplicationState {
+            standby: AtomicBool::new(true),
+            primary_url,
+            client: Mutex::new(None),
+            client_status: Mutex::new(None),
+            listener_stats: Mutex::new(None),
+        })
+    }
+
+    /// Registers the standby's running replication client.
+    pub fn attach_client(&self, client: ReplicaClient) {
+        let status = client.status();
+        *self
+            .client_status
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(status);
+        *self.client.lock().unwrap_or_else(PoisonError::into_inner) = Some(client);
+    }
+
+    /// Registers the primary listener's stats handle.
+    pub fn attach_listener_stats(&self, stats: Arc<PrimaryReplStats>) {
+        *self
+            .listener_stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(stats);
+    }
+
+    pub fn is_standby(&self) -> bool {
+        self.standby.load(Ordering::SeqCst)
+    }
+
+    pub fn primary_url(&self) -> Option<&str> {
+        self.primary_url.as_deref()
+    }
+
+    /// The standby client's counters (survive promotion, for /stats).
+    pub fn client_status(&self) -> Option<Arc<ReplicaStatus>> {
+        self.client_status
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The primary listener's counters, when streaming is enabled.
+    pub fn listener_stats(&self) -> Option<Arc<PrimaryReplStats>> {
+        self.listener_stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Standby → primary: stops (and joins) the replication client, then
+    /// flips the role so the next `POST /insert` is accepted. Returns
+    /// `false` if this node was already primary.
+    pub fn promote(&self) -> bool {
+        if !self.standby.swap(false, Ordering::SeqCst) {
+            return false;
+        }
+        let client = self
+            .client
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(mut c) = client {
+            c.stop();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_is_one_shot() {
+        let state = ReplicationState::standby(Some("http://primary:8080".into()));
+        assert!(state.is_standby());
+        assert_eq!(state.primary_url(), Some("http://primary:8080"));
+        assert!(state.promote(), "first promote flips the role");
+        assert!(!state.is_standby());
+        assert!(!state.promote(), "second promote reports already-primary");
+    }
+
+    #[test]
+    fn a_primary_never_promotes() {
+        let state = ReplicationState::primary();
+        assert!(!state.is_standby());
+        assert!(!state.promote());
+    }
+}

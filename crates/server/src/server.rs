@@ -29,8 +29,16 @@ use crate::http::{HttpConnection, HttpError, NextRequest, Request};
 use crate::ingest::IngestService;
 use crate::model::OwnedQuery;
 use crate::registry::ModelRegistry;
+use crate::replicate::ReplicationState;
 use crate::stats::{Route, ServerStats};
 use cardest_store::StoreError;
+
+/// One routed response: status, JSON body, extra headers.
+type Reply = (u16, String, Vec<(String, String)>);
+
+fn reply(status: u16, body: String) -> Reply {
+    (status, body, Vec::new())
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -70,6 +78,8 @@ struct Shared {
     /// `Some` when the server was started with a durable store; `None`
     /// servers answer `POST /insert` with 404 (read-only serving).
     ingest: Option<Arc<IngestService>>,
+    /// Primary/standby role; plain primary unless started replicated.
+    repl: Arc<ReplicationState>,
     shutdown: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
     conn_wake: Condvar,
@@ -91,7 +101,7 @@ impl Server {
     /// Binds, spawns the acceptor / workers / batcher, and returns.
     /// The resulting server is read-only: `POST /insert` answers 404.
     pub fn start(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
-        Self::start_inner(cfg, registry, None)
+        Self::start_inner(cfg, registry, None, ReplicationState::primary())
     }
 
     /// Like [`Server::start`], but with a mutable serving dataset: the
@@ -102,13 +112,25 @@ impl Server {
         registry: Arc<ModelRegistry>,
         ingest: Arc<IngestService>,
     ) -> std::io::Result<ServerHandle> {
-        Self::start_inner(cfg, registry, Some(ingest))
+        Self::start_inner(cfg, registry, Some(ingest), ReplicationState::primary())
+    }
+
+    /// Like [`Server::start_with_ingest`], with an explicit replication
+    /// role — a standby serves read-only until promoted.
+    pub fn start_replicated(
+        cfg: ServerConfig,
+        registry: Arc<ModelRegistry>,
+        ingest: Arc<IngestService>,
+        repl: Arc<ReplicationState>,
+    ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(cfg, registry, Some(ingest), repl)
     }
 
     fn start_inner(
         cfg: ServerConfig,
         registry: Arc<ModelRegistry>,
         ingest: Option<Arc<IngestService>>,
+        repl: Arc<ReplicationState>,
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -123,6 +145,7 @@ impl Server {
             stats,
             coalescer: Arc::clone(&coalescer),
             ingest,
+            repl,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(VecDeque::new()),
             conn_wake: Condvar::new(),
@@ -177,6 +200,11 @@ impl ServerHandle {
     /// The ingest service, when this server was started with one.
     pub fn ingest(&self) -> Option<&Arc<IngestService>> {
         self.shared.ingest.as_ref()
+    }
+
+    /// The replication role (primary unless started replicated).
+    pub fn repl(&self) -> &Arc<ReplicationState> {
+        &self.shared.repl
     }
 
     /// Stops accepting, drains the coalescing queue, and joins every
@@ -267,10 +295,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         match conn.read_request(shared.cfg.max_body_bytes) {
             Ok(NextRequest::Ready(req)) => {
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-                let (status, body) = route_request(shared, &req);
+                let (status, body, headers) = route_request(shared, &req);
                 shared.stats.record_status(status);
                 if conn
-                    .write_response(status, body.as_bytes(), keep_alive)
+                    .write_response_with_headers(status, body.as_bytes(), keep_alive, &headers)
                     .is_err()
                 {
                     return;
@@ -301,30 +329,50 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-/// Dispatches one request, returning `(status, json_body)`.
-fn route_request(shared: &Shared, req: &Request) -> (u16, String) {
+/// Dispatches one request, returning `(status, json_body, headers)`.
+fn route_request(shared: &Shared, req: &Request) -> Reply {
     let start = clock::now();
     let (route, outcome) = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/estimate") => (Some(Route::Estimate), handle_estimate(shared, &req.body)),
+        ("POST", "/estimate") => (
+            Some(Route::Estimate),
+            reply2(handle_estimate(shared, &req.body)),
+        ),
         ("POST", "/estimate_batch") => (
             Some(Route::EstimateBatch),
-            handle_estimate_batch(shared, &req.body),
+            reply2(handle_estimate_batch(shared, &req.body)),
         ),
-        ("GET", "/health") => (Some(Route::Health), handle_health(shared)),
-        ("GET", "/stats") => (Some(Route::Stats), handle_stats(shared)),
-        ("POST", "/admin/reload") => (Some(Route::Reload), handle_reload(shared, &req.body)),
-        ("POST", "/insert") => (Some(Route::Insert), handle_insert(shared, &req.body)),
-        ("GET", "/estimate" | "/estimate_batch" | "/admin/reload" | "/insert")
-        | ("POST", "/health" | "/stats") => {
-            (None, (405, error_body("method not allowed for this path")))
+        ("GET", "/health") => (Some(Route::Health), reply2(handle_health(shared))),
+        ("GET", "/ready") => (Some(Route::Ready), reply2(handle_ready(shared))),
+        ("GET", "/stats") => (Some(Route::Stats), reply2(handle_stats(shared))),
+        ("POST", "/admin/reload") => (
+            Some(Route::Reload),
+            reply2(handle_reload(shared, &req.body)),
+        ),
+        ("POST", "/admin/promote") => (Some(Route::Promote), reply2(handle_promote(shared))),
+        ("GET", "/admin/fingerprint") => {
+            (Some(Route::Fingerprint), reply2(handle_fingerprint(shared)))
         }
-        _ => (None, (404, error_body("no such route"))),
+        ("POST", "/insert") => (Some(Route::Insert), handle_insert(shared, &req.body)),
+        (
+            "GET",
+            "/estimate" | "/estimate_batch" | "/admin/reload" | "/admin/promote" | "/insert",
+        )
+        | ("POST", "/health" | "/ready" | "/stats" | "/admin/fingerprint") => (
+            None,
+            reply(405, error_body("method not allowed for this path")),
+        ),
+        _ => (None, reply(404, error_body("no such route"))),
     };
     if let Some(r) = route {
         let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         shared.stats.record_route(r, us);
     }
     outcome
+}
+
+/// Lifts a header-less handler result into a [`Reply`].
+fn reply2((status, body): (u16, String)) -> Reply {
+    reply(status, body)
 }
 
 fn error_body(msg: &str) -> String {
@@ -435,10 +483,29 @@ fn handle_estimate_batch(shared: &Shared, body: &[u8]) -> (u16, String) {
 /// validate step (dimension, representation, finiteness) runs *before*
 /// the WAL append, so a rejected point never reaches disk; a 200 means
 /// the point is durable and already routed to its segment.
-fn handle_insert(shared: &Shared, body: &[u8]) -> (u16, String) {
+fn handle_insert(shared: &Shared, body: &[u8]) -> Reply {
     let Some(svc) = &shared.ingest else {
-        return (404, error_body("ingestion is not enabled on this server"));
+        return reply(404, error_body("ingestion is not enabled on this server"));
     };
+    if shared.repl.is_standby() {
+        // Writes belong on the primary. `Retry-After: 1` tells polite
+        // clients to back off; the body names the primary when known.
+        let mut fields = vec![
+            (
+                "error".to_string(),
+                Value::Str("this node is a read-only standby".to_string()),
+            ),
+            ("role".to_string(), Value::Str("standby".to_string())),
+        ];
+        if let Some(url) = shared.repl.primary_url() {
+            fields.push(("primary".to_string(), Value::Str(url.to_string())));
+        }
+        return (
+            503,
+            json(&Value::Map(fields)),
+            vec![("retry-after".to_string(), "1".to_string())],
+        );
+    }
     let parsed = parse_body(body).and_then(|v| {
         let map = v.expect_map("insert body").map_err(|e| e.to_string())?;
         let components: Vec<f32> =
@@ -447,13 +514,13 @@ fn handle_insert(shared: &Shared, body: &[u8]) -> (u16, String) {
     });
     let point = match parsed {
         Ok(p) => p,
-        Err(m) => return (400, error_body(&m)),
+        Err(m) => return reply(400, error_body(&m)),
     };
     match svc.insert(&point) {
         Ok((receipt, finetune_scheduled)) => {
             // The dataset grew; the next model swap clamps to the new size.
             shared.registry.set_n_data(receipt.index + 1);
-            (
+            reply(
                 200,
                 json(&Value::Map(vec![
                     ("seq".to_string(), Value::UInt(receipt.seq)),
@@ -471,11 +538,15 @@ fn handle_insert(shared: &Shared, body: &[u8]) -> (u16, String) {
             | StoreError::ReprMismatch { .. }
             | StoreError::NonFinite { .. }
             | StoreError::OutOfRange { .. }),
-        ) => (400, error_body(&e.to_string())),
-        Err(e) => (500, error_body(&e.to_string())),
+        ) => reply(400, error_body(&e.to_string())),
+        Err(e) => reply(500, error_body(&e.to_string())),
     }
 }
 
+/// `GET /health` — pure *liveness*: the process is up and a model is
+/// loaded. Never consults replication; a lagging standby is still alive.
+/// Readiness (can this node serve what you're about to ask of it?) is
+/// `GET /ready`'s job.
 fn handle_health(shared: &Shared) -> (u16, String) {
     let model = shared.registry.active();
     (
@@ -486,6 +557,112 @@ fn handle_health(shared: &Shared) -> (u16, String) {
             ("kind".to_string(), Value::Str(model.kind.clone())),
         ])),
     )
+}
+
+/// `GET /ready` — *readiness*: role, replication position, and lag. A
+/// standby answers 503 until it is connected to its primary and fully
+/// caught up; a primary (or a static read-only server) is always ready.
+fn handle_ready(shared: &Shared) -> (u16, String) {
+    let role = if shared.repl.is_standby() {
+        "standby"
+    } else if shared.ingest.is_some() {
+        "primary"
+    } else {
+        "static"
+    };
+    let mut fields = vec![("role".to_string(), Value::Str(role.to_string()))];
+    if let Some(svc) = &shared.ingest {
+        fields.push(("last_seq".to_string(), Value::UInt(svc.last_seq())));
+    }
+    let (status, ready) = if shared.repl.is_standby() {
+        match shared.repl.client_status() {
+            Some(s) => {
+                let connected = s.connected.load(Ordering::Relaxed);
+                let lag = s.lag();
+                fields.push(("connected".to_string(), Value::Bool(connected)));
+                fields.push((
+                    "last_applied".to_string(),
+                    Value::UInt(s.last_applied.load(Ordering::Relaxed)),
+                ));
+                fields.push((
+                    "primary_head".to_string(),
+                    Value::UInt(s.primary_head.load(Ordering::Relaxed)),
+                ));
+                fields.push(("lag".to_string(), Value::UInt(lag)));
+                if connected && lag == 0 {
+                    (200, true)
+                } else {
+                    (503, false)
+                }
+            }
+            // Declared standby but no client attached yet: not ready.
+            None => (503, false),
+        }
+    } else {
+        if let Some(stats) = shared.repl.listener_stats() {
+            let head = shared.ingest.as_ref().map_or(0, |s| s.last_seq());
+            fields.push((
+                "standby_sessions".to_string(),
+                Value::UInt(stats.active.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "standby_acked".to_string(),
+                Value::UInt(stats.last_acked.load(Ordering::Relaxed)),
+            ));
+            fields.push(("standby_lag".to_string(), Value::UInt(stats.lag(head))));
+        }
+        (200, true)
+    };
+    fields.insert(0, ("ready".to_string(), Value::Bool(ready)));
+    (status, json(&Value::Map(fields)))
+}
+
+/// `POST /admin/promote` — standby → writable primary: stop replicating,
+/// rebaseline the drift monitor, accept inserts.
+fn handle_promote(shared: &Shared) -> (u16, String) {
+    let Some(svc) = &shared.ingest else {
+        return (404, error_body("this server has no durable store"));
+    };
+    if !shared.repl.promote() {
+        return (
+            409,
+            json(&Value::Map(vec![
+                ("promoted".to_string(), Value::Bool(false)),
+                (
+                    "error".to_string(),
+                    Value::Str("already primary".to_string()),
+                ),
+            ])),
+        );
+    }
+    svc.rebaseline_monitor();
+    shared.registry.set_n_data(svc.dataset_len());
+    (
+        200,
+        json(&Value::Map(vec![
+            ("promoted".to_string(), Value::Bool(true)),
+            ("role".to_string(), Value::Str("primary".to_string())),
+            ("last_seq".to_string(), Value::UInt(svc.last_seq())),
+        ])),
+    )
+}
+
+/// `GET /admin/fingerprint` — the state fingerprint the failover runbook
+/// compares across nodes (bit-identical state ⇔ equal fingerprints).
+fn handle_fingerprint(shared: &Shared) -> (u16, String) {
+    let Some(svc) = &shared.ingest else {
+        return (404, error_body("this server has no durable store"));
+    };
+    match svc.fingerprint() {
+        Ok(fp) => (
+            200,
+            json(&Value::Map(vec![
+                ("fingerprint".to_string(), Value::UInt(fp)),
+                ("last_seq".to_string(), Value::UInt(svc.last_seq())),
+            ])),
+        ),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
 }
 
 fn handle_stats(shared: &Shared) -> (u16, String) {
@@ -515,8 +692,77 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
                     "finetunes_failed".to_string(),
                     Value::UInt(i.finetunes_failed),
                 ),
+                (
+                    "finetune_retries".to_string(),
+                    Value::UInt(i.finetune_retries),
+                ),
             ])
         }
+    };
+    let replication = {
+        let mut fields = vec![(
+            "role".to_string(),
+            Value::Str(
+                if shared.repl.is_standby() {
+                    "standby"
+                } else {
+                    "primary"
+                }
+                .to_string(),
+            ),
+        )];
+        if let Some(s) = shared.repl.client_status() {
+            fields.push((
+                "connected".to_string(),
+                Value::Bool(s.connected.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "last_applied".to_string(),
+                Value::UInt(s.last_applied.load(Ordering::Relaxed)),
+            ));
+            fields.push(("lag".to_string(), Value::UInt(s.lag())));
+            fields.push((
+                "records_applied".to_string(),
+                Value::UInt(s.records_applied.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "snapshots_installed".to_string(),
+                Value::UInt(s.snapshots_installed.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "reconnects".to_string(),
+                Value::UInt(s.reconnects.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "corrupt_frames".to_string(),
+                Value::UInt(s.corrupt_frames.load(Ordering::Relaxed)),
+            ));
+        }
+        if let Some(p) = shared.repl.listener_stats() {
+            let head = shared.ingest.as_ref().map_or(0, |s| s.last_seq());
+            fields.push((
+                "standby_sessions".to_string(),
+                Value::UInt(p.sessions.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "standby_active".to_string(),
+                Value::UInt(p.active.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "standby_acked".to_string(),
+                Value::UInt(p.last_acked.load(Ordering::Relaxed)),
+            ));
+            fields.push(("standby_lag".to_string(), Value::UInt(p.lag(head))));
+            fields.push((
+                "records_sent".to_string(),
+                Value::UInt(p.records_sent.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "snapshots_sent".to_string(),
+                Value::UInt(p.snapshots_sent.load(Ordering::Relaxed)),
+            ));
+        }
+        Value::Map(fields)
     };
     let body = Value::Map(vec![
         (
@@ -532,6 +778,7 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
         ),
         ("routes".to_string(), Value::Map(routes)),
         ("ingest".to_string(), ingest),
+        ("replication".to_string(), replication),
         (
             "guard".to_string(),
             Value::Map(vec![

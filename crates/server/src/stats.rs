@@ -94,19 +94,25 @@ pub enum Route {
     Estimate,
     EstimateBatch,
     Health,
+    Ready,
     Stats,
     Reload,
     Insert,
+    Promote,
+    Fingerprint,
 }
 
 impl Route {
-    pub const ALL: [Route; 6] = [
+    pub const ALL: [Route; 9] = [
         Route::Estimate,
         Route::EstimateBatch,
         Route::Health,
+        Route::Ready,
         Route::Stats,
         Route::Reload,
         Route::Insert,
+        Route::Promote,
+        Route::Fingerprint,
     ];
 
     pub fn name(self) -> &'static str {
@@ -114,9 +120,12 @@ impl Route {
             Route::Estimate => "estimate",
             Route::EstimateBatch => "estimate_batch",
             Route::Health => "health",
+            Route::Ready => "ready",
             Route::Stats => "stats",
             Route::Reload => "reload",
             Route::Insert => "insert",
+            Route::Promote => "promote",
+            Route::Fingerprint => "fingerprint",
         }
     }
 
@@ -125,9 +134,12 @@ impl Route {
             Route::Estimate => 0,
             Route::EstimateBatch => 1,
             Route::Health => 2,
-            Route::Stats => 3,
-            Route::Reload => 4,
-            Route::Insert => 5,
+            Route::Ready => 3,
+            Route::Stats => 4,
+            Route::Reload => 5,
+            Route::Insert => 6,
+            Route::Promote => 7,
+            Route::Fingerprint => 8,
         }
     }
 }
@@ -135,7 +147,7 @@ impl Route {
 /// All serving counters, shared across worker threads.
 #[derive(Default)]
 pub struct ServerStats {
-    routes: [LatencyHistogram; 6],
+    routes: [LatencyHistogram; 9],
     pub http_400: AtomicU64,
     pub http_404: AtomicU64,
     pub http_409: AtomicU64,

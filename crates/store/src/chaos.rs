@@ -1,0 +1,314 @@
+//! Deterministic network-fault injection for replication, in the style
+//! of [`crate::crash`]: every fault schedule is a pure function of a
+//! seed, so a failing chaos run replays exactly.
+//!
+//! A [`ChaosProxy`] sits between a standby and its primary as a plain
+//! TCP forwarder. The standby→primary direction (HELLO, ACKs) is always
+//! transparent — the faults under test are on the streamed WAL, and a
+//! mangled HELLO would only re-exercise the same reconnect path. The
+//! primary→standby direction injects, per forwarded chunk and while the
+//! proxy is in [`ChaosMode::Storm`]:
+//!
+//! * **connection kills** — both halves shut down mid-stream,
+//! * **truncations** — a prefix of the chunk is delivered, then the kill
+//!   (a torn frame on the wire),
+//! * **bit flips** — 1–3 flipped bits in the forwarded bytes,
+//! * **duplications** — the chunk delivered twice (duplicate frames when
+//!   the chunk sits on a frame boundary, garbage otherwise — both must
+//!   be survivable),
+//! * **delays** — a bounded sleep before forwarding.
+//!
+//! Switching back to [`ChaosMode::Transparent`] lets the storm drain so
+//! tests can assert convergence (standby fingerprint == primary's).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// What the proxy does to primary→standby traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Forward everything unchanged.
+    Transparent,
+    /// Inject the full fault mix.
+    Storm,
+}
+
+/// Fault mix probabilities (per forwarded chunk), all in `[0, 1]` and
+/// applied in order: kill, truncate+kill, flip, duplicate, delay.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Root seed; each proxied session derives its own stream from it.
+    pub seed: u64,
+    pub p_kill: f64,
+    pub p_truncate: f64,
+    pub p_flip: f64,
+    pub p_duplicate: f64,
+    pub p_delay: f64,
+    /// Upper bound on an injected delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            p_kill: 0.04,
+            p_truncate: 0.04,
+            p_flip: 0.08,
+            p_duplicate: 0.08,
+            p_delay: 0.15,
+            max_delay: Duration::from_millis(15),
+        }
+    }
+}
+
+/// Counts of injected faults, for assertions that the storm actually
+/// stormed.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    pub kills: AtomicU64,
+    pub truncations: AtomicU64,
+    pub bit_flips: AtomicU64,
+    pub duplications: AtomicU64,
+    pub delays: AtomicU64,
+    pub sessions: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Total faults injected (excluding benign delays).
+    pub fn corruptions(&self) -> u64 {
+        self.kills.load(Ordering::Relaxed)
+            + self.truncations.load(Ordering::Relaxed)
+            + self.bit_flips.load(Ordering::Relaxed)
+            + self.duplications.load(Ordering::Relaxed)
+    }
+}
+
+/// An in-process fault-injecting TCP proxy.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    mode: Arc<AtomicU8>,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and forwards every accepted
+    /// connection to `upstream`, injecting faults per `cfg` while in
+    /// storm mode. Starts transparent.
+    pub fn start(upstream: SocketAddr, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mode = Arc::new(AtomicU8::new(0));
+        let stats = Arc::new(ChaosStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let mode = Arc::clone(&mode);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                let mut session_idx = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            stats.sessions.fetch_add(1, Ordering::Relaxed);
+                            let session_seed = cfg
+                                .seed
+                                .wrapping_add(session_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                            session_idx += 1;
+                            if let Ok(server) = TcpStream::connect(upstream) {
+                                track(&conns, &client);
+                                track(&conns, &server);
+                                spawn_pumps(
+                                    client,
+                                    server,
+                                    cfg,
+                                    session_seed,
+                                    Arc::clone(&mode),
+                                    Arc::clone(&stats),
+                                );
+                            } else {
+                                let _ = client.shutdown(Shutdown::Both);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            mode,
+            stats,
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the standby should dial instead of the primary.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flips between storm and transparent forwarding.
+    pub fn set_mode(&self, mode: ChaosMode) {
+        let v = match mode {
+            ChaosMode::Transparent => 0,
+            ChaosMode::Storm => 1,
+        };
+        self.mode.store(v, Ordering::Relaxed);
+    }
+
+    /// Fault counters.
+    pub fn stats(&self) -> Arc<ChaosStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops accepting and severs every proxied connection.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for c in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn track(conns: &Arc<Mutex<Vec<TcpStream>>>, stream: &TcpStream) {
+    if let Ok(clone) = stream.try_clone() {
+        conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(clone);
+    }
+}
+
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    cfg: ChaosConfig,
+    seed: u64,
+    mode: Arc<AtomicU8>,
+    stats: Arc<ChaosStats>,
+) {
+    // standby → primary: always transparent (control frames).
+    {
+        let Ok(from) = client.try_clone() else { return };
+        let Ok(to) = server.try_clone() else { return };
+        std::thread::spawn(move || pump_transparent(from, to));
+    }
+    // primary → standby: the faulted direction.
+    std::thread::spawn(move || pump_faulted(server, client, cfg, seed, &mode, &stats));
+}
+
+fn pump_transparent(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+fn pump_faulted(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    cfg: ChaosConfig,
+    seed: u64,
+    mode: &AtomicU8,
+    stats: &ChaosStats,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = [0u8; 4 * 1024];
+    'outer: loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let storm = mode.load(Ordering::Relaxed) == 1;
+        let chunk = &mut buf[..n];
+        if storm {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let mut band = cfg.p_kill;
+            if r < band {
+                stats.kills.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            band += cfg.p_truncate;
+            if r < band {
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                let keep = rng.gen_range(0..n.max(1));
+                if keep > 0 {
+                    let _ = to.write_all(&chunk[..keep]);
+                }
+                break;
+            }
+            band += cfg.p_flip;
+            if r < band {
+                stats.bit_flips.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..rng.gen_range(1..4usize) {
+                    let byte = rng.gen_range(0..n);
+                    let bit = rng.gen_range(0..8usize);
+                    chunk[byte] ^= 1 << bit;
+                }
+                if to.write_all(chunk).is_err() {
+                    break 'outer;
+                }
+                continue;
+            }
+            band += cfg.p_duplicate;
+            if r < band {
+                stats.duplications.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(chunk).is_err() || to.write_all(chunk).is_err() {
+                    break;
+                }
+                continue;
+            }
+            band += cfg.p_delay;
+            if r < band {
+                stats.delays.fetch_add(1, Ordering::Relaxed);
+                let micros = rng.gen_range(0..cfg.max_delay.as_micros().max(1) as u64);
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

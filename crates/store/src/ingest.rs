@@ -12,14 +12,16 @@
 //! still exact, so the recovered model answers from slightly staler
 //! weights until the drift monitor fires again.
 
+use crate::segment::SegmentedWal;
 use crate::snapshot::{self, SnapshotError};
-use crate::wal::{Wal, WalError, WalRecovery};
+use crate::wal::{WalError, WalRecord, WalRecovery};
 use cardest_core::update::UpdatableGl;
 use cardest_data::vector::{VectorData, VectorView};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// WAL file name inside a store directory.
+/// Active WAL segment file name inside a store directory (sealed
+/// segments sit next to it as `wal.<first_seq>.seg`).
 pub const WAL_FILE: &str = "wal.log";
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "state.snapshot";
@@ -39,9 +41,12 @@ pub struct StoreConfig {
     /// Tests that manufacture crashes from buffers can turn it off.
     pub sync_writes: bool,
     /// Keep replayed records in the WAL across snapshots instead of
-    /// truncating. Recovery stays correct either way (covered records are
+    /// compacting. Recovery stays correct either way (covered records are
     /// skipped); the bench uses this to measure replay cost vs WAL length.
     pub retain_wal: bool,
+    /// Active-segment size that triggers sealing it into a
+    /// `wal.<first_seq>.seg` file; 0 keeps the WAL in one file.
+    pub rotate_bytes: u64,
 }
 
 impl Default for StoreConfig {
@@ -50,6 +55,7 @@ impl Default for StoreConfig {
             snapshot_every: 256,
             sync_writes: true,
             retain_wal: false,
+            rotate_bytes: 8 << 20,
         }
     }
 }
@@ -140,6 +146,24 @@ impl From<SnapshotError> for StoreError {
     }
 }
 
+/// What [`DurableIngest::replication_fetch`] hands a catching-up standby.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicationFetch {
+    /// WAL records after the requested position, oldest first.
+    Records(Vec<WalRecord>),
+    /// The position was compacted away: full state as of `seq`.
+    Snapshot { seq: u64, state: Vec<u8> },
+}
+
+/// What [`DurableIngest::apply_replicated`] did with a streamed record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicatedApply {
+    /// The record extended the stream and was WAL-appended + applied.
+    Applied,
+    /// A duplicate delivery of an already-applied seq; dropped.
+    Skipped,
+}
+
 /// The acknowledgement an insert returns once it is durable and applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InsertReceipt {
@@ -169,7 +193,7 @@ pub struct RecoveryReport {
 /// A durable, recoverable [`UpdatableGl`].
 pub struct DurableIngest {
     upd: UpdatableGl,
-    wal: Wal,
+    wal: SegmentedWal,
     dir: PathBuf,
     cfg: StoreConfig,
     appends_since_snapshot: usize,
@@ -185,7 +209,7 @@ impl DurableIngest {
             .snapshot_json()
             .map_err(|e| StoreError::Serde(e.to_string()))?;
         snapshot::write_snapshot(&dir.join(SNAPSHOT_FILE), 0, state.as_bytes())?;
-        let (mut wal, _, _) = Wal::open(&dir.join(WAL_FILE), cfg.sync_writes)?;
+        let (mut wal, _, _) = SegmentedWal::open(dir, cfg.sync_writes, cfg.rotate_bytes)?;
         wal.truncate_all()?;
         wal.set_next_seq(1);
         Ok(DurableIngest {
@@ -201,13 +225,14 @@ impl DurableIngest {
     /// snapshot, truncates any torn WAL tail, and replays every record
     /// beyond the snapshot through the pure apply path.
     pub fn open(dir: &Path, cfg: StoreConfig) -> Result<(Self, RecoveryReport), StoreError> {
-        let stale_tmp_swept = snapshot::sweep_stale_tmp(dir);
+        let stale_tmp_swept = snapshot::sweep_stale_tmp(dir, snapshot::SWEEP_GRACE);
         let (snapshot_seq, state) = snapshot::read_snapshot(&dir.join(SNAPSHOT_FILE))?;
         let state = String::from_utf8(state)
             .map_err(|_| StoreError::Serde("snapshot state is not utf-8".into()))?;
         let mut upd = UpdatableGl::from_snapshot_json(&state)
             .map_err(|e| StoreError::Serde(e.to_string()))?;
-        let (mut wal, records, wal_recovery) = Wal::open(&dir.join(WAL_FILE), cfg.sync_writes)?;
+        let (mut wal, records, wal_recovery) =
+            SegmentedWal::open(dir, cfg.sync_writes, cfg.rotate_bytes)?;
         let mut replayed = 0usize;
         let mut skipped = 0usize;
         for r in &records {
@@ -282,8 +307,9 @@ impl DurableIngest {
     }
 
     /// Writes a snapshot covering everything applied so far, then (unless
-    /// retaining) truncates the WAL the snapshot made redundant. Also the
-    /// call that makes a background fine-tune durable.
+    /// retaining) drops the WAL records the snapshot made redundant —
+    /// sealed segments deleted, active file truncated. Also the call that
+    /// makes a background fine-tune durable.
     pub fn snapshot_now(&mut self) -> Result<(), StoreError> {
         let state = self
             .upd
@@ -363,9 +389,81 @@ impl DurableIngest {
         self.wal.next_seq() - 1
     }
 
-    /// Current WAL size in bytes.
+    /// Current WAL size in bytes (sealed segments + active file).
     pub fn wal_len_bytes(&self) -> u64 {
         self.wal.len_bytes()
+    }
+
+    /// Sealed WAL segments currently on disk.
+    pub fn wal_segments(&self) -> usize {
+        self.wal.sealed_segments().len()
+    }
+
+    /// Seals the active WAL segment regardless of size (tests and
+    /// operational tooling; normal rotation is size-triggered).
+    pub fn rotate_wal_now(&mut self) -> Result<(), StoreError> {
+        self.wal.rotate_now().map_err(StoreError::Wal)
+    }
+
+    /// What a catching-up standby at `after_seq` should receive next:
+    /// WAL records still on disk, or — once compaction has dropped the
+    /// requested position — the full current state to bootstrap from
+    /// ("latest snapshot + segments since" collapses to "state now + the
+    /// live stream from here").
+    pub fn replication_fetch(
+        &self,
+        after_seq: u64,
+        max: usize,
+    ) -> Result<ReplicationFetch, StoreError> {
+        if let Some(records) = self.wal.read_since(after_seq, max)? {
+            return Ok(ReplicationFetch::Records(records));
+        }
+        let state = self
+            .upd
+            .snapshot_json()
+            .map_err(|e| StoreError::Serde(e.to_string()))?;
+        Ok(ReplicationFetch::Snapshot {
+            seq: self.last_seq(),
+            state: state.into_bytes(),
+        })
+    }
+
+    /// Applies one record streamed from a primary: duplicates (seq at or
+    /// below the last applied) are skipped so re-delivered frames are
+    /// idempotent; the next expected seq is WAL-appended and applied
+    /// through the same path as local inserts; anything further ahead is
+    /// a gap the caller must resolve by re-syncing.
+    pub fn apply_replicated(&mut self, rec: &WalRecord) -> Result<ReplicatedApply, StoreError> {
+        let last = self.last_seq();
+        if rec.seq <= last {
+            return Ok(ReplicatedApply::Skipped);
+        }
+        if rec.seq != last + 1 {
+            return Err(StoreError::SeqGap {
+                snapshot_seq: last,
+                found: rec.seq,
+            });
+        }
+        self.wal.append(rec.kind, &rec.payload)?;
+        apply_record(&mut self.upd, rec.seq, rec.kind, &rec.payload)?;
+        self.note_append()?;
+        Ok(ReplicatedApply::Applied)
+    }
+
+    /// Replaces local state with a primary's snapshot at `seq`: the state
+    /// is made durable, the local WAL is reset (records it held are
+    /// covered or obsolete), and subsequent appends continue at `seq + 1`.
+    pub fn install_snapshot(&mut self, seq: u64, state: &[u8]) -> Result<(), StoreError> {
+        let json = std::str::from_utf8(state)
+            .map_err(|_| StoreError::Serde("replicated snapshot state is not utf-8".into()))?;
+        let upd =
+            UpdatableGl::from_snapshot_json(json).map_err(|e| StoreError::Serde(e.to_string()))?;
+        snapshot::write_snapshot(&self.dir.join(SNAPSHOT_FILE), seq, state)?;
+        self.wal.truncate_all()?;
+        self.wal.set_next_seq(seq + 1);
+        self.upd = upd;
+        self.appends_since_snapshot = 0;
+        Ok(())
     }
 
     /// The store directory.

@@ -11,6 +11,7 @@
 use cardest_nn::artifact::{self, ArtifactError};
 use std::fmt;
 use std::path::Path;
+use std::time::Duration;
 
 /// Artifact kind tag for ingest snapshots.
 pub const SNAPSHOT_KIND: &str = "cardest.snapshot";
@@ -72,21 +73,39 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), SnapshotError> {
     Ok((last_seq, payload[8..].to_vec()))
 }
 
+/// Grace window [`sweep_stale_tmp`] applies: a tmp file younger than this
+/// may belong to a snapshot write in flight on another thread, so it is
+/// left alone. Crash droppings are swept on the *next* recovery instead —
+/// recovery after a crash is always at least a process restart away, so
+/// anything older than a minute is provably not being written.
+pub const SWEEP_GRACE: Duration = Duration::from_secs(60);
+
 /// Removes temp files a crash mid-snapshot-rename left behind
-/// (`.name.tmp.PID`, the naming `artifact::write_atomic` uses). Returns
-/// how many were swept. Missing directories sweep zero files.
-pub fn sweep_stale_tmp(dir: &Path) -> usize {
+/// (`.name.tmp.PID`, the naming `artifact::write_atomic` uses), but only
+/// those whose mtime is older than `grace`: a concurrent snapshot writer
+/// between temp-write and rename holds a *fresh* tmp file, and deleting
+/// it from under the writer would fail the rename and drop the
+/// checkpoint. Files with unreadable mtimes are treated as fresh (kept).
+/// Returns how many were swept. Missing directories sweep zero files.
+pub fn sweep_stale_tmp(dir: &Path, grace: Duration) -> usize {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return 0;
     };
+    let now = crate::clock::wall();
     let mut swept = 0;
     for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.starts_with('.')
-            && name.contains(".tmp.")
-            && std::fs::remove_file(entry.path()).is_ok()
-        {
+        if !(name.starts_with('.') && name.contains(".tmp.")) {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age >= grace);
+        if old_enough && std::fs::remove_file(entry.path()).is_ok() {
             swept += 1;
         }
     }
@@ -140,18 +159,54 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Backdates a file's mtime so the sweep sees it as a crash dropping.
+    fn backdate(path: &Path, by: Duration) {
+        let f = std::fs::File::options().write(true).open(path).unwrap();
+        f.set_modified(crate::clock::wall() - by).unwrap();
+    }
+
     #[test]
-    fn sweep_removes_only_tmp_droppings() {
+    fn sweep_removes_only_tmp_droppings_older_than_grace() {
         let dir = tmp_dir("sweep");
         let snap = dir.join("state.snapshot");
         write_snapshot(&snap, 1, b"keep-me").unwrap();
         // A crash between temp-write and rename leaves this behind.
-        std::fs::write(dir.join(".state.snapshot.tmp.99999"), b"torn").unwrap();
-        assert_eq!(sweep_stale_tmp(&dir), 1);
+        let dropping = dir.join(".state.snapshot.tmp.99999");
+        std::fs::write(&dropping, b"torn").unwrap();
+        // Fresh tmp files are presumed in-flight writes and kept...
+        assert_eq!(sweep_stale_tmp(&dir, SWEEP_GRACE), 0);
+        assert!(dropping.exists());
+        // ...until they age past the grace window.
+        backdate(&dropping, SWEEP_GRACE + Duration::from_secs(1));
+        assert_eq!(sweep_stale_tmp(&dir, SWEEP_GRACE), 1);
+        assert!(!dropping.exists());
         assert!(snap.exists());
         assert_eq!(read_snapshot(&snap).unwrap().1, b"keep-me");
-        assert_eq!(sweep_stale_tmp(&dir), 0);
-        assert_eq!(sweep_stale_tmp(&dir.join("missing-subdir")), 0);
+        assert_eq!(sweep_stale_tmp(&dir, SWEEP_GRACE), 0);
+        assert_eq!(sweep_stale_tmp(&dir.join("missing-subdir"), SWEEP_GRACE), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_never_races_a_concurrent_snapshot_writer() {
+        let dir = tmp_dir("race");
+        let snap = dir.join("state.snapshot");
+        let writer_dir = dir.clone();
+        let writer = std::thread::spawn(move || {
+            for seq in 0..200u64 {
+                write_snapshot(&writer_dir.join("state.snapshot"), seq, b"concurrent").unwrap();
+            }
+        });
+        // Sweeping while the writer holds fresh tmp files must never
+        // delete one out from under it (which would fail its rename).
+        let mut swept = 0;
+        while !writer.is_finished() {
+            swept += sweep_stale_tmp(&dir, SWEEP_GRACE);
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+        assert_eq!(swept, 0, "sweep deleted an in-flight tmp file");
+        assert_eq!(read_snapshot(&snap).unwrap(), (199, b"concurrent".to_vec()));
         std::fs::remove_dir_all(&dir).ok();
     }
 }
