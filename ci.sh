@@ -5,11 +5,17 @@
 #
 # Lanes, in order:
 #   fmt          rustfmt as a pure check;
-#   cardest-lint the workspace invariant checker (crates/lint): determinism,
-#                decode clamping, float total order, panic paths, unsafe
-#                hygiene, kernel casts. Machine-readable JSON, non-zero on
-#                any non-allowed diagnostic, runs before everything heavy
-#                because it needs only the zero-dependency lint crate;
+#   cardest-lint the workspace invariant checker (crates/lint): the lexical
+#                rules (determinism, decode clamping, float total order,
+#                panic paths, unsafe hygiene, kernel casts) plus the
+#                semantic call-graph pass (--semantic: panic reachability
+#                from serving entry points, lock discipline, durability
+#                protocol, error taxonomy). Machine-readable JSON on
+#                stdout and in LINT_REPORT.json; diagnostics accepted in
+#                crates/lint/baseline.txt are subtracted, so the lane is
+#                non-zero only on *new* non-allowed findings. Runs before
+#                everything heavy because it needs only the
+#                zero-dependency lint crate;
 #   clippy       -D warnings; clippy.toml's disallowed-methods cross-check
 #                the cardest-lint rules from the type-resolved side, and
 #                library crates carry clippy::unwrap_used/expect_used;
@@ -79,7 +85,8 @@ lane() {
 }
 
 lane fmt          cargo fmt --all --check
-lane cardest-lint cargo run -p cardest-lint ${CARGO_FLAGS:-} -- --format=json crates
+lane cardest-lint cargo run -p cardest-lint ${CARGO_FLAGS:-} -- --format=json --semantic \
+                      --baseline=crates/lint/baseline.txt --report=LINT_REPORT.json crates
 lane clippy       cargo clippy --workspace --all-targets ${CARGO_FLAGS:-} -- -D warnings
 lane bench-build  cargo bench --workspace ${CARGO_FLAGS:-} --no-run
 lane test         cargo test --workspace ${CARGO_FLAGS:-} -q

@@ -1,0 +1,23 @@
+// cardest-lint-fixture: path=crates/store/src/fixture_durable.rs
+//! Must-not-fire: one function syncs before acking; the other uses the
+//! temp-file + atomic-rename protocol.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn save_segment(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+pub fn publish_segment(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+// cardest-lint-fixture: path=crates/store/src/fixture_durable.rs
+//! Must-fire: a store function writes durable bytes and returns an
+//! ack-carrying `Ok` with no `sync_data`/`sync_all`/rename on any path.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn save_segment(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)?;
+    Ok(())
+}

@@ -1,0 +1,19 @@
+// cardest-lint-fixture: path=crates/server/src/fixture_errors.rs
+//! Must-not-fire: the same handlers with a typed error enum, and no
+//! stdout or process::exit in library code.
+
+#[derive(Debug)]
+pub enum LookupError {
+    EmptyKey,
+}
+
+pub fn handle_lookup(key: &str) -> Result<u32, LookupError> {
+    if key.is_empty() {
+        return Err(LookupError::EmptyKey);
+    }
+    Ok(key.len() as u32)
+}
+
+pub fn handle_fetch(key: &str) -> Result<u32, LookupError> {
+    handle_lookup(key)
+}

@@ -1,0 +1,20 @@
+// cardest-lint-fixture: path=crates/server/src/fixture_errors.rs
+//! Must-fire: a serving entry returning a stringly error, another
+//! returning `Box<dyn Error>`, and a library function that prints to
+//! stdout and exits the process.
+
+pub fn handle_lookup(key: &str) -> Result<u32, String> {
+    if key.is_empty() {
+        return Err("empty key".to_string());
+    }
+    Ok(key.len() as u32)
+}
+
+pub fn handle_fetch(key: &str) -> Result<u32, Box<dyn std::error::Error>> {
+    Ok(handle_lookup(key)?)
+}
+
+pub fn dump_and_die(msg: &str) {
+    println!("fatal: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,39 @@
+// cardest-lint-fixture: path=crates/server/src/fixture_locks.rs
+//! Must-not-fire: both functions take the locks in the same order, and
+//! the join happens after the guard is released (the lock statement
+//! projects the handle out, so the guard is a temporary dropped at the
+//! `;`).
+
+use std::sync::{Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+pub struct Svc {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Svc {
+    pub fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn diff_ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga - *gb
+    }
+
+    pub fn stop(&self) {
+        let handle = self
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(t) = handle {
+            let _ = t.join();
+        }
+    }
+}

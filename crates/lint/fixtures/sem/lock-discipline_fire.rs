@@ -1,0 +1,33 @@
+// cardest-lint-fixture: path=crates/server/src/fixture_locks.rs
+//! Must-fire: an A/B vs B/A lock-order inversion, and a guard held
+//! across a thread join.
+
+use std::sync::{Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+pub struct Svc {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Svc {
+    pub fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn sum_ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn stop(&self) {
+        let mut w = self.worker.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(t) = w.take() {
+            let _ = t.join();
+        }
+    }
+}

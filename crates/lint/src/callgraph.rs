@@ -1,0 +1,544 @@
+//! Workspace call graph with heuristic name resolution.
+//!
+//! Built from the item skeletons of every file in the workspace, the graph
+//! links call *sites* (token positions) to candidate callee functions.
+//! Resolution is heuristic — there is no type inference — and intentionally
+//! over-approximates:
+//!
+//! * `recv.name(...)` (method style) resolves to **every** impl/trait
+//!   method named `name` in the workspace.
+//! * `Qual::name(...)` (path style) resolves to methods whose `impl` type
+//!   matches `Qual` (after chasing one `use ... as` rename in the calling
+//!   file); when no type matches, it falls back to free functions in a
+//!   module file or crate named `Qual`.
+//! * `name(...)` (bare style) prefers same-file functions, then same-crate,
+//!   then the whole workspace — so local shadowing wins.
+//! * Calls into `std` or the vendored shims resolve to nothing and simply
+//!   terminate propagation.
+//!
+//! Over-approximation is the right default for reachability-style rules
+//! (missing an edge hides a panic; inventing one at worst widens the
+//! search); rules that *propagate* facts along edges additionally cap the
+//! fan-out per site (see [`crate::semrules`]) so one ambiguous name cannot
+//! smear a fact across the workspace.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{is_punct, paren_match, Items};
+
+/// One analyzed file, with everything the semantic rules need.
+pub struct SourceFile {
+    /// Path diagnostics are reported under.
+    pub display: String,
+    /// Effective repo-relative path used for scoping (fixture directives
+    /// may re-scope a file).
+    pub path: String,
+    pub toks: Vec<Tok>,
+    pub in_test: Vec<bool>,
+    pub items: Items,
+    /// Lines with a valid `allow` pragma, with the allowed rule ids.
+    pub allowed: BTreeMap<u32, Vec<String>>,
+}
+
+impl SourceFile {
+    /// Crate directory name under `crates/`, if any.
+    pub fn crate_name(&self) -> Option<&str> {
+        let mut parts = self.path.split('/');
+        parts.by_ref().find(|p| *p == "crates")?;
+        parts.next()
+    }
+
+    /// Whole-file test-ness (integration tests, benches, examples).
+    pub fn is_testish(&self) -> bool {
+        ["/tests/", "/benches/", "/examples/"]
+            .iter()
+            .any(|d| self.path.contains(d))
+    }
+
+    /// Binary targets (`src/main.rs`, `src/bin/*`) are exempt from the
+    /// library-only rules.
+    pub fn is_bin(&self) -> bool {
+        self.path.ends_with("/main.rs") || self.path.contains("/bin/")
+    }
+}
+
+/// How a call site was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallStyle {
+    /// `recv.name(...)`
+    Method,
+    /// `Qual::name(...)` — `qualifier` is the path segment before `::`.
+    Path { qualifier: String },
+    /// `name(...)`
+    Bare,
+    /// `name!(...)` — macros never resolve to workspace functions but the
+    /// semantic rules pattern-match their names (`panic!`, `println!`).
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    pub line: u32,
+    /// Token index of the callee name.
+    pub tok: usize,
+    pub style: CallStyle,
+    /// Candidate callee nodes (empty: external / unresolved).
+    pub targets: Vec<usize>,
+}
+
+/// One function in the graph (a `FnItem` with a body).
+pub struct FnNode {
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub item: usize,
+    pub calls: Vec<CallSite>,
+    /// Test code (marked item, or a testish file) — excluded from serving
+    /// reachability.
+    pub is_test: bool,
+}
+
+/// The whole-workspace call graph.
+pub struct Graph {
+    pub files: Vec<SourceFile>,
+    pub nodes: Vec<FnNode>,
+}
+
+/// Identifiers that look like calls but never are (keywords, variant
+/// constructors, primitive casts).
+const NON_CALLEES: [&str; 28] = [
+    "let", "if", "else", "match", "while", "for", "loop", "return", "in", "as", "mut", "ref",
+    "move", "fn", "impl", "self", "Self", "super", "crate", "use", "pub", "where", "break",
+    "continue", "unsafe", "dyn", "true", "false",
+];
+
+/// Method names that collide with the std collections / atomics / io
+/// surface (`map.get(..)`, `flag.load(..)`, `buf.read(..)`). Method-style
+/// calls through these never resolve to workspace functions: nearly every
+/// such call is a std call, and one false edge into, say, an HTTP client's
+/// `get` smears "does socket I/O" over the whole workspace. Path-style
+/// calls (`Type::get(..)`) still resolve — the qualifier disambiguates.
+const GENERIC_METHODS: [&str; 20] = [
+    "get", "read", "write", "load", "store", "swap", "take", "clone", "next", "iter", "parse",
+    "len", "is_empty", "push", "pop", "contains", "clear", "extend", "drain", "remove",
+];
+
+impl Graph {
+    pub fn build(files: Vec<SourceFile>) -> Graph {
+        let mut nodes: Vec<FnNode> = Vec::new();
+        // name -> nodes, split by call shape.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            let testish = file.is_testish();
+            for (ii, item) in file.items.fns.iter().enumerate() {
+                if item.body.is_none() {
+                    continue;
+                }
+                nodes.push(FnNode {
+                    file: fi,
+                    item: ii,
+                    calls: Vec::new(),
+                    is_test: item.is_test || testish,
+                });
+            }
+        }
+        for (ni, node) in nodes.iter().enumerate() {
+            let item = &files[node.file].items.fns[node.item];
+            let idx = if item.self_ty.is_some() {
+                &mut methods
+            } else {
+                &mut free
+            };
+            idx.entry(item.name.as_str()).or_default().push(ni);
+        }
+
+        let mut resolved_calls: Vec<Vec<CallSite>> = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let file = &files[node.file];
+            let item = &file.items.fns[node.item];
+            let mut sites = extract_calls(&file.toks, item.body.unwrap_or((0, 0)));
+            for site in &mut sites {
+                site.targets = resolve(&files, &nodes, &methods, &free, node, site);
+            }
+            resolved_calls.push(sites);
+        }
+        for (node, calls) in nodes.iter_mut().zip(resolved_calls) {
+            node.calls = calls;
+        }
+        Graph { files, nodes }
+    }
+
+    /// The `FnItem` behind a node.
+    pub fn item(&self, n: usize) -> &crate::parser::FnItem {
+        &self.files[self.nodes[n].file].items.fns[self.nodes[n].item]
+    }
+
+    /// Display-qualified function name for diagnostics.
+    pub fn qual(&self, n: usize) -> &str {
+        &self.item(n).qual
+    }
+
+    /// BFS over call edges from `entries`, skipping test nodes. Returns,
+    /// for every reached node, the `(caller, call line)` edge it was first
+    /// reached through (`None` for the entries themselves).
+    pub fn reachable_from(&self, entries: &[usize]) -> BTreeMap<usize, Option<(usize, u32)>> {
+        let mut parent: BTreeMap<usize, Option<(usize, u32)>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &e in entries {
+            if parent.insert(e, None).is_none() {
+                queue.push_back(e);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for call in &self.nodes[n].calls {
+                for &t in &call.targets {
+                    if !self.nodes[t].is_test && !parent.contains_key(&t) {
+                        parent.insert(t, Some((n, call.line)));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the entry→node witness path recorded by
+    /// [`Graph::reachable_from`], e.g. `route_request -> handle_estimate ->
+    /// parse_body`.
+    pub fn witness(&self, parents: &BTreeMap<usize, Option<(usize, u32)>>, n: usize) -> String {
+        let mut chain: Vec<usize> = vec![n];
+        let mut cur = n;
+        while let Some(Some((p, _))) = parents.get(&cur) {
+            cur = *p;
+            chain.push(cur);
+            if chain.len() > 24 {
+                break; // cycles cannot occur (parents form a tree) but stay bounded
+            }
+        }
+        chain.reverse();
+        let names: Vec<&str> = chain.iter().map(|&c| self.qual(c)).collect();
+        if names.len() > 6 {
+            let mut s = names[..3].join(" -> ");
+            s.push_str(" -> ... -> ");
+            s.push_str(&names[names.len() - 2..].join(" -> "));
+            s
+        } else {
+            names.join(" -> ")
+        }
+    }
+}
+
+/// Scans a body token range for call sites (method, path, bare, macro).
+fn extract_calls(toks: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let (open, close) = body;
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident || NON_CALLEES.contains(&t.text.as_str()) {
+            j += 1;
+            continue;
+        }
+        if is_punct(toks, j + 1, "!") {
+            // Macro invocation; only record when a delimiter follows so
+            // `x != y` (unfused only as `!=`… which *is* fused) stays out.
+            if is_punct(toks, j + 2, "(")
+                || is_punct(toks, j + 2, "[")
+                || is_punct(toks, j + 2, "{")
+            {
+                out.push(CallSite {
+                    name: t.text.clone(),
+                    line: t.line,
+                    tok: j,
+                    style: CallStyle::Macro,
+                    targets: Vec::new(),
+                });
+            }
+            j += 2;
+            continue;
+        }
+        if is_punct(toks, j + 1, "(") {
+            let style = if j > 0 && is_punct(toks, j - 1, ".") {
+                Some(CallStyle::Method)
+            } else if j > 0 && is_punct(toks, j - 1, "::") {
+                let qualifier = j
+                    .checked_sub(2)
+                    .and_then(|q| toks.get(q))
+                    .filter(|q| q.kind == TokKind::Ident)
+                    .map(|q| q.text.clone())
+                    .unwrap_or_default();
+                Some(CallStyle::Path { qualifier })
+            } else {
+                // A bare ident followed by `(` is a call unless it is a
+                // definition (`fn name(`) — `fn` is in NON_CALLEES so the
+                // name after it lands here; check the previous token.
+                if j > 0 && toks[j - 1].kind == TokKind::Ident && toks[j - 1].text == "fn" {
+                    None
+                } else {
+                    Some(CallStyle::Bare)
+                }
+            };
+            if let Some(style) = style {
+                out.push(CallSite {
+                    name: t.text.clone(),
+                    line: t.line,
+                    tok: j,
+                    style,
+                    targets: Vec::new(),
+                });
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+fn resolve(
+    files: &[SourceFile],
+    nodes: &[FnNode],
+    methods: &BTreeMap<&str, Vec<usize>>,
+    free: &BTreeMap<&str, Vec<usize>>,
+    caller: &FnNode,
+    site: &CallSite,
+) -> Vec<usize> {
+    let name = site.name.as_str();
+    match &site.style {
+        CallStyle::Macro => Vec::new(),
+        CallStyle::Method => {
+            if GENERIC_METHODS.contains(&name) {
+                return Vec::new();
+            }
+            methods.get(name).cloned().unwrap_or_default()
+        }
+        CallStyle::Path { qualifier } => {
+            let caller_file = &files[caller.file];
+            let caller_item = &caller_file.items.fns[caller.item];
+            // Chase one `use path::Ty as Alias` rename in the calling file.
+            let qual: &str = caller_file
+                .items
+                .uses
+                .iter()
+                .find(|u| u.alias == *qualifier)
+                .and_then(|u| u.path.rsplit("::").next())
+                .unwrap_or(qualifier.as_str());
+            if qual == "Self" {
+                let sty = caller_item.self_ty.as_deref();
+                return methods
+                    .get(name)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&c| item_of(files, nodes, c).self_ty.as_deref() == sty)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            let typed: Vec<usize> = methods
+                .get(name)
+                .map(|cands| {
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| item_of(files, nodes, c).self_ty.as_deref() == Some(qual))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !typed.is_empty() {
+                return typed;
+            }
+            // `module::func(...)` / `crate_name::func(...)`: free functions
+            // in a matching module file or crate.
+            free.get(name)
+                .map(|cands| {
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            let f = &files[nodes[c].file];
+                            file_stem(&f.path) == Some(qual)
+                                || f.crate_name()
+                                    .is_some_and(|cn| cn.replace('-', "_") == qual)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+        CallStyle::Bare => {
+            let cands = match free.get(name) {
+                Some(c) => c,
+                None => return Vec::new(),
+            };
+            let same_file: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].file == caller.file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let caller_crate = files[caller.file].crate_name();
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| files[nodes[c].file].crate_name() == caller_crate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            cands.clone()
+        }
+    }
+}
+
+fn item_of<'a>(files: &'a [SourceFile], nodes: &[FnNode], n: usize) -> &'a crate::parser::FnItem {
+    &files[nodes[n].file].items.fns[nodes[n].item]
+}
+
+fn file_stem(path: &str) -> Option<&str> {
+    path.rsplit('/').next()?.strip_suffix(".rs")
+}
+
+/// Re-export for rules that need to look at call argument lists.
+pub fn call_args_span(toks: &[Tok], name_tok: usize) -> Option<(usize, usize)> {
+    if is_punct(toks, name_tok + 1, "(") {
+        Some((name_tok + 1, paren_match(toks, name_tok + 1)))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_flags;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let flags = test_flags(&lexed.toks);
+        let items = parse_items(&lexed.toks, &flags);
+        SourceFile {
+            display: path.to_string(),
+            path: path.to_string(),
+            toks: lexed.toks,
+            in_test: flags,
+            items,
+            allowed: BTreeMap::new(),
+        }
+    }
+
+    fn node_named(g: &Graph, qual: &str) -> usize {
+        (0..g.nodes.len())
+            .find(|&n| g.qual(n) == qual)
+            .unwrap_or_else(|| panic!("no node {qual}"))
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_shadowed_names() {
+        let g = Graph::build(vec![
+            file(
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); } fn helper() {}",
+            ),
+            file("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let entry = node_named(&g, "entry");
+        let local = node_named(&g, "helper");
+        assert_eq!(g.nodes[entry].calls.len(), 1);
+        assert_eq!(g.nodes[entry].calls[0].targets, vec![local]);
+        assert_eq!(g.files[g.nodes[local].file].path, "crates/a/src/lib.rs");
+    }
+
+    #[test]
+    fn method_calls_resolve_across_impls_and_trait_dispatch() {
+        let g = Graph::build(vec![file(
+            "crates/a/src/lib.rs",
+            "
+            trait Est { fn estimate(&self) -> f64; }
+            struct A; struct B;
+            impl Est for A { fn estimate(&self) -> f64 { 1.0 } }
+            impl Est for B { fn estimate(&self) -> f64 { 2.0 } }
+            pub fn run(e: &dyn Est) -> f64 { e.estimate() }
+            ",
+        )]);
+        let run = node_named(&g, "run");
+        let call = &g.nodes[run].calls[0];
+        assert_eq!(call.name, "estimate");
+        // Dynamic dispatch: both impls are candidate targets.
+        assert_eq!(call.targets.len(), 2);
+    }
+
+    #[test]
+    fn path_calls_filter_by_self_ty_and_chase_use_renames() {
+        let g = Graph::build(vec![
+            file(
+                "crates/a/src/wal.rs",
+                "pub struct Wal; impl Wal { pub fn open() -> Wal { Wal } } \
+                 pub struct Snap; impl Snap { pub fn open() -> Snap { Snap } }",
+            ),
+            file(
+                "crates/b/src/lib.rs",
+                "use cardest_a::wal::Wal as Journal;\n\
+                 pub fn recover() { let _ = Journal::open(); }",
+            ),
+        ]);
+        let recover = node_named(&g, "recover");
+        let wal_open = node_named(&g, "Wal::open");
+        assert_eq!(g.nodes[recover].calls[0].targets, vec![wal_open]);
+    }
+
+    #[test]
+    fn module_qualified_free_fns_resolve_by_file_stem() {
+        let g = Graph::build(vec![
+            file("crates/a/src/util.rs", "pub fn clamp(x: f64) -> f64 { x }"),
+            file(
+                "crates/a/src/lib.rs",
+                "pub fn go(x: f64) -> f64 { util::clamp(x) }",
+            ),
+        ]);
+        let go = node_named(&g, "go");
+        let clamp = node_named(&g, "clamp");
+        assert_eq!(g.nodes[go].calls[0].targets, vec![clamp]);
+    }
+
+    #[test]
+    fn reachability_handles_cycles_and_skips_tests() {
+        let g = Graph::build(vec![file(
+            "crates/a/src/lib.rs",
+            "
+            pub fn entry() { ping(); }
+            fn ping() { pong(); }
+            fn pong() { ping(); leaf(); }
+            fn leaf() {}
+            fn orphan() {}
+            #[cfg(test)]
+            mod tests { pub fn t_only() { super::entry(); } }
+            ",
+        )]);
+        let entry = node_named(&g, "entry");
+        let reach = g.reachable_from(&[entry]);
+        let reached: Vec<&str> = reach.keys().map(|&n| g.qual(n)).collect();
+        assert_eq!(reached, vec!["entry", "ping", "pong", "leaf"]);
+        let leaf = node_named(&g, "leaf");
+        let w = g.witness(&reach, leaf);
+        assert_eq!(w, "entry -> ping -> pong -> leaf");
+    }
+
+    #[test]
+    fn std_and_external_calls_resolve_to_nothing() {
+        let g = Graph::build(vec![file(
+            "crates/a/src/lib.rs",
+            "pub fn f(v: Vec<u32>) -> usize { std::mem::size_of::<u32>(); v.len() }",
+        )]);
+        let f = node_named(&g, "f");
+        assert!(g.nodes[f].calls.iter().all(|c| c.targets.is_empty()));
+    }
+}

@@ -1,12 +1,15 @@
 //! Orchestration: file walking, test-region marking, pragma application,
 //! and report assembly.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{self, Tok, TokKind};
+use crate::parser;
 use crate::pragma;
 use crate::rules::{self, Diagnostic, FileCtx};
+use crate::{callgraph, semrules};
 
 /// The result of linting a set of files.
 #[derive(Debug, Default)]
@@ -16,6 +19,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of `allow` pragmas that suppressed at least one diagnostic.
     pub allows_used: usize,
+    /// Diagnostics absorbed by the checked-in baseline (CLI only).
+    pub baseline_suppressed: usize,
 }
 
 impl Report {
@@ -119,6 +124,7 @@ pub fn lint_source(display_path: &str, src: &str) -> Report {
             line: *line,
             rule: rules::BAD_PRAGMA,
             message: msg.clone(),
+            ..Diagnostic::default()
         });
     }
     for allow in &pragmas.allows {
@@ -131,6 +137,7 @@ pub fn lint_source(display_path: &str, src: &str) -> Report {
                 message: "allow pragma without a reason; write \
                           `// cardest-lint: allow(<rule>): <why this violation is legitimate>`"
                     .to_string(),
+                ..Diagnostic::default()
             });
             ok = false;
         }
@@ -141,6 +148,7 @@ pub fn lint_source(display_path: &str, src: &str) -> Report {
                     line: allow.pragma_line,
                     rule: rules::BAD_PRAGMA,
                     message: format!("allow pragma names unknown rule `{r}`"),
+                    ..Diagnostic::default()
                 });
                 ok = false;
             }
@@ -172,6 +180,96 @@ pub fn lint_source(display_path: &str, src: &str) -> Report {
         diagnostics: diags,
         files_scanned: 1,
         allows_used: allows_used.iter().filter(|&&u| u).count(),
+        baseline_suppressed: 0,
+    }
+}
+
+/// Runs the semantic (call-graph) pass over every `.rs` file reachable
+/// from `paths`. Unlike [`lint_paths`], the whole file set is analyzed as
+/// one workspace: calls resolve across files and crates.
+pub fn lint_paths_semantic(paths: &[PathBuf]) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if !p.exists() {
+            return Err(format!("no such path: {}", p.display()));
+        }
+        collect_rs_files(p, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for f in &files {
+        let bytes = fs::read(f).map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+        let display = f.to_string_lossy().replace('\\', "/");
+        sources.push((display, String::from_utf8_lossy(&bytes).into_owned()));
+    }
+    Ok(lint_sources_semantic(&sources))
+}
+
+/// Semantic pass over in-memory `(display_path, source)` pairs. Exposed so
+/// the self-tests can lint synthetic workspaces (and splice seeded bugs
+/// into real files) without touching the tree.
+pub fn lint_sources_semantic(sources: &[(String, String)]) -> Report {
+    let mut parsed: Vec<callgraph::SourceFile> = Vec::with_capacity(sources.len());
+    for (display, src) in sources {
+        let lexed = lexer::lex(src);
+        let pragmas = pragma::extract(&lexed.comments, &lexed.toks);
+        let effective = pragmas
+            .fixture_path
+            .clone()
+            .unwrap_or_else(|| display.clone());
+        let in_test = test_flags(&lexed.toks);
+        let items = parser::parse_items(&lexed.toks, &in_test);
+        // Valid allows only; the lexical pass reports malformed pragmas.
+        let mut allowed: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for allow in &pragmas.allows {
+            if allow.reason.is_empty() || !allow.rules.iter().all(|r| rules::is_known_rule(r)) {
+                continue;
+            }
+            allowed
+                .entry(allow.target_line)
+                .or_default()
+                .extend(allow.rules.iter().cloned());
+        }
+        parsed.push(callgraph::SourceFile {
+            display: display.clone(),
+            path: effective,
+            toks: lexed.toks,
+            in_test,
+            items,
+            allowed,
+        });
+    }
+    let graph = callgraph::Graph::build(parsed);
+    let mut diags = semrules::check(&graph);
+
+    // Generic pragma suppression: an allow targeting the diagnostic's line
+    // and naming its rule.
+    let mut allows_used = 0usize;
+    let allowed_by_file: BTreeMap<&str, &BTreeMap<u32, Vec<String>>> = graph
+        .files
+        .iter()
+        .map(|f| (f.display.as_str(), &f.allowed))
+        .collect();
+    diags.retain(|d| {
+        let suppressed = allowed_by_file
+            .get(d.file.as_str())
+            .and_then(|lines| lines.get(&d.line))
+            .is_some_and(|rules| rules.iter().any(|r| r == d.rule));
+        if suppressed {
+            allows_used += 1;
+        }
+        !suppressed
+    });
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup();
+    Report {
+        diagnostics: diags,
+        files_scanned: sources.len(),
+        allows_used,
+        baseline_suppressed: 0,
     }
 }
 
@@ -300,6 +398,8 @@ pub fn to_json(report: &Report) -> String {
     s.push_str(&report.files_scanned.to_string());
     s.push_str(",\"allows_used\":");
     s.push_str(&report.allows_used.to_string());
+    s.push_str(",\"baseline_suppressed\":");
+    s.push_str(&report.baseline_suppressed.to_string());
     s.push_str(",\"count\":");
     s.push_str(&report.diagnostics.len().to_string());
     s.push_str(",\"diagnostics\":[");
@@ -313,6 +413,14 @@ pub fn to_json(report: &Report) -> String {
         s.push_str(&d.line.to_string());
         s.push_str(",\"rule\":");
         json_string(&mut s, d.rule);
+        if !d.function.is_empty() {
+            s.push_str(",\"function\":");
+            json_string(&mut s, &d.function);
+        }
+        if !d.kind.is_empty() {
+            s.push_str(",\"kind\":");
+            json_string(&mut s, &d.kind);
+        }
         s.push_str(",\"message\":");
         json_string(&mut s, &d.message);
         s.push('}');
@@ -419,9 +527,11 @@ mod tests {
                 line: 3,
                 rule: "panic-path",
                 message: "tab\there".to_string(),
+                ..Diagnostic::default()
             }],
             files_scanned: 2,
             allows_used: 1,
+            baseline_suppressed: 0,
         };
         let j = to_json(&rep);
         assert!(j.contains("\"files_scanned\":2"));

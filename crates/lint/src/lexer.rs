@@ -125,10 +125,24 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if is_ident_start(c) => {
                 let ident = lex_ident(&mut cur);
-                // `r"..."` / `r#"..."#` / `b"..."` / `br#"..."#` / `b'x'`
-                // are string-ish literals whose prefix lexes as an ident.
+                // `r"..."` / `r#"..."#` / `b"..."` / `br#"..."#` / `b'x'` /
+                // `c"..."` / `cr#"..."#` are string-ish literals whose
+                // prefix lexes as an ident.
                 let next = cur.peek(0);
-                if (ident == "r" || ident == "b" || ident == "br")
+                if (ident == "r" || ident == "br" || ident == "cr")
+                    && next == Some('#')
+                    && cur.peek(1).is_some_and(is_ident_start)
+                {
+                    // Raw identifier (`r#type`), not a raw string: the
+                    // token is the identifier itself, keyword-ness erased.
+                    cur.bump();
+                    let name = lex_ident(&mut cur);
+                    push_tok(&mut cur, &mut out, TokKind::Ident, name, line);
+                } else if (ident == "r"
+                    || ident == "b"
+                    || ident == "br"
+                    || ident == "c"
+                    || ident == "cr")
                     && (next == Some('"') || next == Some('#'))
                 {
                     let text = lex_raw_or_byte_string(&mut cur, &ident);
@@ -159,7 +173,10 @@ pub fn lex(src: &str) -> Lexed {
                 text.push(c);
                 // Fuse the two-character operators the rules match on.
                 if let Some(n) = cur.peek(0) {
-                    let fused = matches!((c, n), ('=', '=') | ('!', '=') | (':', ':') | ('.', '.'));
+                    let fused = matches!(
+                        (c, n),
+                        ('=', '=') | ('!', '=') | (':', ':') | ('.', '.') | ('-', '>') | ('=', '>')
+                    );
                     if fused {
                         cur.bump();
                         text.push(n);
@@ -258,12 +275,12 @@ fn lex_string(cur: &mut Cursor) -> String {
     s
 }
 
-/// Lexes the remainder of a raw / byte string after its `r` / `b` / `br`
-/// prefix ident has been consumed. `b"..."` behaves like an ordinary
-/// string (escapes active); `r"..."` and `r#"..."#` end only at a quote
-/// followed by the right number of `#` fences.
+/// Lexes the remainder of a raw / byte / C string after its `r` / `b` /
+/// `br` / `c` / `cr` prefix ident has been consumed. `b"..."` and
+/// `c"..."` behave like ordinary strings (escapes active); the raw forms
+/// end only at a quote followed by the right number of `#` fences.
 fn lex_raw_or_byte_string(cur: &mut Cursor, prefix: &str) -> String {
-    if prefix == "b" {
+    if prefix == "b" || prefix == "c" {
         return lex_string(cur);
     }
     let mut s = String::new();
@@ -541,7 +558,7 @@ mod tests {
 
     #[test]
     fn fused_operators() {
-        let src = "a == b; c != d; e::f; 0..9";
+        let src = "a == b; c != d; e::f; 0..9; fn g() -> u8 { match x { _ => 0 } }";
         let l = lex(src);
         let puncts: Vec<_> = l
             .toks
@@ -549,6 +566,35 @@ mod tests {
             .filter(|t| t.kind == TokKind::Punct && t.text.len() == 2)
             .map(|t| t.text.clone())
             .collect();
-        assert_eq!(puncts, vec!["==", "!=", "::", ".."]);
+        assert_eq!(puncts, vec!["==", "!=", "::", "..", "->", "=>"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents_not_strings() {
+        let src = "let r#type = r#fn; struct r#struct;";
+        let l = lex(src);
+        assert!(l.toks.iter().all(|t| t.kind != TokKind::Str));
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "type", "fn", "struct", "struct"]);
+    }
+
+    #[test]
+    fn c_string_literals() {
+        let src = r##"let a = c"hello"; let b = cr#"raw " c"#;"##;
+        let l = lex(src);
+        let strs: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].text.contains("raw"));
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "x /* a /* b /* c */ b */ a */ y /* tail";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["x", "y"]);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
     }
 }

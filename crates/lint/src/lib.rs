@@ -27,12 +27,29 @@
 //! (see [`pragma`]) before reporting `file:line` diagnostics, in text or
 //! `--format=json`.
 //!
-//! See `DESIGN.md` §10 for the rule catalogue and how to add a rule.
+//! Since v2 the linter is also *semantic*: an item-level [`parser`]
+//! recovers functions, impl blocks, and `use` trees; [`callgraph`] links
+//! them into a workspace call graph with heuristic name resolution; and
+//! [`semrules`] checks cross-function invariants on top — panic
+//! reachability from serving entry points, lock discipline, the store's
+//! durability protocol, and error taxonomy. Semantic findings are gated
+//! through a checked-in [`baseline`] so the CI gate only fails on *new*
+//! diagnostics.
+//!
+//! See `DESIGN.md` §10 for the lexical rule catalogue and §14 for the
+//! semantic analysis.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod pragma;
 pub mod rules;
+pub mod semrules;
 
-pub use engine::{collect_rs_files, lint_paths, lint_source, to_json, Report};
+pub use engine::{
+    collect_rs_files, lint_paths, lint_paths_semantic, lint_source, lint_sources_semantic, to_json,
+    Report,
+};
 pub use rules::{registry, Diagnostic};

@@ -25,7 +25,7 @@
 use crate::lexer::{Comment, Tok, TokKind};
 
 /// One reported violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Path the file was read from (fixtures report their real path even
     /// when a directive re-scopes them).
@@ -33,6 +33,12 @@ pub struct Diagnostic {
     pub line: u32,
     pub rule: &'static str,
     pub message: String,
+    /// Qualified name of the containing function (semantic rules only;
+    /// empty for lexical rules).
+    pub function: String,
+    /// Sub-category within the rule (semantic rules only), e.g. `unwrap`,
+    /// `order-inversion`, `write-without-sync`.
+    pub kind: String,
 }
 
 /// Everything a rule can see about one file.
@@ -98,6 +104,7 @@ impl FileCtx<'_> {
             line,
             rule,
             message,
+            ..Diagnostic::default()
         }
     }
 }
@@ -156,10 +163,12 @@ pub fn registry() -> &'static [Rule] {
     ]
 }
 
-/// True when `id` names a registry rule or the `bad-pragma` meta-rule
-/// (so pragma validation accepts it).
+/// True when `id` names a registry rule, a semantic rule, or the
+/// `bad-pragma` meta-rule (so pragma validation accepts it).
 pub fn is_known_rule(id: &str) -> bool {
-    id == BAD_PRAGMA || registry().iter().any(|r| r.id == id)
+    id == BAD_PRAGMA
+        || registry().iter().any(|r| r.id == id)
+        || crate::semrules::is_semantic_rule(id)
 }
 
 // ---------------------------------------------------------------------------

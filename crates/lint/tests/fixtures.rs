@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-use cardest_lint::{lint_source, rules};
+use cardest_lint::{lint_source, lint_sources_semantic, rules, semrules};
 
 const RULES: [&str; 7] = [
     "nondeterminism",
@@ -17,6 +17,14 @@ const RULES: [&str; 7] = [
     "unsafe-block",
     "kernel-hygiene",
     "bad-pragma",
+];
+
+/// Semantic rules, exercised by fixture pairs under `fixtures/sem/`.
+const SEM_RULES: [&str; 4] = [
+    "serving-panic-reachability",
+    "lock-discipline",
+    "durability-protocol",
+    "error-taxonomy",
 ];
 
 fn fixture(name: &str) -> (String, String) {
@@ -81,6 +89,110 @@ fn fire_fixtures_report_the_expected_sites() {
         "three casts in the fixture: {:?}",
         report.diagnostics
     );
+}
+
+fn sem_fixture(name: &str) -> (String, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("sem")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    (path.to_string_lossy().replace('\\', "/"), src)
+}
+
+#[test]
+fn every_semantic_rule_has_a_firing_fixture() {
+    for rule in SEM_RULES {
+        let (path, src) = sem_fixture(&format!("{rule}_fire.rs"));
+        let report = lint_sources_semantic(&[(path, src)]);
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "{rule}_fire.rs did not fire `{rule}`; got {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn every_semantic_rule_has_a_non_firing_fixture() {
+    for rule in SEM_RULES {
+        let (path, src) = sem_fixture(&format!("{rule}_clean.rs"));
+        let report = lint_sources_semantic(&[(path, src)]);
+        assert!(
+            report.is_clean(),
+            "{rule}_clean.rs should be semantically clean; got {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn serving_panic_diagnostics_carry_the_witness_path() {
+    let (path, src) = sem_fixture("serving-panic-reachability_fire.rs");
+    let report = lint_sources_semantic(&[(path, src)]);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "serving-panic-reachability")
+        .expect("rule fired");
+    assert!(
+        d.message.contains("handle_estimate -> decode -> parse_len"),
+        "witness path missing from: {}",
+        d.message
+    );
+    assert_eq!(d.function, "parse_len");
+    assert_eq!(d.kind, "unwrap");
+}
+
+#[test]
+fn lock_fixture_fires_both_inversion_and_guard_across_blocking() {
+    let (path, src) = sem_fixture("lock-discipline_fire.rs");
+    let report = lint_sources_semantic(&[(path, src)]);
+    let kinds: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "lock-discipline")
+        .map(|d| d.kind.as_str())
+        .collect();
+    assert!(
+        kinds.contains(&"order-inversion"),
+        "no order-inversion in {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"guard-across-blocking"),
+        "no guard-across-blocking in {kinds:?}"
+    );
+}
+
+#[test]
+fn semantic_registry_and_fixture_list_agree() {
+    let mut registered: Vec<&str> = semrules::semantic_registry()
+        .iter()
+        .map(|(id, _)| *id)
+        .collect();
+    registered.sort_unstable();
+    let mut covered = SEM_RULES.to_vec();
+    covered.sort_unstable();
+    assert_eq!(registered, covered);
+}
+
+#[test]
+fn cli_semantic_flag_exits_nonzero_on_a_semantic_fixture() {
+    let bin = env!("CARGO_BIN_EXE_cardest-lint");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("sem");
+    let out = Command::new(bin)
+        .arg("--semantic")
+        .arg("--format=json")
+        .arg(dir.join("durability-protocol_fire.rs"))
+        .output()
+        .expect("run cardest-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"rule\":\"durability-protocol\""), "{json}");
+    assert!(json.contains("\"function\":\"save_segment\""), "{json}");
 }
 
 #[test]

@@ -117,6 +117,7 @@ impl OwnedQuery {
     /// components are passed through for dense queries (the guard rejects
     /// them with a typed error) but must be rejected here for binary ones,
     /// where packing would silently launder a NaN into a 0-bit.
+    // cardest-lint: allow(error-taxonomy): the String is a client-facing 400 body; callers never branch on it
     pub fn from_components(values: &[f32], repr: QueryRepr) -> Result<Self, String> {
         match repr {
             QueryRepr::Dense => Ok(OwnedQuery::Dense(values.to_vec())),

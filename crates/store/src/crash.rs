@@ -67,6 +67,7 @@ pub fn kill_offsets(record_ends: &[usize], seed: u64, extra_random: usize) -> Ve
 /// Installs the first `keep` bytes of `full` as the WAL file at `path` —
 /// the on-disk picture a kill at byte offset `keep` leaves behind.
 pub fn install_torn_wal(path: &Path, full: &[u8], keep: usize) -> std::io::Result<()> {
+    // cardest-lint: allow(durability-protocol): fault injection — deliberately leaves an unsynced torn WAL for recovery tests
     std::fs::write(path, &full[..keep.min(full.len())])
 }
 
